@@ -1,0 +1,397 @@
+package stellar_test
+
+// One benchmark per table and figure of the paper's evaluation, plus the
+// ablation benches DESIGN.md calls out. Each benchmark runs the same
+// driver as cmd/stellar-lab (at CI-friendly scale) and reports the
+// headline metric of its experiment as a custom unit alongside the usual
+// ns/op, so `go test -bench=. -benchmem` regenerates the evaluation.
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"stellar/internal/bgp"
+	"stellar/internal/core"
+	"stellar/internal/experiments"
+	"stellar/internal/fabric"
+	"stellar/internal/hw"
+	"stellar/internal/ixp"
+	"stellar/internal/member"
+	"stellar/internal/mitigation"
+	"stellar/internal/netpkt"
+	"stellar/internal/stats"
+	"stellar/internal/traffic"
+)
+
+// BenchmarkTable1Matrix regenerates Table 1 (qualitative comparison).
+func BenchmarkTable1Matrix(b *testing.B) {
+	var adv int
+	for i := 0; i < b.N; i++ {
+		adv = mitigation.AdvantageCount()[mitigation.AdvancedBlackholing]
+	}
+	b.ReportMetric(float64(adv), "advbh-advantages")
+}
+
+// BenchmarkFig2cCollateral regenerates Figure 2(c): the collateral-
+// damage port-share series around the memcached attack.
+func BenchmarkFig2cCollateral(b *testing.B) {
+	cfg := experiments.DefaultFig2cConfig()
+	var r experiments.Fig2cResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig2c(cfg)
+	}
+	b.ReportMetric(r.ShareDuring("11211")*100, "attackport-share-%")
+}
+
+// BenchmarkFig3aPortDist regenerates Figure 3(a): UDP source ports of
+// blackholed traffic with Welch significance.
+func BenchmarkFig3aPortDist(b *testing.B) {
+	cfg := experiments.DefaultFig3aConfig()
+	var r experiments.Fig3aResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig3a(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	sig := 0
+	for _, p := range r.Ports {
+		if p.Significant {
+			sig++
+		}
+	}
+	b.ReportMetric(float64(sig), "significant-ports")
+}
+
+// BenchmarkFig3bPolicyUsage regenerates Figure 3(b).
+func BenchmarkFig3bPolicyUsage(b *testing.B) {
+	cfg := experiments.DefaultFig3bConfig()
+	cfg.Announcements = 20000
+	var r experiments.Fig3bResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig3b(cfg)
+	}
+	b.ReportMetric(r.Share["All"]*100, "all-policy-%")
+}
+
+// BenchmarkFig3cRTBHAttack regenerates Figure 3(c): the booter attack
+// under RTBH. Metric: residual attack traffic after the blackhole.
+func BenchmarkFig3cRTBHAttack(b *testing.B) {
+	cfg := experiments.DefaultFig3cConfig()
+	cfg.Members = 120
+	var r experiments.Fig3cResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig3c(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.ResidualBps/1e6, "residual-Mbps")
+}
+
+// BenchmarkFig9Scaling regenerates Figure 9's three feasibility grids by
+// allocating on the TCAM model.
+func BenchmarkFig9Scaling(b *testing.B) {
+	cfg := experiments.DefaultFig9Config()
+	cfg.N = 2
+	var r experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig9(cfg)
+	}
+	ok := 0
+	for _, g := range r.Grids {
+		for _, c := range g.Cells {
+			if c == "OK" {
+				ok++
+			}
+		}
+	}
+	b.ReportMetric(float64(ok), "feasible-cells")
+}
+
+// BenchmarkFig10aCPUModel regenerates Figure 10(a): the CPU regression
+// and the sustainable update rate at the 15% cap.
+func BenchmarkFig10aCPUModel(b *testing.B) {
+	cfg := experiments.DefaultFig10aConfig()
+	var r experiments.Fig10aResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig10a(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.MaxRateAtCap, "updates-per-s-at-cap")
+}
+
+// BenchmarkFig10bQueueWait regenerates Figure 10(b): the waiting-time
+// CDF of the controller's token-bucket queue at the 4/s limit.
+func BenchmarkFig10bQueueWait(b *testing.B) {
+	cfg := experiments.DefaultFig10bConfig()
+	cfg.DurationSec = 1800
+	var r experiments.Fig10bResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig10b(cfg)
+	}
+	b.ReportMetric(r.Curves[0].ECDF.P(1)*100, "pct-under-1s")
+}
+
+// BenchmarkFig10cStellarAttack regenerates Figure 10(c): the booter
+// attack under Stellar. Metric: residual traffic after the drop phase.
+func BenchmarkFig10cStellarAttack(b *testing.B) {
+	cfg := experiments.DefaultFig10cConfig()
+	cfg.Members = 120
+	var r experiments.Fig10cResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig10c(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.FinalBps/1e6, "residual-Mbps")
+	b.ReportMetric(r.ShapedBps/1e6, "shaped-Mbps")
+}
+
+// BenchmarkSec52Functionality regenerates the Section 5.2 lab check.
+func BenchmarkSec52Functionality(b *testing.B) {
+	var r experiments.Sec52Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Sec52(9)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.BenignDeliveredBps/1e6, "benign-Mbps")
+}
+
+// ---------------------------------------------------------------------
+// Ablation benches (DESIGN.md, "Design choices worth ablating").
+
+// BenchmarkAblationEgressVsIngress compares the paper's egress filtering
+// placement against ingress placement on a capacity-constrained small
+// IXP: with egress filtering the attack crosses the platform core before
+// dying, so a small core congests; ingress filtering (modeled as
+// dropping at the source ports, i.e. before the core) does not. Metric:
+// benign traffic delivered under each placement.
+func BenchmarkAblationEgressVsIngress(b *testing.B) {
+	target := netip.MustParseAddr("100.64.0.10")
+	rng := stats.NewRand(1)
+	peers := traffic.MakePeers(20)
+	attack := traffic.NewAttack(traffic.VectorNTP, target, peers, 8e9, 0, 1<<30, rng)
+	attack.RampTicks = 0
+	web := traffic.NewWebService(target, peers[:4], 4e8, rng)
+
+	run := func(ingress bool) float64 {
+		fab := fabric.New()
+		fab.PlatformCapacityBps = 2e9 // small IXP: core is the bottleneck
+		mac := netpkt.MustParseMAC("02:00:00:00:00:99")
+		port := fabric.NewPort("victim", mac, 1e9)
+		m := fabric.MatchAll()
+		m.Proto = netpkt.ProtoUDP
+		m.SrcPort = 123
+		_ = port.InstallRule(&fabric.Rule{ID: "drop", Match: m, Action: fabric.ActionDrop})
+		_ = fab.AddPort(port)
+
+		offers := append(attack.Offers(10, 1), web.Offers(10, 1)...)
+		if ingress {
+			// Ingress placement: matching traffic never reaches the core.
+			var kept []fabric.Offer
+			for _, o := range offers {
+				if !(o.Flow.Proto == netpkt.ProtoUDP && o.Flow.SrcPort == 123) {
+					kept = append(kept, o)
+				}
+			}
+			offers = kept
+		}
+		st, err := fab.Tick(fabric.TickOffers{"victim": offers}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return st.TotalDeliveredBytes() * 8
+	}
+
+	var egress, ingress float64
+	for i := 0; i < b.N; i++ {
+		egress = run(false)
+		ingress = run(true)
+	}
+	b.ReportMetric(egress/1e6, "egress-delivered-Mbps")
+	b.ReportMetric(ingress/1e6, "ingress-delivered-Mbps")
+}
+
+// BenchmarkAblationQueueRate sweeps the change queue's dequeue limit and
+// reports the p95 signal-to-config delay — the trade between switch CPU
+// protection and mitigation reaction time.
+func BenchmarkAblationQueueRate(b *testing.B) {
+	cfg := experiments.DefaultFig10bConfig()
+	cfg.DurationSec = 1800
+	cfg.Rates = []float64{1, 2, 4.33, 8, 16}
+	var r experiments.Fig10bResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig10b(cfg)
+	}
+	for _, c := range r.Curves {
+		b.ReportMetric(stats.Percentile(c.Waits, 95), fmt.Sprintf("p95s-at-%gps", c.Rate))
+	}
+}
+
+// BenchmarkAblationAddPath measures the correctness cost of disabling
+// ADD-PATH on the controller feed: with best-path-only delivery, a
+// second member's blackholing rule for a shared prefix is lost. Metric:
+// rules installed with and without ADD-PATH semantics.
+func BenchmarkAblationAddPath(b *testing.B) {
+	run := func(addPath bool) int {
+		members := member.MakePopulation(member.PopulationConfig{N: 4, PortCapacityBps: 1e9, Seed: 2})
+		// Two members share a delegated prefix.
+		shared := netip.MustParsePrefix("100.99.0.0/24")
+		members[0].Prefixes = append(members[0].Prefixes, shared)
+		members[1].Prefixes = append(members[1].Prefixes, shared)
+		x, err := ixp.Build(ixp.Config{
+			ASN: 6695, BlackholeNextHop: netip.MustParseAddr("80.81.193.66"),
+			Members: members, EnableStellar: true, QueueRate: 1000, QueueBurst: 1000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		host := netip.MustParsePrefix("100.99.0.7/32")
+		if err := x.Announce(members[0].Name, host, nil, []core.RuleSpec{core.DropUDPSrcPort(123)}); err != nil {
+			b.Fatal(err)
+		}
+		if addPath {
+			// Full feed: the second member's rule also arrives.
+			if err := x.Announce(members[1].Name, host, nil, []core.RuleSpec{core.DropUDPSrcPort(53)}); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			// Best-path-only feed: the RS would suppress the non-best
+			// announcement; the second rule never reaches the controller.
+		}
+		x.Stellar.Process(x.Clock() + 10)
+		return x.Stellar.AppliedChanges()
+	}
+	var with, without int
+	for i := 0; i < b.N; i++ {
+		with = run(true)
+		without = run(false)
+	}
+	b.ReportMetric(float64(with), "rules-with-addpath")
+	b.ReportMetric(float64(without), "rules-without-addpath")
+}
+
+// BenchmarkAblationSignaling compares the two signaling transports of
+// Section 4.2.1 end to end: in-band BGP extended communities (full wire
+// marshal/unmarshal through a session pair) versus a direct API call
+// (controller event injection). Metric: signals per second.
+func BenchmarkAblationSignaling(b *testing.B) {
+	prefix := netip.MustParsePrefix("100.10.10.10/32")
+	spec := core.DropUDPSrcPort(123)
+	ec, err := spec.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	attrs := bgp.PathAttrs{
+		Origin:         bgp.OriginIGP,
+		ASPath:         []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{64512}}},
+		NextHop:        netip.MustParseAddr("80.81.192.10"),
+		ExtCommunities: []bgp.ExtCommunity{ec},
+	}
+	u := &bgp.Update{Attrs: attrs, NLRI: []bgp.PathPrefix{{Prefix: prefix}}}
+
+	b.Run("bgp-extended-community", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			wire, err := bgp.Marshal(u, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			msg, _, err := bgp.Unmarshal(wire, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got := msg.(*bgp.Update)
+			if specs := core.SignalsFrom(&got.Attrs); len(specs) != 1 {
+				b.Fatal("signal lost")
+			}
+		}
+	})
+	b.Run("direct-api", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if specs := core.SignalsFrom(&u.Attrs); len(specs) != 1 {
+				b.Fatal("signal lost")
+			}
+		}
+	})
+}
+
+// BenchmarkEdgeRouterAllocation measures the hardware model's admission
+// control throughput (the per-change cost inside the network manager).
+func BenchmarkEdgeRouterAllocation(b *testing.B) {
+	router := hw.NewEdgeRouter(hw.DefaultEdgeRouterLimits(350, hw.RTBHUnitN))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		port := i % 350
+		if err := router.Allocate(port, 1, 3); err != nil {
+			b.Fatal(err)
+		}
+		if err := router.Release(port, 1, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFabricEgress measures the data-plane classification rate of a
+// port carrying 16 installed blackholing rules and 200 concurrent flows.
+func BenchmarkFabricEgress(b *testing.B) {
+	mac := netpkt.MustParseMAC("02:00:00:00:00:01")
+	port := fabric.NewPort("victim", mac, 1e9)
+	for i := 0; i < 16; i++ {
+		m := fabric.MatchAll()
+		m.Proto = netpkt.ProtoUDP
+		m.SrcPort = int32(1000 + i)
+		_ = port.InstallRule(&fabric.Rule{ID: string(rune('a' + i)), Match: m, Action: fabric.ActionDrop})
+	}
+	offers := make([]fabric.Offer, 200)
+	src := netip.MustParseAddr("198.51.100.1")
+	dst := netip.MustParseAddr("100.10.10.10")
+	for i := range offers {
+		offers[i] = fabric.Offer{
+			Flow: netpkt.FlowKey{Src: src, Dst: dst, Proto: netpkt.ProtoUDP,
+				SrcPort: uint16(i), DstPort: 443},
+			Bytes: 1e4, Packets: 10,
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		port.Egress(offers, 1)
+	}
+}
+
+// BenchmarkCompareMitigations regenerates the quantitative five-way
+// comparison backing Table 1.
+func BenchmarkCompareMitigations(b *testing.B) {
+	cfg := experiments.DefaultCompareConfig()
+	var r experiments.CompareResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.CompareMitigations(cfg)
+	}
+	b.ReportMetric(r.Row(mitigation.AdvancedBlackholing).BenignDeliveredFrac*100, "advbh-benign-%")
+	b.ReportMetric(r.Row(mitigation.RTBH).AttackResidualFrac*100, "rtbh-residual-%")
+}
+
+// BenchmarkCombinedTSS regenerates the Section 6 economics: Stellar as a
+// scrubbing pre-filter.
+func BenchmarkCombinedTSS(b *testing.B) {
+	cfg := experiments.DefaultCompareConfig()
+	var r experiments.CombinedTSSResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.CombinedTSS(cfg)
+	}
+	b.ReportMetric(r.SavingsFrac*100, "scrub-cost-savings-%")
+}

@@ -1,0 +1,63 @@
+// Command attackgen emits synthetic attack and benign workloads as CSV
+// time series — the hardware-accelerated traffic generator of the
+// paper's lab setup, reduced to flow-level aggregates. Output columns:
+// tick, src_member, src_ip, proto, src_port, dst_port, bytes, packets.
+//
+// Usage:
+//
+//	attackgen -vector ntp -rate 1e9 -peers 40 -ticks 600 -target 100.10.10.10
+//	attackgen -vector web -rate 8e8 -peers 5 -ticks 600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/netip"
+	"os"
+
+	"stellar/internal/fabric"
+	"stellar/internal/stats"
+	"stellar/internal/traffic"
+)
+
+func main() {
+	vector := flag.String("vector", "ntp", "workload: ntp|dns|ldap|memcached|chargen|port-0|web")
+	rate := flag.Float64("rate", 1e9, "aggregate rate in bits/s")
+	peerCount := flag.Int("peers", 40, "number of source peers")
+	ticks := flag.Int("ticks", 600, "duration in 1-second ticks")
+	start := flag.Int("start", 0, "attack start tick")
+	target := flag.String("target", "100.10.10.10", "victim address")
+	seed := flag.Uint64("seed", 1, "PRNG seed")
+	flag.Parse()
+
+	dst, err := netip.ParseAddr(*target)
+	if err != nil {
+		log.Fatalf("attackgen: bad target: %v", err)
+	}
+	rng := stats.NewRand(*seed)
+	peers := traffic.MakePeers(*peerCount)
+
+	var offersAt func(tick int) []fabric.Offer
+	if *vector == "web" {
+		web := traffic.NewWebService(dst, peers, *rate, rng)
+		offersAt = func(tick int) []fabric.Offer { return web.Offers(tick, 1) }
+	} else {
+		v, err := traffic.VectorByName(*vector)
+		if err != nil {
+			log.Fatalf("attackgen: %v", err)
+		}
+		atk := traffic.NewAttack(v, dst, peers, *rate, *start, *ticks, rng)
+		offersAt = func(tick int) []fabric.Offer { return atk.Offers(tick, 1) }
+	}
+
+	w := os.Stdout
+	fmt.Fprintln(w, "tick,src_member,src_ip,proto,src_port,dst_port,bytes,packets")
+	for tick := 0; tick < *ticks; tick++ {
+		for _, o := range offersAt(tick) {
+			fmt.Fprintf(w, "%d,%s,%s,%s,%d,%d,%.0f,%.0f\n",
+				tick, o.Flow.SrcMAC, o.Flow.Src, o.Flow.Proto,
+				o.Flow.SrcPort, o.Flow.DstPort, o.Bytes, o.Packets)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Command ixpd runs a live, wire-level IXP control plane: a route server
+// listening for real BGP-4 sessions over TCP, with a Stellar blackholing
+// controller attached to its southbound feed and an emulated switching
+// fabric behind it.
+//
+// Members connect with any BGP speaker that talks RFC 4271 + RFC 1997
+// communities (the repository's bgpsession package suffices, see
+// examples/quickstart for the in-process variant). Announcing a /32
+// tagged with the BLACKHOLE community triggers RTBH; announcing it with
+// Stellar's Advanced Blackholing extended community installs fine-
+// grained drop/shape rules and logs them.
+//
+// Usage:
+//
+//	ixpd -listen 127.0.0.1:1790 -asn 6695 -open-irr
+//
+// With -open-irr the route server auto-registers each peer's first
+// announcement origin in the IRR (lab mode); without it, register
+// prefixes via -irr AS:prefix flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/netip"
+	"strings"
+	"sync"
+
+	"stellar/internal/bgp"
+	"stellar/internal/bgpsession"
+	"stellar/internal/core"
+	"stellar/internal/fabric"
+	"stellar/internal/hw"
+	"stellar/internal/irr"
+	"stellar/internal/netpkt"
+	"stellar/internal/routeserver"
+)
+
+type irrFlags []string
+
+func (f *irrFlags) String() string     { return strings.Join(*f, ",") }
+func (f *irrFlags) Set(s string) error { *f = append(*f, s); return nil }
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:1790", "TCP address for BGP sessions")
+	asn := flag.Uint("asn", 6695, "IXP AS number")
+	bgpID := flag.String("bgp-id", "80.81.192.1", "route server BGP identifier")
+	blackholeNH := flag.String("blackhole-nexthop", "80.81.193.66", "RTBH next hop")
+	openIRR := flag.Bool("open-irr", false, "auto-register announced origins in the IRR (lab mode)")
+	var irrEntries irrFlags
+	flag.Var(&irrEntries, "irr", "IRR entry ASN:prefix (repeatable)")
+	flag.Parse()
+
+	d, err := newDaemon(uint32(*asn), *bgpID, *blackholeNH, *openIRR, irrEntries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("ixpd: route server AS%d listening on %s (open-irr=%v)", *asn, ln.Addr(), *openIRR)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		go d.serve(conn)
+	}
+}
+
+type daemon struct {
+	asn     uint32
+	bgpID   netip.Addr
+	openIRR bool
+
+	rs      *routeserver.RouteServer
+	policy  *irr.Policy
+	stellar *core.Stellar
+	qosMgr  *core.QoSManager
+	fab     *fabric.Fabric
+	router  *hw.EdgeRouter
+
+	mu        sync.Mutex
+	peers     map[string]*bgpsession.Session // name -> session
+	nextPort  int
+	portIndex map[string]int
+	clock     float64
+}
+
+func newDaemon(asn uint32, bgpID, blackholeNH string, openIRR bool, irrEntries []string) (*daemon, error) {
+	id, err := netip.ParseAddr(bgpID)
+	if err != nil {
+		return nil, err
+	}
+	nh, err := netip.ParseAddr(blackholeNH)
+	if err != nil {
+		return nil, err
+	}
+	d := &daemon{
+		asn: asn, bgpID: id, openIRR: openIRR,
+		policy:    irr.NewPolicy(),
+		fab:       fabric.New(),
+		peers:     make(map[string]*bgpsession.Session),
+		portIndex: make(map[string]int),
+	}
+	for _, e := range irrEntries {
+		parts := strings.SplitN(e, ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad -irr entry %q (want ASN:prefix)", e)
+		}
+		var entryASN uint32
+		if _, err := fmt.Sscanf(parts[0], "%d", &entryASN); err != nil {
+			return nil, fmt.Errorf("bad -irr ASN in %q", e)
+		}
+		p, err := netip.ParsePrefix(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad -irr prefix in %q: %v", e, err)
+		}
+		d.policy.IRR.Register(entryASN, p)
+	}
+	d.rs = routeserver.New(routeserver.Config{
+		ASN: asn, BlackholeNextHop: nh, Policy: d.policy,
+	})
+	d.router = hw.NewEdgeRouter(hw.DefaultEdgeRouterLimits(1024, hw.RTBHUnitN))
+	d.qosMgr = core.NewQoSManager(d.fab, d.router, nil)
+	d.stellar = core.New(core.Config{Manager: d.qosMgr})
+	d.rs.Subscribe(func(ev routeserver.ControllerEvent) {
+		d.mu.Lock()
+		d.clock += 0.001 // event-driven virtual clock
+		now := d.clock
+		d.mu.Unlock()
+		d.stellar.HandleEvent(ev, now)
+		n := d.stellar.Process(now + 1)
+		if n > 0 {
+			log.Printf("ixpd: stellar applied %d configuration change(s)", n)
+		}
+		for _, e := range d.stellar.Errors() {
+			log.Printf("ixpd: stellar apply error: %s: %v", e.Change, e.Err)
+		}
+	})
+	return d, nil
+}
+
+// serve handles one member TCP connection: BGP handshake, then updates.
+func (d *daemon) serve(conn net.Conn) {
+	var (
+		sess *bgpsession.Session
+		name string
+		once sync.Once
+	)
+	handler := func(e bgpsession.Event) {
+		switch {
+		case e.Update != nil:
+			d.handleUpdate(name, e.Update)
+		case e.State == bgpsession.StateEstablished:
+			once.Do(func() {
+				peer := sess.PeerOpen()
+				name = fmt.Sprintf("AS%d", peer.AS)
+				d.register(name, peer.AS, peer.BGPID, sess)
+				log.Printf("ixpd: session established with %s (%s)", name, conn.RemoteAddr())
+			})
+		case e.State == bgpsession.StateClosed:
+			if name != "" {
+				d.unregister(name)
+				log.Printf("ixpd: session with %s closed: %v", name, e.Err)
+			}
+		}
+	}
+	sess = bgpsession.New(conn, bgpsession.Config{
+		LocalAS: d.asn,
+		BGPID:   d.bgpID,
+	}, handler)
+	if err := sess.Run(); err != nil {
+		log.Printf("ixpd: session error (%s): %v", conn.RemoteAddr(), err)
+	}
+}
+
+func (d *daemon) register(name string, asn uint32, bgpID netip.Addr, sess *bgpsession.Session) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, known := d.peers[name]; !known {
+		if err := d.rs.AddPeer(routeserver.PeerConfig{Name: name, ASN: asn, BGPID: bgpID}); err != nil && err != routeserver.ErrDuplicatePeer {
+			log.Printf("ixpd: add peer %s: %v", name, err)
+			return
+		}
+		// Attach a fabric port and hardware slot for the member.
+		var mac netpkt.MAC
+		mac[0] = 0x02
+		mac[1] = 0x30
+		mac[2] = byte(d.nextPort >> 8)
+		mac[3] = byte(d.nextPort)
+		if err := d.fab.AddPort(fabric.NewPort(name, mac, 10e9)); err != nil && err != fabric.ErrDuplicatePort {
+			log.Printf("ixpd: add port %s: %v", name, err)
+		}
+		d.portIndex[name] = d.nextPort
+		d.qosMgr.SetPortIndex(name, d.nextPort)
+		d.nextPort++
+	}
+	d.peers[name] = sess
+}
+
+func (d *daemon) unregister(name string) {
+	d.mu.Lock()
+	delete(d.peers, name)
+	d.mu.Unlock()
+	exports, err := d.rs.HandleWithdrawAll(name)
+	if err == nil {
+		d.distribute(exports)
+	}
+}
+
+func (d *daemon) handleUpdate(name string, u *bgp.Update) {
+	if name == "" {
+		return
+	}
+	if d.openIRR {
+		d.mu.Lock()
+		origin := u.Attrs.OriginAS()
+		for _, pp := range u.AllAnnounced() {
+			// Lab mode: register the covering /24 (or the prefix itself
+			// when shorter) so blackholing /32s validate.
+			p := pp.Prefix
+			if p.Addr().Is4() && p.Bits() > 24 {
+				p = netip.PrefixFrom(p.Addr(), 24).Masked()
+			}
+			if !d.policy.IRR.Authorized(origin, p) {
+				d.policy.IRR.Register(origin, p)
+			}
+		}
+		d.mu.Unlock()
+	}
+	exports, rejections, err := d.rs.HandleUpdate(name, u)
+	if err != nil {
+		log.Printf("ixpd: update from %s: %v", name, err)
+		return
+	}
+	for _, r := range rejections {
+		log.Printf("ixpd: rejected %s from %s: %s", r.Prefix, r.Peer, r.Reason)
+	}
+	d.distribute(exports)
+}
+
+// distribute forwards route server exports to the connected members.
+func (d *daemon) distribute(exports []routeserver.PeerUpdate) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, e := range exports {
+		sess, ok := d.peers[e.Peer]
+		if !ok {
+			continue
+		}
+		if err := sess.SendUpdate(e.Update); err != nil {
+			log.Printf("ixpd: export to %s: %v", e.Peer, err)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"stellar/internal/bgp"
+	"stellar/internal/bgpsession"
+	"stellar/internal/core"
+)
+
+// TestDaemonEndToEnd boots the daemon on a loopback listener, connects
+// two members over real TCP BGP sessions, and exercises both services:
+// RTBH (the /32 with the BLACKHOLE community reaches the other member
+// with the null next hop) and Advanced Blackholing (the extended
+// community installs a QoS rule on the announcing member's port).
+func TestDaemonEndToEnd(t *testing.T) {
+	d, err := newDaemon(6695, "80.81.192.1", "80.81.193.66", true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go d.serve(conn)
+		}
+	}()
+
+	dial := func(asn uint32, id string, handler bgpsession.Handler) *bgpsession.Session {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := bgpsession.New(conn, bgpsession.Config{
+			LocalAS: asn, BGPID: netip.MustParseAddr(id),
+		}, handler)
+		go s.Run()
+		deadline := time.Now().Add(3 * time.Second)
+		for s.State() != bgpsession.StateEstablished {
+			if time.Now().After(deadline) {
+				t.Fatalf("AS%d not established: %v", asn, s.Err())
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return s
+	}
+
+	received := make(chan *bgp.Update, 8)
+	observer := dial(64513, "10.0.0.13", func(e bgpsession.Event) {
+		if e.Update != nil {
+			received <- e.Update
+		}
+	})
+	defer observer.Close()
+	victim := dial(64512, "10.0.0.12", nil)
+	defer victim.Close()
+	time.Sleep(50 * time.Millisecond) // let registrations settle
+
+	host := netip.MustParsePrefix("100.10.10.10/32")
+	spec := core.DropUDPSrcPort(123)
+	ec, err := spec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := &bgp.Update{
+		Attrs: bgp.PathAttrs{
+			Origin:         bgp.OriginIGP,
+			ASPath:         []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{64512}}},
+			NextHop:        netip.MustParseAddr("80.81.192.12"),
+			Communities:    []bgp.Community{bgp.CommunityBlackhole},
+			ExtCommunities: []bgp.ExtCommunity{ec},
+		},
+		NLRI: []bgp.PathPrefix{{Prefix: host}},
+	}
+	if err := victim.SendUpdate(u); err != nil {
+		t.Fatal(err)
+	}
+
+	// RTBH propagation: the observer sees the /32 with the blackhole
+	// next hop.
+	select {
+	case got := <-received:
+		if len(got.NLRI) != 1 || got.NLRI[0].Prefix != host {
+			t.Fatalf("export: %+v", got)
+		}
+		if got.Attrs.NextHop != netip.MustParseAddr("80.81.193.66") {
+			t.Fatalf("next hop: %v", got.Attrs.NextHop)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no export received")
+	}
+
+	// Advanced Blackholing: the daemon's Stellar installed a drop rule
+	// on the victim's fabric port.
+	port, err := d.fab.PortByName("AS64512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for port.RuleCount() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if port.RuleCount() != 1 {
+		t.Fatalf("rules: %d (stellar errors: %v)", port.RuleCount(), d.stellar.Errors())
+	}
+
+	// Session teardown withdraws the member's routes and rules.
+	victim.Close()
+	deadline = time.Now().Add(3 * time.Second)
+	for port.RuleCount() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if port.RuleCount() != 0 {
+		t.Fatalf("rules after teardown: %d", port.RuleCount())
+	}
+}

@@ -1,0 +1,165 @@
+// Command stellar-lab regenerates every table and figure of the paper's
+// evaluation from the simulation substrate. Each subcommand runs one
+// experiment and prints the corresponding rows/series.
+//
+// Usage:
+//
+//	stellar-lab <experiment> [-seed N] [-scale small|full]
+//
+// Experiments: table1, fig2c, fig3a, fig3b, fig3c, fig9, fig10a,
+// fig10b, fig10c, sec52, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stellar/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "stellar-lab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: stellar-lab <table1|fig2c|fig3a|fig3b|fig3c|fig9|fig10a|fig10b|fig10c|sec52|compare|combined-tss|all> [flags]")
+	}
+	name := args[0]
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	seed := fs.Uint64("seed", 0, "override the experiment's default seed (0 keeps it)")
+	scale := fs.String("scale", "full", "experiment scale: small (CI-sized) or full (paper-sized)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	small := *scale == "small"
+
+	experimentsToRun := []string{name}
+	if name == "all" {
+		experimentsToRun = []string{"table1", "fig2c", "fig3a", "fig3b", "fig3c",
+			"fig9", "fig10a", "fig10b", "fig10c", "sec52", "compare", "combined-tss"}
+	}
+	for i, exp := range experimentsToRun {
+		if i > 0 {
+			fmt.Println("\n" + string(make([]byte, 0)) + "================================================================")
+		}
+		if err := runOne(exp, *seed, small); err != nil {
+			return fmt.Errorf("%s: %w", exp, err)
+		}
+	}
+	return nil
+}
+
+func runOne(name string, seed uint64, small bool) error {
+	switch name {
+	case "table1":
+		fmt.Print(experiments.Table1().Format())
+	case "fig2c":
+		cfg := experiments.DefaultFig2cConfig()
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		fmt.Print(experiments.Fig2c(cfg).Format())
+	case "fig3a":
+		cfg := experiments.DefaultFig3aConfig()
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		if small {
+			cfg.Events = 50
+		}
+		r, err := experiments.Fig3a(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Format())
+	case "fig3b":
+		cfg := experiments.DefaultFig3bConfig()
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		if small {
+			cfg.Announcements = 20000
+		}
+		fmt.Print(experiments.Fig3b(cfg).Format())
+	case "fig3c":
+		cfg := experiments.DefaultFig3cConfig()
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		if small {
+			cfg.Members = 120
+		}
+		r, err := experiments.Fig3c(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Format())
+	case "fig9":
+		cfg := experiments.DefaultFig9Config()
+		if small {
+			cfg.N = 2
+		}
+		fmt.Print(experiments.Fig9(cfg).Format())
+	case "fig10a":
+		cfg := experiments.DefaultFig10aConfig()
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		r, err := experiments.Fig10a(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Format())
+	case "fig10b":
+		cfg := experiments.DefaultFig10bConfig()
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		if small {
+			cfg.DurationSec = 3600
+		}
+		fmt.Print(experiments.Fig10b(cfg).Format())
+	case "fig10c":
+		cfg := experiments.DefaultFig10cConfig()
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		if small {
+			cfg.Members = 120
+		}
+		r, err := experiments.Fig10c(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Format())
+	case "sec52":
+		if seed == 0 {
+			seed = 9
+		}
+		r, err := experiments.Sec52(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Format())
+	case "compare":
+		cfg := experiments.DefaultCompareConfig()
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		fmt.Print(experiments.CompareMitigations(cfg).Format())
+	case "combined-tss":
+		cfg := experiments.DefaultCompareConfig()
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		fmt.Print(experiments.CombinedTSS(cfg).Format())
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+// TestRunAllExperimentsSmallScale executes every subcommand end to end
+// at CI scale, covering the CLI plumbing and every experiment driver.
+func TestRunAllExperimentsSmallScale(t *testing.T) {
+	for _, exp := range []string{
+		"table1", "fig2c", "fig3a", "fig3b", "fig3c", "fig9",
+		"fig10a", "fig10b", "fig10c", "sec52", "compare", "combined-tss",
+	} {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			if err := run([]string{exp, "-scale", "small"}); err != nil {
+				t.Fatalf("%s: %v", exp, err)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no args accepted")
+	}
+	if err := run([]string{"not-an-experiment"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"fig3a", "-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestSeedOverride(t *testing.T) {
+	if err := run([]string{"fig3b", "-scale", "small", "-seed", "99"}); err != nil {
+		t.Fatal(err)
+	}
+}

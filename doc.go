@@ -1,0 +1,16 @@
+// Package stellar is a from-scratch Go reproduction of "Stellar: Network
+// Attack Mitigation using Advanced Blackholing" (Dietzel, Wichtlhuber,
+// Smaragdakis, Feldmann — CoNEXT 2018): the Advanced Blackholing system
+// together with every substrate it runs on — a BGP-4 wire-format stack
+// with communities/extended-communities/ADD-PATH, an IXP route server
+// with IRR/RPKI/bogon import hygiene, an emulated switching fabric with
+// TCAM-budgeted QoS filtering, traffic generators for amplification
+// attacks and benign services, a flow monitor, and the baseline
+// mitigation techniques (RTBH, ACL, Flowspec, TSS) the paper compares
+// against.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-vs-measured record. The benchmarks in bench_test.go regenerate
+// every table and figure of the evaluation; cmd/stellar-lab prints them.
+package stellar

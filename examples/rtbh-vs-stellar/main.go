@@ -1,0 +1,43 @@
+// rtbh-vs-stellar runs the paper's two controlled booter experiments
+// head to head on identical infrastructure: Figure 3(c) (classic RTBH —
+// most of the attack survives because ~70% of peers ignore the signal)
+// and Figure 10(c) (Stellar — shape for telemetry, then drop to zero).
+//
+// Run with: go run ./examples/rtbh-vs-stellar
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stellar/internal/experiments"
+)
+
+func main() {
+	rtbhCfg := experiments.DefaultFig3cConfig()
+	rtbhCfg.Members = 200 // laptop-sized population, same honoring ratio
+	rtbh, err := experiments.Fig3c(rtbhCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stellarCfg := experiments.DefaultFig10cConfig()
+	stellarCfg.Members = 200
+	stl, err := experiments.Fig10c(stellarCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(rtbh.Format())
+	fmt.Println()
+	fmt.Print(stl.Format())
+
+	fmt.Println("\n=== Head to head ===")
+	fmt.Printf("%-28s %12s %12s\n", "", "RTBH", "Stellar")
+	fmt.Printf("%-28s %9.0f Mbps %9.0f Mbps\n", "attack at steady state", rtbh.PeakBps/1e6, stl.PeakBps/1e6)
+	fmt.Printf("%-28s %9.0f Mbps %9.0f Mbps\n", "after final mitigation", rtbh.ResidualBps/1e6, stl.FinalBps/1e6)
+	fmt.Printf("%-28s %11.0f%% %11.0f%%\n", "attack removed",
+		100*(1-rtbh.ResidualBps/rtbh.PeakBps), 100*(1-stl.FinalBps/stl.PeakBps))
+	fmt.Printf("%-28s %12.0f %12.0f\n", "peers before", rtbh.PeersBefore, stl.PeersPeak)
+	fmt.Printf("%-28s %12.0f %12.0f\n", "peers after", rtbh.PeersAfter, stl.PeersFinal)
+}

@@ -1,0 +1,212 @@
+package bgp
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func fsNTPDrop() *FlowSpec {
+	return &FlowSpec{Components: []FlowSpecComponent{
+		DstPrefix(netip.MustParsePrefix("100.10.10.10/32")),
+		Numeric(FSIPProto, Eq(17)),
+		Numeric(FSSrcPort, Eq(123)),
+	}}
+}
+
+func TestFlowSpecRoundtrip(t *testing.T) {
+	fs := fsNTPDrop()
+	wire, err := fs.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := UnmarshalFlowSpec(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(wire) {
+		t.Fatalf("consumed %d of %d", n, len(wire))
+	}
+	if !reflect.DeepEqual(got, fs) {
+		t.Fatalf("roundtrip:\n got %+v\nwant %+v", got, fs)
+	}
+}
+
+func TestFlowSpecMultiMatchOps(t *testing.T) {
+	// Port range 1000-2000: >=1000 AND <=2000.
+	fs := &FlowSpec{Components: []FlowSpecComponent{
+		Numeric(FSDstPort,
+			FlowSpecMatch{GT: true, EQ: true, Value: 1000},
+			FlowSpecMatch{AND: true, LT: true, EQ: true, Value: 2000},
+		),
+	}}
+	wire, err := fs.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := UnmarshalFlowSpec(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got.Component(FSDstPort).Matches
+	if len(m) != 2 || !m[0].GT || !m[0].EQ || m[0].Value != 1000 {
+		t.Fatalf("match 0: %+v", m)
+	}
+	if !m[1].AND || !m[1].LT || !m[1].EQ || m[1].Value != 2000 {
+		t.Fatalf("match 1: %+v", m)
+	}
+}
+
+func TestFlowSpecOrderEnforced(t *testing.T) {
+	fs := &FlowSpec{Components: []FlowSpecComponent{
+		Numeric(FSSrcPort, Eq(123)),
+		Numeric(FSIPProto, Eq(17)), // out of order
+	}}
+	if _, err := fs.Marshal(); err != ErrFlowSpecOrder {
+		t.Fatalf("err = %v, want order error", err)
+	}
+	// Duplicate types are also invalid.
+	fs2 := &FlowSpec{Components: []FlowSpecComponent{
+		Numeric(FSIPProto, Eq(17)),
+		Numeric(FSIPProto, Eq(6)),
+	}}
+	if _, err := fs2.Marshal(); err != ErrFlowSpecOrder {
+		t.Fatalf("dup err = %v", err)
+	}
+}
+
+func TestFlowSpecWideValues(t *testing.T) {
+	fs := &FlowSpec{Components: []FlowSpecComponent{
+		Numeric(FSPacketLen, Eq(0x1234), Eq(0x12345678), Eq(0x123456789abcdef0)),
+	}}
+	wire, err := fs.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := UnmarshalFlowSpec(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got.Component(FSPacketLen).Matches
+	if m[0].Value != 0x1234 || m[1].Value != 0x12345678 || m[2].Value != 0x123456789abcdef0 {
+		t.Fatalf("values: %+v", m)
+	}
+}
+
+func TestFlowSpecErrors(t *testing.T) {
+	if _, _, err := UnmarshalFlowSpec(nil); err != ErrFlowSpecTruncated {
+		t.Fatalf("nil: %v", err)
+	}
+	// Empty numeric component.
+	fs := &FlowSpec{Components: []FlowSpecComponent{{Type: FSPort}}}
+	if _, err := fs.Marshal(); err != ErrFlowSpecBadComp {
+		t.Fatalf("empty matches: %v", err)
+	}
+	// Prefix component with IPv6 (RFC 5575 is IPv4-only; v6 needs the
+	// draft the paper notes is unstandardized).
+	fs6 := &FlowSpec{Components: []FlowSpecComponent{DstPrefix(netip.MustParsePrefix("2001:db8::/32"))}}
+	if _, err := fs6.Marshal(); err == nil {
+		t.Fatal("IPv6 prefix accepted")
+	}
+}
+
+func TestFlowSpecFuzzNoPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _, _ = UnmarshalFlowSpec(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlowSpecRoundtripProperty(t *testing.T) {
+	f := func(a, b, c, d byte, bits uint8, proto uint8, port uint16) bool {
+		pfx := netip.PrefixFrom(netip.AddrFrom4([4]byte{a, b, c, d}), int(bits)%33).Masked()
+		if proto == 0 {
+			proto = 17
+		}
+		fs := &FlowSpec{Components: []FlowSpecComponent{
+			DstPrefix(pfx),
+			Numeric(FSIPProto, Eq(uint64(proto))),
+			Numeric(FSSrcPort, Eq(uint64(port))),
+		}}
+		wire, err := fs.Marshal()
+		if err != nil {
+			return false
+		}
+		got, n, err := UnmarshalFlowSpec(wire)
+		if err != nil || n != len(wire) {
+			return false
+		}
+		return reflect.DeepEqual(got, fs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlowSpecLongNLRI(t *testing.T) {
+	// Force the 2-byte length encoding with many matches.
+	comp := FlowSpecComponent{Type: FSPacketLen}
+	for i := 0; i < 120; i++ {
+		comp.Matches = append(comp.Matches, Eq(uint64(0x10000+i))) // 4-byte operands
+	}
+	fs := &FlowSpec{Components: []FlowSpecComponent{comp}}
+	wire, err := fs.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire[0]&0xf0 != 0xf0 {
+		t.Fatalf("expected 2-byte length, got first byte %x (len %d)", wire[0], len(wire))
+	}
+	got, n, err := UnmarshalFlowSpec(wire)
+	if err != nil || n != len(wire) {
+		t.Fatalf("decode: %v (n=%d)", err, n)
+	}
+	if len(got.Component(FSPacketLen).Matches) != 120 {
+		t.Fatal("matches lost")
+	}
+}
+
+func TestTrafficRateCommunity(t *testing.T) {
+	// Drop action: rate 0.
+	drop := TrafficRate(64512, 0)
+	as, rate, ok := TrafficRateValue(drop)
+	if !ok || as != 64512 || rate != 0 {
+		t.Fatalf("drop: %d %v %v", as, rate, ok)
+	}
+	// Rate-limit to 25 MB/s.
+	limit := TrafficRate(64512, 25e6)
+	_, rate, ok = TrafficRateValue(limit)
+	if !ok || rate != 25e6 {
+		t.Fatalf("limit: %v %v", rate, ok)
+	}
+	// Other communities are rejected.
+	if _, _, ok := TrafficRateValue(MakeExtCommunity(ExtTypeTwoOctetAS, 2, [6]byte{})); ok {
+		t.Fatal("route target parsed as traffic rate")
+	}
+}
+
+func TestFlowSpecString(t *testing.T) {
+	if fsNTPDrop().String() == "" {
+		t.Fatal("empty string")
+	}
+	for _, ty := range []FlowSpecType{FSDstPrefix, FSSrcPrefix, FSIPProto, FSPort, FSDstPort,
+		FSSrcPort, FSICMPType, FSICMPCode, FSTCPFlags, FSPacketLen, FSDSCP, FSFragment} {
+		if ty.String() == "" {
+			t.Fatalf("type %d string", ty)
+		}
+	}
+}
+
+func BenchmarkFlowSpecMarshal(b *testing.B) {
+	fs := fsNTPDrop()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

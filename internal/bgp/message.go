@@ -1,0 +1,197 @@
+// Package bgp implements the BGP-4 wire format (RFC 4271) together with
+// the extensions Stellar's signaling layer depends on: the communities
+// attribute (RFC 1997), extended communities (RFC 4360), the well-known
+// BLACKHOLE community (RFC 7999), 4-octet AS numbers (RFC 6793),
+// multiprotocol NLRI for IPv6 (RFC 4760), and the ADD-PATH capability
+// (RFC 7911) that the blackholing controller uses to see all paths for a
+// prefix instead of the route server's single best path.
+//
+// The package is transport-agnostic: Marshal/Unmarshal operate on byte
+// slices, and ReadMessage frames messages from any io.Reader. The session
+// engine in package bgpsession drives it over net.Conn.
+package bgp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MessageType is the BGP message type code from the common header.
+type MessageType uint8
+
+// BGP message types (RFC 4271 §4.1).
+const (
+	MsgOpen         MessageType = 1
+	MsgUpdate       MessageType = 2
+	MsgNotification MessageType = 3
+	MsgKeepalive    MessageType = 4
+)
+
+func (t MessageType) String() string {
+	switch t {
+	case MsgOpen:
+		return "OPEN"
+	case MsgUpdate:
+		return "UPDATE"
+	case MsgNotification:
+		return "NOTIFICATION"
+	case MsgKeepalive:
+		return "KEEPALIVE"
+	default:
+		return fmt.Sprintf("MessageType(%d)", uint8(t))
+	}
+}
+
+// Protocol limits (RFC 4271 §4.1).
+const (
+	headerLen  = 19
+	maxMsgLen  = 4096
+	markerByte = 0xff
+)
+
+// Wire format errors.
+var (
+	ErrTruncated     = errors.New("bgp: truncated message")
+	ErrBadMarker     = errors.New("bgp: bad marker")
+	ErrBadLength     = errors.New("bgp: bad message length")
+	ErrBadType       = errors.New("bgp: unknown message type")
+	ErrAttrTooLong   = errors.New("bgp: attribute exceeds message capacity")
+	ErrBadAttrFlags  = errors.New("bgp: malformed attribute flags")
+	ErrBadPrefix     = errors.New("bgp: malformed NLRI prefix")
+	ErrBadCapability = errors.New("bgp: malformed capability")
+)
+
+// Message is a decoded BGP message body.
+type Message interface {
+	// Type returns the message type code placed in the common header.
+	Type() MessageType
+	// marshalBody appends the message body (everything after the common
+	// header) to dst.
+	marshalBody(dst []byte, opts *Options) ([]byte, error)
+}
+
+// Options carries the per-session decode/encode state negotiated via
+// capabilities: whether ADD-PATH path identifiers are present in NLRI
+// fields, per address family.
+type Options struct {
+	// AddPathIPv4 and AddPathIPv6 enable 4-byte path identifiers on
+	// the corresponding NLRI encodings (RFC 7911 §3).
+	AddPathIPv4 bool
+	AddPathIPv6 bool
+}
+
+func (o *Options) addPath(a AFI) bool {
+	if o == nil {
+		return false
+	}
+	switch a {
+	case AFIIPv4:
+		return o.AddPathIPv4
+	case AFIIPv6:
+		return o.AddPathIPv6
+	}
+	return false
+}
+
+// Marshal encodes a message with its common header. A nil opts behaves as
+// the zero Options (no ADD-PATH).
+func Marshal(m Message, opts *Options) ([]byte, error) {
+	buf := make([]byte, headerLen, 64)
+	for i := 0; i < 16; i++ {
+		buf[i] = markerByte
+	}
+	buf[18] = byte(m.Type())
+	buf, err := m.marshalBody(buf, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) > maxMsgLen {
+		return nil, ErrBadLength
+	}
+	binary.BigEndian.PutUint16(buf[16:18], uint16(len(buf)))
+	return buf, nil
+}
+
+// Unmarshal decodes a single complete message from data. It returns the
+// message and the number of bytes consumed, allowing several messages to
+// be unpacked from one buffer.
+func Unmarshal(data []byte, opts *Options) (Message, int, error) {
+	if len(data) < headerLen {
+		return nil, 0, ErrTruncated
+	}
+	for i := 0; i < 16; i++ {
+		if data[i] != markerByte {
+			return nil, 0, ErrBadMarker
+		}
+	}
+	length := int(binary.BigEndian.Uint16(data[16:18]))
+	if length < headerLen || length > maxMsgLen {
+		return nil, 0, ErrBadLength
+	}
+	if len(data) < length {
+		return nil, 0, ErrTruncated
+	}
+	body := data[headerLen:length]
+	var (
+		m   Message
+		err error
+	)
+	switch MessageType(data[18]) {
+	case MsgOpen:
+		m, err = unmarshalOpen(body)
+	case MsgUpdate:
+		m, err = unmarshalUpdate(body, opts)
+	case MsgNotification:
+		m, err = unmarshalNotification(body)
+	case MsgKeepalive:
+		if len(body) != 0 {
+			return nil, 0, ErrBadLength
+		}
+		m = &Keepalive{}
+	default:
+		return nil, 0, ErrBadType
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, length, nil
+}
+
+// ReadMessage reads exactly one framed message from r.
+func ReadMessage(r io.Reader, opts *Options) (Message, error) {
+	hdr := make([]byte, headerLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	length := int(binary.BigEndian.Uint16(hdr[16:18]))
+	if length < headerLen || length > maxMsgLen {
+		return nil, ErrBadLength
+	}
+	buf := make([]byte, length)
+	copy(buf, hdr)
+	if _, err := io.ReadFull(r, buf[headerLen:]); err != nil {
+		return nil, err
+	}
+	m, _, err := Unmarshal(buf, opts)
+	return m, err
+}
+
+// WriteMessage marshals m and writes it to w.
+func WriteMessage(w io.Writer, m Message, opts *Options) error {
+	buf, err := Marshal(m, opts)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// Keepalive is the (empty) KEEPALIVE message.
+type Keepalive struct{}
+
+// Type implements Message.
+func (*Keepalive) Type() MessageType { return MsgKeepalive }
+
+func (*Keepalive) marshalBody(dst []byte, _ *Options) ([]byte, error) { return dst, nil }

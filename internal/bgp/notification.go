@@ -1,0 +1,50 @@
+package bgp
+
+import "fmt"
+
+// Notification error codes (RFC 4271 §4.5).
+const (
+	NotifMessageHeaderError uint8 = 1
+	NotifOpenMessageError   uint8 = 2
+	NotifUpdateMessageError uint8 = 3
+	NotifHoldTimerExpired   uint8 = 4
+	NotifFSMError           uint8 = 5
+	NotifCease              uint8 = 6
+)
+
+// Cease subcodes (RFC 4486).
+const (
+	CeaseAdminShutdown      uint8 = 2
+	CeaseAdminReset         uint8 = 4
+	CeaseConnectionRejected uint8 = 5
+)
+
+// Notification is the BGP NOTIFICATION message; sending one closes the
+// session.
+type Notification struct {
+	Code    uint8
+	Subcode uint8
+	Data    []byte
+}
+
+// Type implements Message.
+func (*Notification) Type() MessageType { return MsgNotification }
+
+func (n *Notification) marshalBody(dst []byte, _ *Options) ([]byte, error) {
+	dst = append(dst, n.Code, n.Subcode)
+	return append(dst, n.Data...), nil
+}
+
+func unmarshalNotification(body []byte) (*Notification, error) {
+	if len(body) < 2 {
+		return nil, ErrTruncated
+	}
+	data := make([]byte, len(body)-2)
+	copy(data, body[2:])
+	return &Notification{Code: body[0], Subcode: body[1], Data: data}, nil
+}
+
+// Error makes Notification usable as an error value from session code.
+func (n *Notification) Error() string {
+	return fmt.Sprintf("bgp: notification code=%d subcode=%d", n.Code, n.Subcode)
+}

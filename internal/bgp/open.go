@@ -1,0 +1,233 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// AFI is an IANA address family identifier.
+type AFI uint16
+
+// SAFI is a subsequent address family identifier.
+type SAFI uint8
+
+// Address families used by the IXP.
+const (
+	AFIIPv4 AFI = 1
+	AFIIPv6 AFI = 2
+
+	SAFIUnicast SAFI = 1
+)
+
+// ASTrans is the 2-octet transition AS number placed in the OPEN "My
+// Autonomous System" field by speakers with a 4-octet ASN (RFC 6793).
+const ASTrans = 23456
+
+// Capability codes (IANA BGP capability registry).
+const (
+	CapCodeMultiProtocol = 1
+	CapCodeRouteRefresh  = 2
+	CapCodeFourOctetAS   = 65
+	CapCodeAddPath       = 69
+)
+
+// AddPath send/receive modes (RFC 7911 §4).
+const (
+	AddPathReceive     = 1
+	AddPathSend        = 2
+	AddPathSendReceive = 3
+)
+
+// Capability is one BGP capability advertisement from an OPEN message's
+// optional parameters.
+type Capability struct {
+	Code uint8
+	Data []byte
+}
+
+// CapMultiProtocol builds a multiprotocol capability (RFC 4760).
+func CapMultiProtocol(afi AFI, safi SAFI) Capability {
+	d := make([]byte, 4)
+	binary.BigEndian.PutUint16(d[0:2], uint16(afi))
+	d[3] = byte(safi)
+	return Capability{Code: CapCodeMultiProtocol, Data: d}
+}
+
+// CapFourOctetAS builds the 4-octet AS number capability (RFC 6793).
+func CapFourOctetAS(as uint32) Capability {
+	d := make([]byte, 4)
+	binary.BigEndian.PutUint32(d, as)
+	return Capability{Code: CapCodeFourOctetAS, Data: d}
+}
+
+// AddPathTuple is one (AFI, SAFI, mode) element of an ADD-PATH capability.
+type AddPathTuple struct {
+	AFI  AFI
+	SAFI SAFI
+	Mode uint8 // AddPathReceive, AddPathSend, or AddPathSendReceive
+}
+
+// CapAddPath builds an ADD-PATH capability for the given tuples (RFC 7911).
+func CapAddPath(tuples ...AddPathTuple) Capability {
+	d := make([]byte, 0, len(tuples)*4)
+	for _, t := range tuples {
+		var e [4]byte
+		binary.BigEndian.PutUint16(e[0:2], uint16(t.AFI))
+		e[2] = byte(t.SAFI)
+		e[3] = t.Mode
+		d = append(d, e[:]...)
+	}
+	return Capability{Code: CapCodeAddPath, Data: d}
+}
+
+// AddPathTuples parses the capability's data as ADD-PATH tuples. It
+// returns nil if the capability is not ADD-PATH or is malformed.
+func (c Capability) AddPathTuples() []AddPathTuple {
+	if c.Code != CapCodeAddPath || len(c.Data)%4 != 0 {
+		return nil
+	}
+	tuples := make([]AddPathTuple, 0, len(c.Data)/4)
+	for i := 0; i+4 <= len(c.Data); i += 4 {
+		tuples = append(tuples, AddPathTuple{
+			AFI:  AFI(binary.BigEndian.Uint16(c.Data[i : i+2])),
+			SAFI: SAFI(c.Data[i+2]),
+			Mode: c.Data[i+3],
+		})
+	}
+	return tuples
+}
+
+// FourOctetAS returns the ASN carried in a 4-octet-AS capability, or
+// (0, false) for other capabilities.
+func (c Capability) FourOctetAS() (uint32, bool) {
+	if c.Code != CapCodeFourOctetAS || len(c.Data) != 4 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint32(c.Data), true
+}
+
+// Open is the BGP OPEN message.
+type Open struct {
+	Version      uint8 // always 4
+	AS           uint32
+	HoldTime     uint16
+	BGPID        netip.Addr // 4-byte router ID
+	Capabilities []Capability
+}
+
+// NewOpen returns an OPEN with version 4, the 4-octet-AS capability, and
+// multiprotocol capabilities for IPv4 and IPv6 unicast.
+func NewOpen(as uint32, holdTime uint16, bgpID netip.Addr) *Open {
+	return &Open{
+		Version:  4,
+		AS:       as,
+		HoldTime: holdTime,
+		BGPID:    bgpID,
+		Capabilities: []Capability{
+			CapMultiProtocol(AFIIPv4, SAFIUnicast),
+			CapMultiProtocol(AFIIPv6, SAFIUnicast),
+			CapFourOctetAS(as),
+		},
+	}
+}
+
+// Type implements Message.
+func (*Open) Type() MessageType { return MsgOpen }
+
+func (o *Open) marshalBody(dst []byte, _ *Options) ([]byte, error) {
+	if !o.BGPID.Is4() {
+		return nil, fmt.Errorf("bgp: OPEN BGP identifier %v is not IPv4", o.BGPID)
+	}
+	as2 := uint16(ASTrans)
+	if o.AS <= 0xffff {
+		as2 = uint16(o.AS)
+	}
+	var fixed [9]byte
+	fixed[0] = o.Version
+	binary.BigEndian.PutUint16(fixed[1:3], as2)
+	binary.BigEndian.PutUint16(fixed[3:5], o.HoldTime)
+	id := o.BGPID.As4()
+	copy(fixed[5:9], id[:])
+	dst = append(dst, fixed[:]...)
+
+	// Optional parameters: each capability wrapped in an option of type 2.
+	var params []byte
+	for _, c := range o.Capabilities {
+		if len(c.Data) > 255 {
+			return nil, ErrBadCapability
+		}
+		params = append(params, 2, byte(2+len(c.Data)), c.Code, byte(len(c.Data)))
+		params = append(params, c.Data...)
+	}
+	if len(params) > 255 {
+		return nil, fmt.Errorf("bgp: OPEN optional parameters too long (%d bytes)", len(params))
+	}
+	dst = append(dst, byte(len(params)))
+	dst = append(dst, params...)
+	return dst, nil
+}
+
+func unmarshalOpen(body []byte) (*Open, error) {
+	if len(body) < 10 {
+		return nil, ErrTruncated
+	}
+	o := &Open{
+		Version:  body[0],
+		AS:       uint32(binary.BigEndian.Uint16(body[1:3])),
+		HoldTime: binary.BigEndian.Uint16(body[3:5]),
+		BGPID:    netip.AddrFrom4([4]byte(body[5:9])),
+	}
+	optLen := int(body[9])
+	opts := body[10:]
+	if len(opts) != optLen {
+		return nil, ErrBadLength
+	}
+	for len(opts) > 0 {
+		if len(opts) < 2 {
+			return nil, ErrTruncated
+		}
+		pType, pLen := opts[0], int(opts[1])
+		if len(opts) < 2+pLen {
+			return nil, ErrTruncated
+		}
+		val := opts[2 : 2+pLen]
+		opts = opts[2+pLen:]
+		if pType != 2 { // skip non-capability optional parameters
+			continue
+		}
+		for len(val) > 0 {
+			if len(val) < 2 {
+				return nil, ErrBadCapability
+			}
+			cCode, cLen := val[0], int(val[1])
+			if len(val) < 2+cLen {
+				return nil, ErrBadCapability
+			}
+			data := make([]byte, cLen)
+			copy(data, val[2:2+cLen])
+			o.Capabilities = append(o.Capabilities, Capability{Code: cCode, Data: data})
+			val = val[2+cLen:]
+		}
+	}
+	// Resolve the true ASN from the 4-octet-AS capability.
+	for _, c := range o.Capabilities {
+		if as, ok := c.FourOctetAS(); ok {
+			o.AS = as
+		}
+	}
+	return o, nil
+}
+
+// HasAddPath reports whether the OPEN advertises ADD-PATH with the given
+// mode bit (send and/or receive) for the address family.
+func (o *Open) HasAddPath(afi AFI, safi SAFI, modeBit uint8) bool {
+	for _, c := range o.Capabilities {
+		for _, t := range c.AddPathTuples() {
+			if t.AFI == afi && t.SAFI == safi && t.Mode&modeBit != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}

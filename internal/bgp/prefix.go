@@ -1,0 +1,104 @@
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// PathPrefix is one NLRI element: a prefix plus the ADD-PATH path
+// identifier (zero and absent on the wire unless the session negotiated
+// ADD-PATH for the prefix's address family).
+type PathPrefix struct {
+	Prefix netip.Prefix
+	PathID uint32
+}
+
+func (p PathPrefix) String() string {
+	if p.PathID == 0 {
+		return p.Prefix.String()
+	}
+	return fmt.Sprintf("%s(id=%d)", p.Prefix, p.PathID)
+}
+
+// appendNLRI encodes prefixes in RFC 4271 NLRI format, optionally with
+// leading RFC 7911 path identifiers.
+func appendNLRI(dst []byte, prefixes []PathPrefix, withPathID bool) ([]byte, error) {
+	for _, pp := range prefixes {
+		if !pp.Prefix.IsValid() {
+			return nil, ErrBadPrefix
+		}
+		if withPathID {
+			dst = append(dst,
+				byte(pp.PathID>>24), byte(pp.PathID>>16), byte(pp.PathID>>8), byte(pp.PathID))
+		}
+		bits := pp.Prefix.Bits()
+		dst = append(dst, byte(bits))
+		nBytes := (bits + 7) / 8
+		if pp.Prefix.Addr().Is4() {
+			a := pp.Prefix.Addr().As4()
+			dst = append(dst, a[:nBytes]...)
+		} else {
+			a := pp.Prefix.Addr().As16()
+			dst = append(dst, a[:nBytes]...)
+		}
+	}
+	return dst, nil
+}
+
+// parseNLRI decodes NLRI-formatted prefixes for the given address family.
+func parseNLRI(data []byte, afi AFI, withPathID bool) ([]PathPrefix, error) {
+	var out []PathPrefix
+	maxBits := 32
+	if afi == AFIIPv6 {
+		maxBits = 128
+	}
+	for len(data) > 0 {
+		var pathID uint32
+		if withPathID {
+			if len(data) < 4 {
+				return nil, ErrTruncated
+			}
+			pathID = uint32(data[0])<<24 | uint32(data[1])<<16 | uint32(data[2])<<8 | uint32(data[3])
+			data = data[4:]
+		}
+		if len(data) < 1 {
+			return nil, ErrTruncated
+		}
+		bits := int(data[0])
+		data = data[1:]
+		if bits > maxBits {
+			return nil, ErrBadPrefix
+		}
+		nBytes := (bits + 7) / 8
+		if len(data) < nBytes {
+			return nil, ErrTruncated
+		}
+		var addr netip.Addr
+		if afi == AFIIPv4 {
+			var a [4]byte
+			copy(a[:], data[:nBytes])
+			addr = netip.AddrFrom4(a)
+		} else {
+			var a [16]byte
+			copy(a[:], data[:nBytes])
+			addr = netip.AddrFrom16(a)
+		}
+		data = data[nBytes:]
+		pfx := netip.PrefixFrom(addr, bits)
+		if pfx != pfx.Masked() {
+			// Trailing bits beyond the mask must be zero on the wire; a
+			// mismatch indicates a malformed prefix.
+			return nil, ErrBadPrefix
+		}
+		out = append(out, PathPrefix{Prefix: pfx, PathID: pathID})
+	}
+	return out, nil
+}
+
+// afiOf returns the address family of a prefix.
+func afiOf(p netip.Prefix) AFI {
+	if p.Addr().Is4() {
+		return AFIIPv4
+	}
+	return AFIIPv6
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"stellar/internal/bgp"
+	"stellar/internal/routeserver"
+)
+
+// This file implements the wire form of the controller's southbound
+// interface (Section 4.3, Figure 6): the route server streams every
+// accepted path to the blackholing controller over an iBGP session with
+// ADD-PATH, so the controller can hold the same prefix from different
+// members simultaneously. EventToUpdate serializes a route server
+// ControllerEvent into the UPDATE sent on that session; EventsFromUpdate
+// recovers events on the controller side. Round-tripping is exact up to
+// the attribute set the wire format carries.
+
+// PeerNamer maps a path's (origin AS, path ID) back to the member/port
+// name rules are installed on. The default convention is "AS<asn>",
+// matching cmd/ixpd's port naming.
+type PeerNamer func(asn uint32, pathID uint32) string
+
+// DefaultPeerNamer implements the "AS<asn>" convention.
+func DefaultPeerNamer(asn uint32, _ uint32) string { return fmt.Sprintf("AS%d", asn) }
+
+// EventToUpdate converts a controller event to the iBGP UPDATE the route
+// server sends on the controller session. IPv4 prefixes ride the classic
+// NLRI/withdrawn fields; IPv6 prefixes ride MP_REACH/MP_UNREACH. The
+// ADD-PATH path identifier is attached to every prefix.
+func EventToUpdate(ev routeserver.ControllerEvent) *bgp.Update {
+	u := &bgp.Update{Attrs: ev.Attrs.Clone()}
+	// Reset any MP NLRI carried in the original attributes; we rebuild
+	// them from the event's prefix lists.
+	u.Attrs.MPReach = nil
+	u.Attrs.MPUnreach = nil
+
+	for _, p := range ev.Withdrawn {
+		pp := bgp.PathPrefix{Prefix: p, PathID: ev.PathID}
+		if p.Addr().Is4() {
+			u.Withdrawn = append(u.Withdrawn, pp)
+		} else {
+			if u.Attrs.MPUnreach == nil {
+				u.Attrs.MPUnreach = &bgp.MPUnreach{AFI: bgp.AFIIPv6, SAFI: bgp.SAFIUnicast}
+			}
+			u.Attrs.MPUnreach.NLRI = append(u.Attrs.MPUnreach.NLRI, pp)
+		}
+	}
+	for _, p := range ev.Announced {
+		pp := bgp.PathPrefix{Prefix: p, PathID: ev.PathID}
+		if p.Addr().Is4() {
+			u.NLRI = append(u.NLRI, pp)
+		} else {
+			if u.Attrs.MPReach == nil {
+				u.Attrs.MPReach = &bgp.MPReach{AFI: bgp.AFIIPv6, SAFI: bgp.SAFIUnicast,
+					NextHop: ev.Attrs.NextHop}
+				if ev.Attrs.MPReach != nil {
+					u.Attrs.MPReach.NextHop = ev.Attrs.MPReach.NextHop
+				}
+			}
+			u.Attrs.MPReach.NLRI = append(u.Attrs.MPReach.NLRI, pp)
+		}
+	}
+	return u
+}
+
+// EventsFromUpdate reconstructs controller events from an iBGP UPDATE
+// received on the controller session. Prefixes are grouped by path ID
+// (one event per distinct ID, announcements and withdrawals separate as
+// they arrive in one message with shared attributes). The peer AS is
+// recovered from the AS path's first hop; names via namer.
+func EventsFromUpdate(u *bgp.Update, namer PeerNamer) []routeserver.ControllerEvent {
+	if namer == nil {
+		namer = DefaultPeerNamer
+	}
+	peerAS := firstAS(&u.Attrs)
+
+	type group struct {
+		announced, withdrawn []bgp.PathPrefix
+	}
+	groups := make(map[uint32]*group)
+	get := func(id uint32) *group {
+		g := groups[id]
+		if g == nil {
+			g = &group{}
+			groups[id] = g
+		}
+		return g
+	}
+	for _, pp := range u.AllAnnounced() {
+		g := get(pp.PathID)
+		g.announced = append(g.announced, pp)
+	}
+	for _, pp := range u.AllWithdrawn() {
+		g := get(pp.PathID)
+		g.withdrawn = append(g.withdrawn, pp)
+	}
+
+	ids := make([]uint32, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	// Deterministic order.
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if ids[j] < ids[i] {
+				ids[i], ids[j] = ids[j], ids[i]
+			}
+		}
+	}
+
+	var out []routeserver.ControllerEvent
+	for _, id := range ids {
+		g := groups[id]
+		ev := routeserver.ControllerEvent{
+			Peer:   namer(peerAS, id),
+			PeerAS: peerAS,
+			PathID: id,
+			Attrs:  u.Attrs.Clone(),
+		}
+		for _, pp := range g.announced {
+			ev.Announced = append(ev.Announced, pp.Prefix)
+		}
+		for _, pp := range g.withdrawn {
+			ev.Withdrawn = append(ev.Withdrawn, pp.Prefix)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+func firstAS(a *bgp.PathAttrs) uint32 {
+	for _, seg := range a.ASPath {
+		if seg.Type == bgp.ASSequence && len(seg.ASNs) > 0 {
+			return seg.ASNs[0]
+		}
+	}
+	return 0
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"stellar/internal/fabric"
+	"stellar/internal/hw"
+	"stellar/internal/netpkt"
+	"stellar/internal/routeserver"
+)
+
+// TestStellarConcurrentEventsAndProcess hammers the controller with
+// concurrent signal events, queue processing and telemetry reads — the
+// shape of a production deployment where the BGP feed, the network
+// manager and member-facing telemetry queries run in parallel. Run with
+// -race to verify the locking discipline.
+func TestStellarConcurrentEventsAndProcess(t *testing.T) {
+	fab := fabric.New()
+	const members = 8
+	portIndex := make(map[string]int, members)
+	for i := 0; i < members; i++ {
+		name := fmt.Sprintf("AS%d", 64512+i)
+		var mac netpkt.MAC
+		mac[0], mac[5] = 0x02, byte(i+1)
+		if err := fab.AddPort(fabric.NewPort(name, mac, 1e9)); err != nil {
+			t.Fatal(err)
+		}
+		portIndex[name] = i
+	}
+	router := hw.NewEdgeRouter(hw.DefaultEdgeRouterLimits(members, 1024))
+	mgr := NewQoSManager(fab, router, portIndex)
+	st := New(Config{Manager: mgr, Queue: NewChangeQueue(1e9, 1<<20)})
+
+	var writers sync.WaitGroup
+	for i := 0; i < members; i++ {
+		writers.Add(1)
+		go func(i int) {
+			defer writers.Done()
+			name := fmt.Sprintf("AS%d", 64512+i)
+			prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 64, byte(i), 10}), 32)
+			for round := 0; round < 50; round++ {
+				now := float64(round)
+				ev := advEvent(name, prefix, uint32(i+1), DropUDPSrcPort(uint16(100+round)))
+				st.HandleEvent(ev, now)
+				st.HandleEvent(routeserver.ControllerEvent{
+					Peer: name, PeerAS: uint32(64512 + i), PathID: uint32(i + 1),
+					Withdrawn: []netip.Prefix{prefix},
+				}, now+0.5)
+			}
+		}(i)
+	}
+
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	// Processor: drains the queue concurrently with the writers.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		now := 0.0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				now += 0.1
+				st.Process(now)
+			}
+		}
+	}()
+	// Reader: telemetry and stats while everything churns.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		for round := 0; round < 500; round++ {
+			_ = st.PendingChanges()
+			_ = st.AppliedChanges()
+			_ = st.RIBLen()
+			_ = st.Latencies()
+			_ = st.Errors()
+		}
+	}()
+
+	writers.Wait()
+	close(stop)
+	aux.Wait()
+
+	// Drain whatever remains and check the final state is consistent:
+	// every path withdrawn, every hardware resource freed.
+	st.Process(1e12)
+	if st.RIBLen() != 0 {
+		t.Fatalf("rib: %d", st.RIBLen())
+	}
+	mac, l34 := router.Totals()
+	if mac != 0 || l34 != 0 {
+		t.Fatalf("tcam leak: %d %d", mac, l34)
+	}
+	for i := 0; i < members; i++ {
+		port, _ := fab.PortByName(fmt.Sprintf("AS%d", 64512+i))
+		if port.RuleCount() != 0 {
+			t.Fatalf("port %d rules: %d", i, port.RuleCount())
+		}
+	}
+	if st.AppliedChanges() == 0 {
+		t.Fatal("nothing applied")
+	}
+}

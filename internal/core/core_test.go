@@ -1,0 +1,642 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"stellar/internal/bgp"
+	"stellar/internal/fabric"
+	"stellar/internal/hw"
+	"stellar/internal/netpkt"
+	"stellar/internal/routeserver"
+)
+
+var (
+	victimPrefix = netip.MustParsePrefix("100.10.10.10/32")
+	victimMAC    = netpkt.MustParseMAC("02:00:00:00:00:01")
+)
+
+func TestSignalEncodeDecodeDrop(t *testing.T) {
+	spec := DropUDPSrcPort(123)
+	ec, err := spec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := DecodeSignal(ec)
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	if got != spec {
+		t.Fatalf("roundtrip: got %+v want %+v", got, spec)
+	}
+}
+
+func TestSignalEncodeDecodeShape(t *testing.T) {
+	spec := ShapeUDPSrcPort(123, 200e6) // the paper's 200 Mbps telemetry shape
+	ec, err := spec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := DecodeSignal(ec)
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	if got.Action != fabric.ActionShape || got.ShapeRateBps != 200e6 {
+		t.Fatalf("shape roundtrip: %+v", got)
+	}
+}
+
+func TestSignalEncodeDecodeProto(t *testing.T) {
+	spec := DropProto(netpkt.ProtoUDP)
+	ec, err := spec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := DecodeSignal(ec)
+	if !ok || got.Selector != SelProto || got.Proto != netpkt.ProtoUDP {
+		t.Fatalf("proto roundtrip: %+v ok=%v", got, ok)
+	}
+}
+
+func TestSignalEncodeDecodeCustom(t *testing.T) {
+	spec := Custom(77)
+	ec, err := spec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := DecodeSignal(ec)
+	if !ok || got.Selector != SelCustom || got.CustomID != 77 {
+		t.Fatalf("custom roundtrip: %+v", got)
+	}
+}
+
+func TestSignalRejectsForeignCommunities(t *testing.T) {
+	rt := bgp.MakeExtCommunity(bgp.ExtTypeTwoOctetAS, bgp.ExtSubTypeRouteTarget, [6]byte{1, 2, 3, 4, 5, 6})
+	if _, ok := DecodeSignal(rt); ok {
+		t.Fatal("route target decoded as blackholing signal")
+	}
+	// Unknown selector.
+	bad := bgp.MakeExtCommunity(bgp.ExtTypeExperimental, bgp.ExtSubTypeAdvBlackhole, [6]byte{99, 0, 0, 0, 0, 0})
+	if _, ok := DecodeSignal(bad); ok {
+		t.Fatal("unknown selector decoded")
+	}
+	// Shape with zero rate code.
+	bad2 := bgp.MakeExtCommunity(bgp.ExtTypeExperimental, bgp.ExtSubTypeAdvBlackhole, [6]byte{2, 17, 0, 123, 1, 0})
+	if _, ok := DecodeSignal(bad2); ok {
+		t.Fatal("zero shape rate decoded")
+	}
+	// Proto selector without proto.
+	bad3 := bgp.MakeExtCommunity(bgp.ExtTypeExperimental, bgp.ExtSubTypeAdvBlackhole, [6]byte{1, 0, 0, 0, 0, 0})
+	if _, ok := DecodeSignal(bad3); ok {
+		t.Fatal("proto-less SelProto decoded")
+	}
+}
+
+func TestSignalEncodeErrors(t *testing.T) {
+	if _, err := (RuleSpec{Selector: SelUDPSrcPort, Action: fabric.ActionShape, ShapeRateBps: 1}).Encode(); err == nil {
+		t.Fatal("sub-unit shape rate encoded")
+	}
+	if _, err := (RuleSpec{Selector: SelUDPSrcPort, Action: fabric.ActionShape, ShapeRateBps: 1e12}).Encode(); err == nil {
+		t.Fatal("oversized shape rate encoded")
+	}
+}
+
+func TestSignalRoundtripProperty(t *testing.T) {
+	f := func(selRaw uint8, port uint16, rateCode uint8, doShape bool) bool {
+		sels := []Selector{SelUDPSrcPort, SelUDPDstPort, SelTCPSrcPort, SelTCPDstPort}
+		spec := RuleSpec{Selector: sels[int(selRaw)%len(sels)], Port: port, Action: fabric.ActionDrop}
+		switch spec.Selector {
+		case SelTCPSrcPort, SelTCPDstPort:
+			spec.Proto = netpkt.ProtoTCP
+		default:
+			spec.Proto = netpkt.ProtoUDP
+		}
+		if doShape {
+			if rateCode == 0 {
+				rateCode = 1
+			}
+			spec.Action = fabric.ActionShape
+			spec.ShapeRateBps = float64(rateCode) * ShapeRateUnitBps
+		}
+		ec, err := spec.Encode()
+		if err != nil {
+			return false
+		}
+		got, ok := DecodeSignal(ec)
+		return ok && got == spec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignalMatch(t *testing.T) {
+	dst := fabric.MatchAll()
+	dst.DstIP = victimPrefix
+	m := DropUDPSrcPort(123).Match(dst)
+	if m.Proto != netpkt.ProtoUDP || m.SrcPort != 123 || m.DstPort != fabric.AnyPort {
+		t.Fatalf("match: %+v", m)
+	}
+	if m.DstIP != victimPrefix {
+		t.Fatal("dst prefix lost")
+	}
+	m2 := RuleSpec{Selector: SelTCPDstPort, Proto: netpkt.ProtoTCP, Port: 80, Action: fabric.ActionDrop}.Match(dst)
+	if m2.DstPort != 80 || m2.SrcPort != fabric.AnyPort {
+		t.Fatalf("dst-port match: %+v", m2)
+	}
+	m3 := DropProto(netpkt.ProtoUDP).Match(dst)
+	if m3.SrcPort != fabric.AnyPort || m3.Proto != netpkt.ProtoUDP {
+		t.Fatalf("proto match: %+v", m3)
+	}
+}
+
+func TestSignalStrings(t *testing.T) {
+	for _, s := range []RuleSpec{
+		DropUDPSrcPort(123), ShapeUDPSrcPort(53, 100e6), DropProto(netpkt.ProtoUDP), Custom(5),
+	} {
+		if s.String() == "" {
+			t.Fatalf("empty string for %+v", s)
+		}
+	}
+}
+
+func TestPortal(t *testing.T) {
+	p := NewPortal()
+	m := fabric.MatchAll()
+	m.Proto = netpkt.ProtoUDP
+	id := p.Define("AS64512", m, fabric.ActionDrop, 0)
+	if id == 0 {
+		t.Fatal("zero rule ID")
+	}
+	r, err := p.Lookup("AS64512", id)
+	if err != nil || r.Action != fabric.ActionDrop {
+		t.Fatalf("Lookup: %+v %v", r, err)
+	}
+	// Authorization boundary: other members cannot reference the rule.
+	if _, err := p.Lookup("AS64513", id); err != ErrNoSuchRule {
+		t.Fatalf("cross-member lookup: %v", err)
+	}
+	if got := p.RulesOf("AS64512"); len(got) != 1 {
+		t.Fatalf("RulesOf: %v", got)
+	}
+	if err := p.Delete("AS64512", id); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Delete("AS64512", id); err != ErrNoSuchRule {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestChangeQueueRateLimit(t *testing.T) {
+	q := NewChangeQueue(2, 1) // 2/s, burst 1
+	for i := 0; i < 5; i++ {
+		q.Enqueue(ConfigChange{RuleID: string(rune('a' + i))}, 0)
+	}
+	if q.Len() != 5 || q.MaxDepth() != 5 {
+		t.Fatalf("len=%d depth=%d", q.Len(), q.MaxDepth())
+	}
+	// t=0: initial burst of 1.
+	out := q.Drain(0)
+	if len(out) != 1 {
+		t.Fatalf("t=0: %d", len(out))
+	}
+	// Draining every 0.5 s at rate 2/s releases exactly one per call
+	// (burst 1 caps the bucket between drains).
+	total := 1
+	var lastWait float64
+	for _, now := range []float64{0.5, 1.0, 1.5, 2.0} {
+		out = q.Drain(now)
+		if len(out) != 1 {
+			t.Fatalf("t=%v: %d", now, len(out))
+		}
+		total += len(out)
+		lastWait = out[0].Waited
+	}
+	if total != 5 || q.Len() != 0 {
+		t.Fatalf("total=%d left=%d", total, q.Len())
+	}
+	// The last change waited the full 2 seconds.
+	if math.Abs(lastWait-2.0) > 1e-9 {
+		t.Fatalf("last wait: %v", lastWait)
+	}
+}
+
+func TestChangeQueueBurstClamp(t *testing.T) {
+	q := NewChangeQueue(100, 5)
+	// Long idle must not accumulate more than the burst.
+	q.Drain(1000)
+	for i := 0; i < 10; i++ {
+		q.Enqueue(ConfigChange{}, 1000)
+	}
+	out := q.Drain(1000)
+	if len(out) != 5 {
+		t.Fatalf("burst: %d, want 5", len(out))
+	}
+}
+
+func TestChangeQueueFIFO(t *testing.T) {
+	q := NewChangeQueue(1000, 1000)
+	for i := 0; i < 10; i++ {
+		q.Enqueue(ConfigChange{RuleID: string(rune('0' + i))}, float64(i))
+	}
+	out := q.Drain(100)
+	for i := 1; i < len(out); i++ {
+		if out[i].Change.RuleID < out[i-1].Change.RuleID {
+			t.Fatal("not FIFO")
+		}
+	}
+}
+
+// testHarness wires a fabric + router + manager + Stellar for controller
+// tests.
+type testHarness struct {
+	fab    *fabric.Fabric
+	router *hw.EdgeRouter
+	mgr    *QoSManager
+	st     *Stellar
+}
+
+func newHarness(t *testing.T, queue *ChangeQueue) *testHarness {
+	t.Helper()
+	fab := fabric.New()
+	if err := fab.AddPort(fabric.NewPort("AS64512", victimMAC, 1e9)); err != nil {
+		t.Fatal(err)
+	}
+	router := hw.NewEdgeRouter(hw.DefaultEdgeRouterLimits(4, hw.RTBHUnitN))
+	mgr := NewQoSManager(fab, router, map[string]int{"AS64512": 0})
+	st := New(Config{Manager: mgr, Queue: queue})
+	return &testHarness{fab: fab, router: router, mgr: mgr, st: st}
+}
+
+func advEvent(peer string, prefix netip.Prefix, pathID uint32, specs ...RuleSpec) routeserver.ControllerEvent {
+	attrs := bgp.PathAttrs{
+		Origin:  bgp.OriginIGP,
+		ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{64512}}},
+		NextHop: netip.MustParseAddr("80.81.192.10"),
+	}
+	for _, s := range specs {
+		ec, err := s.Encode()
+		if err != nil {
+			panic(err)
+		}
+		attrs.ExtCommunities = append(attrs.ExtCommunities, ec)
+	}
+	return routeserver.ControllerEvent{
+		Peer: peer, PeerAS: 64512, PathID: pathID,
+		Announced: []netip.Prefix{prefix},
+		Attrs:     attrs,
+	}
+}
+
+func TestStellarInstallsRuleFromSignal(t *testing.T) {
+	h := newHarness(t, NewChangeQueue(1000, 1000))
+	h.st.HandleEvent(advEvent("AS64512", victimPrefix, 1, DropUDPSrcPort(123)), 0)
+	if h.st.PendingChanges() != 1 {
+		t.Fatalf("pending: %d", h.st.PendingChanges())
+	}
+	if n := h.st.Process(0.1); n != 1 {
+		t.Fatalf("applied: %d (%+v)", n, h.st.Errors())
+	}
+	port, _ := h.fab.PortByName("AS64512")
+	if port.RuleCount() != 1 {
+		t.Fatalf("rules on port: %d", port.RuleCount())
+	}
+	// The installed rule classifies NTP-to-victim as drop.
+	flow := netpkt.FlowKey{Src: netip.MustParseAddr("198.51.100.1"), Dst: victimPrefix.Addr(),
+		Proto: netpkt.ProtoUDP, SrcPort: 123, DstPort: 443}
+	r := port.Classify(flow)
+	if r == nil || r.Action != fabric.ActionDrop {
+		t.Fatalf("classify: %+v", r)
+	}
+	// Benign web traffic is not matched.
+	web := netpkt.FlowKey{Src: netip.MustParseAddr("198.51.100.1"), Dst: victimPrefix.Addr(),
+		Proto: netpkt.ProtoTCP, SrcPort: 50000, DstPort: 443}
+	if port.Classify(web) != nil {
+		t.Fatal("benign traffic matched")
+	}
+	// TCAM accounted.
+	mac, l34 := h.router.Totals()
+	if mac != 0 || l34 != 3 { // proto + dst /32 + src port
+		t.Fatalf("tcam: mac=%d l34=%d", mac, l34)
+	}
+}
+
+func TestStellarWithdrawRemovesRule(t *testing.T) {
+	h := newHarness(t, NewChangeQueue(1000, 1000))
+	h.st.HandleEvent(advEvent("AS64512", victimPrefix, 1, DropUDPSrcPort(123)), 0)
+	h.st.Process(0)
+	h.st.HandleEvent(routeserver.ControllerEvent{
+		Peer: "AS64512", PeerAS: 64512, PathID: 1,
+		Withdrawn: []netip.Prefix{victimPrefix},
+	}, 1)
+	h.st.Process(1)
+	port, _ := h.fab.PortByName("AS64512")
+	if port.RuleCount() != 0 {
+		t.Fatalf("rules after withdraw: %d", port.RuleCount())
+	}
+	mac, l34 := h.router.Totals()
+	if mac != 0 || l34 != 0 {
+		t.Fatalf("tcam leak: mac=%d l34=%d", mac, l34)
+	}
+	if h.st.RIBLen() != 0 {
+		t.Fatal("rib not empty")
+	}
+}
+
+func TestStellarEscalationShapeToDrop(t *testing.T) {
+	// The Section 5.3 sequence: shape at 200 Mbps, later escalate to a
+	// drop of all UDP. The re-announcement changes the desired set.
+	h := newHarness(t, NewChangeQueue(1000, 1000))
+	h.st.HandleEvent(advEvent("AS64512", victimPrefix, 1, ShapeUDPSrcPort(123, 200e6)), 0)
+	h.st.Process(0)
+	port, _ := h.fab.PortByName("AS64512")
+	rules := port.Rules()
+	if len(rules) != 1 || rules[0].Action != fabric.ActionShape {
+		t.Fatalf("after shape: %+v", rules)
+	}
+	// Re-announce with drop-UDP instead.
+	h.st.HandleEvent(advEvent("AS64512", victimPrefix, 1, DropProto(netpkt.ProtoUDP)), 200)
+	h.st.Process(200)
+	rules = port.Rules()
+	if len(rules) != 1 || rules[0].Action != fabric.ActionDrop {
+		t.Fatalf("after escalation: %+v", rules)
+	}
+	if rules[0].Match.SrcPort != fabric.AnyPort {
+		t.Fatal("escalated rule should match all UDP")
+	}
+}
+
+func TestStellarMultipleSignalsOneRoute(t *testing.T) {
+	h := newHarness(t, NewChangeQueue(1000, 1000))
+	h.st.HandleEvent(advEvent("AS64512", victimPrefix, 1,
+		DropUDPSrcPort(123), DropUDPSrcPort(53), ShapeUDPSrcPort(11211, 50e6)), 0)
+	h.st.Process(0)
+	port, _ := h.fab.PortByName("AS64512")
+	if port.RuleCount() != 3 {
+		t.Fatalf("rules: %d, want 3", port.RuleCount())
+	}
+}
+
+func TestStellarIdempotentReannounce(t *testing.T) {
+	h := newHarness(t, NewChangeQueue(1000, 1000))
+	ev := advEvent("AS64512", victimPrefix, 1, DropUDPSrcPort(123))
+	h.st.HandleEvent(ev, 0)
+	h.st.Process(0)
+	applied := h.st.AppliedChanges()
+	// Same announcement again: no new config changes.
+	h.st.HandleEvent(ev, 1)
+	h.st.Process(1)
+	if h.st.AppliedChanges() != applied {
+		t.Fatalf("re-announce churned config: %d -> %d", applied, h.st.AppliedChanges())
+	}
+	port, _ := h.fab.PortByName("AS64512")
+	if port.RuleCount() != 1 {
+		t.Fatalf("rules: %d", port.RuleCount())
+	}
+}
+
+func TestStellarCustomPortalRule(t *testing.T) {
+	h := newHarness(t, NewChangeQueue(1000, 1000))
+	tmpl := fabric.MatchAll()
+	tmpl.Proto = netpkt.ProtoUDP
+	tmpl.SrcPort = 389 // LDAP
+	id := h.st.Portal().Define("AS64512", tmpl, fabric.ActionDrop, 0)
+
+	h.st.HandleEvent(advEvent("AS64512", victimPrefix, 1, Custom(id)), 0)
+	h.st.Process(0)
+	port, _ := h.fab.PortByName("AS64512")
+	rules := port.Rules()
+	if len(rules) != 1 {
+		t.Fatalf("rules: %d (%+v)", len(rules), h.st.Errors())
+	}
+	if rules[0].Match.SrcPort != 389 || rules[0].Match.DstIP != victimPrefix {
+		t.Fatalf("custom rule match: %+v", rules[0].Match)
+	}
+}
+
+func TestStellarCustomRuleUnknownID(t *testing.T) {
+	h := newHarness(t, NewChangeQueue(1000, 1000))
+	h.st.HandleEvent(advEvent("AS64512", victimPrefix, 1, Custom(9999)), 0)
+	h.st.Process(0)
+	if len(h.st.Errors()) != 1 || !errors.Is(h.st.Errors()[0].Err, ErrNoSuchRule) {
+		t.Fatalf("errors: %+v", h.st.Errors())
+	}
+	port, _ := h.fab.PortByName("AS64512")
+	if port.RuleCount() != 0 {
+		t.Fatal("rule installed despite unknown ID")
+	}
+}
+
+func TestStellarAdmissionControl(t *testing.T) {
+	// A router with almost no TCAM: the second rule must be rejected
+	// with a hardware error, and the data plane stays consistent.
+	fab := fabric.New()
+	if err := fab.AddPort(fabric.NewPort("AS64512", victimMAC, 1e9)); err != nil {
+		t.Fatal(err)
+	}
+	router := hw.NewEdgeRouter(hw.Limits{Ports: 1, L34CriteriaTotal: 3, MACFiltersTotal: 10, QoSPoliciesPerPort: 10})
+	mgr := NewQoSManager(fab, router, map[string]int{"AS64512": 0})
+	st := New(Config{Manager: mgr, Queue: NewChangeQueue(1000, 1000)})
+
+	st.HandleEvent(advEvent("AS64512", victimPrefix, 1, DropUDPSrcPort(123), DropUDPSrcPort(53)), 0)
+	st.Process(0)
+	port, _ := fab.PortByName("AS64512")
+	if port.RuleCount() != 1 {
+		t.Fatalf("rules: %d, want 1 (second rejected)", port.RuleCount())
+	}
+	errs := st.Errors()
+	if len(errs) != 1 || !errors.Is(errs[0].Err, hw.ErrL34Exhausted) {
+		t.Fatalf("errors: %+v", errs)
+	}
+}
+
+func TestStellarRateLimitedInstallLatency(t *testing.T) {
+	// With a 4.33/s queue and a burst of bursty signals, later changes
+	// wait — the Figure 10(b) mechanism.
+	h := newHarness(t, NewChangeQueue(4.33, 1))
+	var specs []RuleSpec
+	for port := 0; port < 10; port++ {
+		specs = append(specs, DropUDPSrcPort(uint16(1000+port)))
+	}
+	h.st.HandleEvent(advEvent("AS64512", victimPrefix, 1, specs...), 0)
+	for now := 0.0; now <= 3.0; now += 0.1 {
+		h.st.Process(now)
+	}
+	lats := h.st.Latencies()
+	if len(lats) < 5 {
+		t.Fatalf("applied: %d", len(lats))
+	}
+	// First change nearly immediate, later ones progressively delayed.
+	if lats[0] > 0.2 {
+		t.Fatalf("first latency: %v", lats[0])
+	}
+	last := lats[len(lats)-1]
+	if last < 0.5 {
+		t.Fatalf("last latency: %v, want rate-limited delay", last)
+	}
+}
+
+func TestQoSManagerUnknownMember(t *testing.T) {
+	h := newHarness(t, nil)
+	err := h.mgr.Apply(ConfigChange{Op: OpInstall, Member: "ghost", RuleID: "x", Match: fabric.MatchAll()})
+	if err == nil {
+		t.Fatal("unknown member accepted")
+	}
+	if err := h.mgr.Apply(ConfigChange{Op: OpRemove, RuleID: "nope"}); !errors.Is(err, fabric.ErrNoSuchRule) {
+		t.Fatalf("remove unknown: %v", err)
+	}
+}
+
+func TestQoSManagerDuplicateInstall(t *testing.T) {
+	h := newHarness(t, nil)
+	c := ConfigChange{Op: OpInstall, Member: "AS64512", RuleID: "r1",
+		Match: fabric.MatchAll(), Action: fabric.ActionDrop}
+	if err := h.mgr.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.mgr.Apply(c); !errors.Is(err, ErrRuleExists) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if h.mgr.InstalledCount() != 1 {
+		t.Fatal("count")
+	}
+}
+
+func TestSDNManager(t *testing.T) {
+	fab := fabric.New()
+	if err := fab.AddPort(fabric.NewPort("AS64512", victimMAC, 1e9)); err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewSDNManager(fab, 2)
+	if mgr.Name() != "sdn" {
+		t.Fatal("name")
+	}
+	mk := func(id string) ConfigChange {
+		m := fabric.MatchAll()
+		m.DstIP = victimPrefix
+		return ConfigChange{Op: OpInstall, Member: "AS64512", RuleID: id, Match: m, Action: fabric.ActionDrop}
+	}
+	if err := mgr.Apply(mk("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Apply(mk("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Apply(mk("c")); !errors.Is(err, ErrFlowTableFull) {
+		t.Fatalf("overflow: %v", err)
+	}
+	if err := mgr.Apply(ConfigChange{Op: OpRemove, RuleID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Apply(mk("c")); err != nil {
+		t.Fatalf("after free: %v", err)
+	}
+	if mgr.InstalledCount() != 2 {
+		t.Fatal("count")
+	}
+	if err := mgr.Apply(ConfigChange{Op: OpRemove, RuleID: "zz"}); !errors.Is(err, fabric.ErrNoSuchRule) {
+		t.Fatalf("remove unknown: %v", err)
+	}
+}
+
+func TestRuleIDDeterministic(t *testing.T) {
+	a := RuleID("AS1", victimPrefix, DropUDPSrcPort(123))
+	b := RuleID("AS1", victimPrefix, DropUDPSrcPort(123))
+	c := RuleID("AS1", victimPrefix, DropUDPSrcPort(53))
+	if a != b {
+		t.Fatal("not deterministic")
+	}
+	if a == c {
+		t.Fatal("collision")
+	}
+}
+
+func BenchmarkStellarSignalToInstall(b *testing.B) {
+	fab := fabric.New()
+	_ = fab.AddPort(fabric.NewPort("AS64512", victimMAC, 1e9))
+	router := hw.NewEdgeRouter(hw.DefaultEdgeRouterLimits(4, 1024))
+	mgr := NewQoSManager(fab, router, map[string]int{"AS64512": 0})
+	st := New(Config{Manager: mgr, Queue: NewChangeQueue(1e9, 1<<20)})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := float64(i)
+		st.HandleEvent(advEvent("AS64512", victimPrefix, 1, DropUDPSrcPort(uint16(i%60000))), now)
+		st.Process(now)
+		st.HandleEvent(routeserver.ControllerEvent{
+			Peer: "AS64512", PeerAS: 64512, PathID: 1,
+			Withdrawn: []netip.Prefix{victimPrefix},
+		}, now+0.5)
+		st.Process(now + 0.5)
+	}
+}
+
+func TestQoSManagerSetPortIndex(t *testing.T) {
+	fab := fabric.New()
+	if err := fab.AddPort(fabric.NewPort("late", victimMAC, 1e9)); err != nil {
+		t.Fatal(err)
+	}
+	router := hw.NewEdgeRouter(hw.DefaultEdgeRouterLimits(2, 8))
+	mgr := NewQoSManager(fab, router, nil)
+	c := ConfigChange{Op: OpInstall, Member: "late", RuleID: "r",
+		Match: fabric.MatchAll(), Action: fabric.ActionDrop}
+	if err := mgr.Apply(c); err == nil {
+		t.Fatal("unregistered member accepted")
+	}
+	mgr.SetPortIndex("late", 0)
+	if err := mgr.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Apply(ConfigChange{Op: OpRemove, RuleID: "r"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStellarTelemetry(t *testing.T) {
+	h := newHarness(t, NewChangeQueue(1000, 1000))
+	spec := ShapeUDPSrcPort(123, 200e6)
+	h.st.HandleEvent(advEvent("AS64512", victimPrefix, 1, spec), 0)
+	h.st.Process(0)
+
+	// Push matching traffic through the port.
+	port, _ := h.fab.PortByName("AS64512")
+	flow := netpkt.FlowKey{Src: netip.MustParseAddr("198.51.100.1"), Dst: victimPrefix.Addr(),
+		Proto: netpkt.ProtoUDP, SrcPort: 123, DstPort: 443}
+	port.Egress([]fabric.Offer{{Flow: flow, Bytes: 125e6, Packets: 1e5}}, 1)
+
+	cs, err := h.st.Telemetry("AS64512", victimPrefix, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.MatchedBytes != 125e6 {
+		t.Fatalf("matched: %v", cs.MatchedBytes)
+	}
+	if cs.ShapedResidue <= 0 || cs.DroppedBytes <= 0 {
+		t.Fatalf("shape telemetry: %+v", cs)
+	}
+	// Unknown rule: error, not zeros.
+	if _, err := h.st.Telemetry("AS64512", victimPrefix, DropUDPSrcPort(9999)); err == nil {
+		t.Fatal("telemetry for uninstalled rule")
+	}
+}
+
+func TestSDNManagerCounters(t *testing.T) {
+	fab := fabric.New()
+	if err := fab.AddPort(fabric.NewPort("AS64512", victimMAC, 1e9)); err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewSDNManager(fab, 16)
+	st := New(Config{Manager: mgr, Queue: NewChangeQueue(1000, 1000)})
+	spec := DropUDPSrcPort(123)
+	st.HandleEvent(advEvent("AS64512", victimPrefix, 1, spec), 0)
+	st.Process(0)
+	if _, err := st.Telemetry("AS64512", victimPrefix, spec); err != nil {
+		t.Fatalf("SDN telemetry: %v", err)
+	}
+	if _, err := mgr.Counters("ghost"); err == nil {
+		t.Fatal("ghost rule counters")
+	}
+}

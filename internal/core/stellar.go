@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"stellar/internal/fabric"
+	"stellar/internal/rib"
+	"stellar/internal/routeserver"
+)
+
+// Stellar is the blackholing controller plus management layer of
+// Figure 7: it consumes the route server's southbound feed (an iBGP +
+// ADD-PATH session in the production system, the in-process subscriber
+// here and a real BGP session in cmd/ixpd), maintains a RIB of
+// blackholing routes, derives abstract configuration changes from RIB
+// snapshot diffs, rate-limits them through the token-bucket change
+// queue, and applies them via a NetworkManager.
+type Stellar struct {
+	portal *Portal
+	queue  *ChangeQueue
+	mgr    NetworkManager
+
+	mu   sync.Mutex
+	rib  *rib.Table
+	prev rib.Snapshot
+	// desired tracks, per RIB path, the rules its signals requested —
+	// needed to withdraw exactly those rules when the path goes away or
+	// its attributes change.
+	desired map[rib.PathKey][]ConfigChange
+	// applyErrs accumulates admission-control and compilation failures.
+	applyErrs []ApplyError
+	// latencies records signal-to-configuration delays (Figure 10b).
+	latencies []float64
+	applied   int
+}
+
+// ApplyError records one failed configuration change.
+type ApplyError struct {
+	Change ConfigChange
+	Err    error
+}
+
+// Config assembles a Stellar instance.
+type Config struct {
+	// Portal resolves SelCustom rule references; optional.
+	Portal *Portal
+	// Queue is the controller-to-manager change queue. Defaults to the
+	// production rate of 4.33 changes/s with a burst of 20.
+	Queue *ChangeQueue
+	// Manager is the data-plane backend (QoSManager or SDNManager).
+	Manager NetworkManager
+}
+
+// New creates a Stellar controller.
+func New(cfg Config) *Stellar {
+	if cfg.Queue == nil {
+		cfg.Queue = NewChangeQueue(4.33, 20)
+	}
+	if cfg.Portal == nil {
+		cfg.Portal = NewPortal()
+	}
+	return &Stellar{
+		portal:  cfg.Portal,
+		queue:   cfg.Queue,
+		mgr:     cfg.Manager,
+		rib:     rib.New(),
+		prev:    rib.Snapshot{},
+		desired: make(map[rib.PathKey][]ConfigChange),
+	}
+}
+
+// Portal returns the customer portal.
+func (s *Stellar) Portal() *Portal { return s.portal }
+
+// Queue returns the change queue (exposed for experiments).
+func (s *Stellar) Queue() *ChangeQueue { return s.queue }
+
+// RuleID derives the deterministic data-plane rule identifier for a
+// member's blackholing rule on a prefix.
+func RuleID(member string, prefix netip.Prefix, spec RuleSpec) string {
+	ec, err := spec.Encode()
+	if err != nil {
+		return fmt.Sprintf("bh:%s:%s:invalid", member, prefix)
+	}
+	v := ec.Value()
+	return fmt.Sprintf("bh:%s:%s:%02x%02x%02x%02x%02x%02x", member, prefix,
+		v[0], v[1], v[2], v[3], v[4], v[5])
+}
+
+// HandleEvent is the controller's BGP processor: it folds one route
+// server event into the RIB, snapshots, diffs against the previous
+// snapshot, and enqueues the resulting configuration changes at the
+// given time (seconds).
+func (s *Stellar) HandleEvent(ev routeserver.ControllerEvent, now float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	for _, prefix := range ev.Withdrawn {
+		key := rib.PathKey{Prefix: prefix, Peer: ev.Peer, PathID: ev.PathID}
+		if !s.rib.Remove(key) && ev.PathID != 0 {
+			// Withdrawals on the wire feed carry no attributes, so the
+			// peer label derived from them may not match the installed
+			// path's; the ADD-PATH identifier alone names the path.
+			if p := s.rib.FindByPathID(prefix, ev.PathID); p != nil {
+				s.rib.Remove(p.Key)
+			}
+		}
+	}
+	for _, prefix := range ev.Announced {
+		s.rib.Add(rib.PathKey{Prefix: prefix, Peer: ev.Peer, PathID: ev.PathID}, ev.PeerAS, ev.Attrs)
+	}
+
+	next := s.rib.Snapshot()
+	diff := rib.DiffSnapshots(s.prev, next)
+	s.prev = next
+	if diff.Empty() {
+		return
+	}
+
+	for _, p := range diff.Removed {
+		s.enqueueRuleDiffLocked(p.Key, nil, now)
+	}
+	for _, p := range diff.Added {
+		s.enqueueRuleDiffLocked(p.Key, s.rulesForPathLocked(p), now)
+	}
+	for _, p := range diff.Changed {
+		s.enqueueRuleDiffLocked(p.Key, s.rulesForPathLocked(p), now)
+	}
+}
+
+// rulesForPathLocked derives the desired rule set for one RIB path from
+// its Advanced Blackholing signals.
+func (s *Stellar) rulesForPathLocked(p *rib.Path) []ConfigChange {
+	member := p.Key.Peer
+	dstOnly := fabric.MatchAll()
+	dstOnly.DstIP = p.Key.Prefix
+
+	var out []ConfigChange
+	for _, spec := range SignalsFrom(&p.Attrs) {
+		var change ConfigChange
+		if spec.Selector == SelCustom {
+			custom, err := s.portal.Lookup(member, spec.CustomID)
+			if err != nil {
+				s.applyErrs = append(s.applyErrs, ApplyError{
+					Change: ConfigChange{Op: OpInstall, Member: member, RuleID: RuleID(member, p.Key.Prefix, spec)},
+					Err:    err,
+				})
+				continue
+			}
+			m := custom.MatchTemplate
+			m.DstIP = p.Key.Prefix
+			change = ConfigChange{
+				Op: OpInstall, Member: member,
+				RuleID:       RuleID(member, p.Key.Prefix, spec),
+				Match:        m,
+				Action:       custom.Action,
+				ShapeRateBps: custom.ShapeRateBps,
+			}
+		} else {
+			change = ConfigChange{
+				Op: OpInstall, Member: member,
+				RuleID:       RuleID(member, p.Key.Prefix, spec),
+				Match:        spec.Match(dstOnly),
+				Action:       spec.Action,
+				ShapeRateBps: spec.ShapeRateBps,
+			}
+		}
+		out = append(out, change)
+	}
+	return out
+}
+
+// enqueueRuleDiffLocked reconciles the previously desired rules of a
+// path with the new desired set: removals for rules no longer wanted,
+// installs for new ones. Unchanged rules generate no churn.
+func (s *Stellar) enqueueRuleDiffLocked(key rib.PathKey, want []ConfigChange, now float64) {
+	have := s.desired[key]
+	haveByID := make(map[string]ConfigChange, len(have))
+	for _, c := range have {
+		haveByID[c.RuleID] = c
+	}
+	wantByID := make(map[string]ConfigChange, len(want))
+	for _, c := range want {
+		wantByID[c.RuleID] = c
+	}
+
+	// Stable ordering for determinism.
+	ids := make([]string, 0, len(haveByID)+len(wantByID))
+	for id := range haveByID {
+		ids = append(ids, id)
+	}
+	for id := range wantByID {
+		if _, ok := haveByID[id]; !ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+
+	for _, id := range ids {
+		h, hasOld := haveByID[id]
+		w, hasNew := wantByID[id]
+		switch {
+		case hasOld && !hasNew:
+			s.queue.Enqueue(ConfigChange{Op: OpRemove, Member: h.Member, RuleID: id}, now)
+		case !hasOld && hasNew:
+			s.queue.Enqueue(w, now)
+		case hasOld && hasNew && (h.Action != w.Action || h.ShapeRateBps != w.ShapeRateBps || h.Match != w.Match):
+			// Replace: remove then install.
+			s.queue.Enqueue(ConfigChange{Op: OpRemove, Member: h.Member, RuleID: id}, now)
+			s.queue.Enqueue(w, now)
+		}
+	}
+
+	if len(want) == 0 {
+		delete(s.desired, key)
+	} else {
+		s.desired[key] = want
+	}
+}
+
+// Process drains the change queue up to the given time and applies the
+// released changes through the network manager. It returns the number of
+// changes applied.
+func (s *Stellar) Process(now float64) int {
+	s.mu.Lock()
+	released := s.queue.Drain(now)
+	s.mu.Unlock()
+
+	n := 0
+	for _, dq := range released {
+		err := s.mgr.Apply(dq.Change)
+		s.mu.Lock()
+		if err != nil {
+			s.applyErrs = append(s.applyErrs, ApplyError{Change: dq.Change, Err: err})
+		} else {
+			s.latencies = append(s.latencies, dq.Waited)
+			s.applied++
+			n++
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// PendingChanges returns the queue depth.
+func (s *Stellar) PendingChanges() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queue.Len()
+}
+
+// AppliedChanges returns the count of successfully applied changes.
+func (s *Stellar) AppliedChanges() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied
+}
+
+// Errors returns the accumulated apply errors.
+func (s *Stellar) Errors() []ApplyError {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]ApplyError(nil), s.applyErrs...)
+}
+
+// Latencies returns the signal-to-configuration delays of applied
+// changes, in seconds.
+func (s *Stellar) Latencies() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.latencies...)
+}
+
+// RIBLen returns the number of paths the controller currently tracks.
+func (s *Stellar) RIBLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rib.Len()
+}

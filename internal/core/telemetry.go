@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+
+	"stellar/internal/fabric"
+)
+
+// Telemetry is the member-facing feedback channel Section 3.1 demands:
+// victims query the counters of their installed blackholing rules to see
+// whether the attack is ongoing, how much was discarded, and how much
+// sampled traffic passed a shaping queue — instead of probing by
+// removing the blackhole and risking immediate re-congestion.
+
+// CounterSource is implemented by network managers that can expose
+// per-rule telemetry counters.
+type CounterSource interface {
+	// Counters returns the live counters of an installed rule.
+	Counters(ruleID string) (*fabric.RuleCounters, error)
+}
+
+// Counters implements CounterSource for the QoS backend.
+func (m *QoSManager) Counters(ruleID string) (*fabric.RuleCounters, error) {
+	m.mu.Lock()
+	fp, ok := m.installed[ruleID]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fabric.ErrNoSuchRule
+	}
+	port, err := m.fabric.PortByName(fp.member)
+	if err != nil {
+		return nil, err
+	}
+	rule, err := port.Rule(ruleID)
+	if err != nil {
+		return nil, err
+	}
+	return rule.Counters(), nil
+}
+
+// Counters implements CounterSource for the SDN backend.
+func (m *SDNManager) Counters(ruleID string) (*fabric.RuleCounters, error) {
+	m.mu.Lock()
+	memberName, ok := m.installed[ruleID]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fabric.ErrNoSuchRule
+	}
+	port, err := m.fabric.PortByName(memberName)
+	if err != nil {
+		return nil, err
+	}
+	rule, err := port.Rule(ruleID)
+	if err != nil {
+		return nil, err
+	}
+	return rule.Counters(), nil
+}
+
+// Telemetry returns a snapshot of the counters for the rule a member's
+// signal installed on (member, prefix, spec). It fails when the rule is
+// not (or not yet — the change queue may still hold it) installed, or
+// when the manager backend exposes no counters.
+func (s *Stellar) Telemetry(member string, prefix netip.Prefix, spec RuleSpec) (fabric.CounterSnapshot, error) {
+	src, ok := s.mgr.(CounterSource)
+	if !ok {
+		return fabric.CounterSnapshot{}, fmt.Errorf("core: manager %q exposes no telemetry", s.mgr.Name())
+	}
+	counters, err := src.Counters(RuleID(member, prefix, spec))
+	if err != nil {
+		return fabric.CounterSnapshot{}, err
+	}
+	return counters.Snapshot(), nil
+}

@@ -1,0 +1,86 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver builds its workload from the substrate
+// packages, runs it, and returns a result struct that (a) formats to the
+// same rows/series the paper reports and (b) exposes the numbers the
+// shape assertions in the test suite and EXPERIMENTS.md check.
+//
+// Absolute numbers differ from the paper (our substrate is a simulator,
+// not DE-CIX hardware); the shapes — who wins, by what factor, where the
+// feasibility boundaries fall — are asserted in experiments_test.go.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"stellar/internal/mitigation"
+)
+
+// FormatTable renders rows of cells with padded columns.
+func FormatTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Table1Result is the qualitative comparison of Table 1.
+type Table1Result struct {
+	Matrix map[mitigation.Property]map[mitigation.Technique]mitigation.Rating
+}
+
+// Table1 regenerates the paper's Table 1.
+func Table1() Table1Result {
+	return Table1Result{Matrix: mitigation.Table1()}
+}
+
+// Format renders the matrix in the paper's row/column order.
+func (r Table1Result) Format() string {
+	techs := []mitigation.Technique{
+		mitigation.TSS, mitigation.ACL, mitigation.RTBH,
+		mitigation.Flowspec, mitigation.AdvancedBlackholing,
+	}
+	header := []string{"Property"}
+	for _, tech := range techs {
+		header = append(header, tech.String())
+	}
+	var rows [][]string
+	for p := mitigation.Granularity; p <= mitigation.Costs; p++ {
+		row := []string{p.String()}
+		for _, tech := range techs {
+			row = append(row, r.Matrix[p][tech].String())
+		}
+		rows = append(rows, row)
+	}
+	return "Table 1: Advanced Blackholing vs. DDoS mitigation solutions (+ advantage, - disadvantage, o neutral)\n" +
+		FormatTable(header, rows)
+}

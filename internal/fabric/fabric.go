@@ -1,0 +1,171 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"stellar/internal/netpkt"
+)
+
+// Fabric is the IXP's switching platform: a set of member ports bridged
+// on one peering LAN. Forwarding is by destination MAC, as on a real IXP
+// where members resolve each other's router MACs via ARP on the LAN.
+//
+// The platform itself is modeled with ample core capacity (the paper's
+// L-IXP carries 25 Tbps of connected capacity); the bottleneck — and the
+// place where Stellar's egress QoS policies act — is the destination
+// member port.
+type Fabric struct {
+	mu    sync.RWMutex
+	ports map[netpkt.MAC]*Port
+	byNam map[string]*Port
+	// PlatformCapacityBps caps the sum of traffic the platform carries
+	// per tick; 0 means unconstrained. It exists for the egress-vs-
+	// ingress filtering ablation (small IXPs, Section 4.5).
+	PlatformCapacityBps float64
+}
+
+// New returns an empty fabric.
+func New() *Fabric {
+	return &Fabric{ports: make(map[netpkt.MAC]*Port), byNam: make(map[string]*Port)}
+}
+
+// Errors.
+var (
+	ErrDuplicatePort = errors.New("fabric: duplicate port")
+	ErrNoSuchPort    = errors.New("fabric: no such port")
+)
+
+// AddPort attaches a member port to the peering LAN.
+func (f *Fabric) AddPort(p *Port) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.ports[p.MAC]; ok {
+		return ErrDuplicatePort
+	}
+	if _, ok := f.byNam[p.Name]; ok {
+		return ErrDuplicatePort
+	}
+	f.ports[p.MAC] = p
+	f.byNam[p.Name] = p
+	return nil
+}
+
+// PortByMAC looks a port up by MAC address.
+func (f *Fabric) PortByMAC(mac netpkt.MAC) (*Port, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	p, ok := f.ports[mac]
+	if !ok {
+		return nil, ErrNoSuchPort
+	}
+	return p, nil
+}
+
+// PortByName looks a port up by name.
+func (f *Fabric) PortByName(name string) (*Port, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	p, ok := f.byNam[name]
+	if !ok {
+		return nil, ErrNoSuchPort
+	}
+	return p, nil
+}
+
+// Ports returns all ports sorted by name.
+func (f *Fabric) Ports() []*Port {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]*Port, 0, len(f.byNam))
+	for _, p := range f.byNam {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SwitchPacket forwards one frame: it resolves the egress port from the
+// destination MAC and runs the egress QoS engine. Broadcast frames (ARP)
+// are delivered to every port except the sender without QoS processing.
+func (f *Fabric) SwitchPacket(pkt *netpkt.Packet) (Disposition, error) {
+	if pkt.Eth.Dst.IsBroadcast() {
+		return Delivered, nil
+	}
+	egress, err := f.PortByMAC(pkt.Eth.Dst)
+	if err != nil {
+		return DroppedByRule, fmt.Errorf("fabric: unknown destination %s", pkt.Eth.Dst)
+	}
+	return egress.EgressPacket(pkt), nil
+}
+
+// TickOffers is the flow-level input to one simulation tick: offers
+// grouped by destination port name.
+type TickOffers map[string][]Offer
+
+// TickStats aggregates one tick across the platform.
+type TickStats struct {
+	PerPort map[string]TickResult
+	// PlatformOfferedBytes is the pre-filter load on the platform core.
+	PlatformOfferedBytes float64
+	// PlatformDroppedBytes counts bytes the core itself had to shed
+	// (only when PlatformCapacityBps is set and exceeded).
+	PlatformDroppedBytes float64
+}
+
+// TotalDeliveredBytes sums delivered bytes across ports.
+func (t TickStats) TotalDeliveredBytes() float64 {
+	var s float64
+	for _, r := range t.PerPort {
+		s += r.DeliveredBytes
+	}
+	return s
+}
+
+// Tick advances the platform by dtSeconds, delivering all offers.
+func (f *Fabric) Tick(offers TickOffers, dtSeconds float64) (TickStats, error) {
+	stats := TickStats{PerPort: make(map[string]TickResult, len(offers))}
+
+	var offered float64
+	for _, os := range offers {
+		for _, o := range os {
+			offered += o.Bytes
+		}
+	}
+	stats.PlatformOfferedBytes = offered
+
+	// Platform core admission: proportional shed when the core is the
+	// bottleneck (ingress-filtering ablation / small-IXP scenario).
+	scale := 1.0
+	if f.PlatformCapacityBps > 0 {
+		capBytes := f.PlatformCapacityBps * dtSeconds / 8
+		if offered > capBytes && offered > 0 {
+			scale = capBytes / offered
+			stats.PlatformDroppedBytes = offered - capBytes
+		}
+	}
+
+	names := make([]string, 0, len(offers))
+	for name := range offers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		port, err := f.PortByName(name)
+		if err != nil {
+			return stats, err
+		}
+		os := offers[name]
+		if scale != 1.0 {
+			scaled := make([]Offer, len(os))
+			for i, o := range os {
+				scaled[i] = Offer{Flow: o.Flow, Bytes: o.Bytes * scale, Packets: o.Packets * scale}
+			}
+			os = scaled
+		}
+		stats.PerPort[name] = port.Egress(os, dtSeconds)
+	}
+	return stats, nil
+}

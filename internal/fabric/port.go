@@ -1,0 +1,328 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"stellar/internal/netpkt"
+)
+
+// Offer is a flow-level traffic aggregate presented to a port's egress
+// engine for one simulation tick.
+type Offer struct {
+	Flow    netpkt.FlowKey
+	Bytes   float64
+	Packets float64
+}
+
+// Disposition is the fate of one offer (or packet) at the egress engine.
+type Disposition int
+
+// Dispositions.
+const (
+	Delivered Disposition = iota
+	DroppedByRule
+	DroppedByShaper
+	DroppedByCongestion
+)
+
+func (d Disposition) String() string {
+	switch d {
+	case Delivered:
+		return "delivered"
+	case DroppedByRule:
+		return "dropped-by-rule"
+	case DroppedByShaper:
+		return "dropped-by-shaper"
+	case DroppedByCongestion:
+		return "dropped-by-congestion"
+	default:
+		return fmt.Sprintf("Disposition(%d)", int(d))
+	}
+}
+
+// TickResult summarizes one egress tick on a port.
+type TickResult struct {
+	// DeliveredBytes went out the member port.
+	DeliveredBytes float64
+	// RuleDroppedBytes were steered to the zero-length dropping queue.
+	RuleDroppedBytes float64
+	// ShaperDroppedBytes exceeded a shaping queue's rate.
+	ShaperDroppedBytes float64
+	// CongestionDroppedBytes exceeded the port capacity in the forward
+	// queue (tail drop).
+	CongestionDroppedBytes float64
+	// DeliveredByFlow maps each offered flow to its delivered bytes,
+	// letting callers observe per-peer and per-port traffic shares.
+	DeliveredByFlow map[netpkt.FlowKey]float64
+}
+
+// OfferedBytes returns the total bytes presented this tick.
+func (t TickResult) OfferedBytes() float64 {
+	return t.DeliveredBytes + t.RuleDroppedBytes + t.ShaperDroppedBytes + t.CongestionDroppedBytes
+}
+
+// Port is one member-facing IXP port with an egress QoS engine.
+type Port struct {
+	// Name identifies the port ("AS64512" in the harness).
+	Name string
+	// MAC is the member router's address on the peering LAN.
+	MAC netpkt.MAC
+	// CapacityBps is the member port speed (e.g. 1e9 for 1 Gbps).
+	CapacityBps float64
+
+	mu    sync.Mutex
+	rules []*Rule // evaluated in order; first match wins
+}
+
+// Errors from rule management.
+var (
+	ErrDuplicateRule = errors.New("fabric: duplicate rule ID on port")
+	ErrNoSuchRule    = errors.New("fabric: no such rule")
+)
+
+// NewPort creates a port.
+func NewPort(name string, mac netpkt.MAC, capacityBps float64) *Port {
+	return &Port{Name: name, MAC: mac, CapacityBps: capacityBps}
+}
+
+// InstallRule appends a rule to the port's classification order.
+func (p *Port) InstallRule(r *Rule) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ex := range p.rules {
+		if ex.ID == r.ID {
+			return ErrDuplicateRule
+		}
+	}
+	if r.Action == ActionShape {
+		// Token bucket: burst of one second at the shaping rate.
+		r.burstBits = r.ShapeRateBps
+		r.tokens = r.burstBits
+	}
+	p.rules = append(p.rules, r)
+	return nil
+}
+
+// RemoveRule uninstalls the rule with the given ID.
+func (p *Port) RemoveRule(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, r := range p.rules {
+		if r.ID == id {
+			p.rules = append(p.rules[:i], p.rules[i+1:]...)
+			return nil
+		}
+	}
+	return ErrNoSuchRule
+}
+
+// Rule returns the installed rule with the given ID.
+func (p *Port) Rule(id string) (*Rule, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range p.rules {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	return nil, ErrNoSuchRule
+}
+
+// Rules returns the installed rules in evaluation order.
+func (p *Port) Rules() []*Rule {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*Rule(nil), p.rules...)
+}
+
+// RuleCount returns the number of installed rules.
+func (p *Port) RuleCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.rules)
+}
+
+// Classify returns the first matching rule for the flow, or nil for the
+// default forwarding queue.
+func (p *Port) Classify(f netpkt.FlowKey) *Rule {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.classifyLocked(f)
+}
+
+func (p *Port) classifyLocked(f netpkt.FlowKey) *Rule {
+	for _, r := range p.rules {
+		if r.Match.Matches(f) {
+			return r
+		}
+	}
+	return nil
+}
+
+// EgressPacket runs one packet through classification and the queues,
+// with shaping evaluated against the packet's own wire time. It is the
+// per-packet functional-test path; flow-level simulations use Egress.
+func (p *Port) EgressPacket(pkt *netpkt.Packet) Disposition {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f := pkt.Flow()
+	bits := float64(pkt.WireLen) * 8
+	r := p.classifyLocked(f)
+	if r == nil {
+		return Delivered
+	}
+	r.counters.MatchedPackets.Add(1)
+	r.counters.MatchedBytes.Add(int64(pkt.WireLen))
+	switch r.Action {
+	case ActionDrop:
+		r.counters.DroppedBytes.Add(int64(pkt.WireLen))
+		return DroppedByRule
+	case ActionShape:
+		if r.tokens >= bits {
+			r.tokens -= bits
+			r.counters.ForwardedBytes.Add(int64(pkt.WireLen))
+			r.counters.ShapedResidue.Add(int64(pkt.WireLen))
+			return Delivered
+		}
+		r.counters.DroppedBytes.Add(int64(pkt.WireLen))
+		return DroppedByShaper
+	default:
+		r.counters.ForwardedBytes.Add(int64(pkt.WireLen))
+		return Delivered
+	}
+}
+
+// RefillShapers advances shaping token buckets by dt seconds; the
+// per-packet path uses it between bursts. The flow-level Egress refills
+// implicitly.
+func (p *Port) RefillShapers(dtSeconds float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range p.rules {
+		if r.Action == ActionShape {
+			r.tokens += r.ShapeRateBps * dtSeconds
+			if r.tokens > r.burstBits {
+				r.tokens = r.burstBits
+			}
+		}
+	}
+}
+
+// Egress processes one tick of dtSeconds on the port: classifies every
+// offer, applies drop and shaping queues, then subjects the forward
+// queue to the port capacity with proportional (fair) tail drop under
+// congestion — the behaviour a congested member port exhibits in
+// Section 2.2's attack scenario.
+func (p *Port) Egress(offers []Offer, dtSeconds float64) TickResult {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	res := TickResult{DeliveredByFlow: make(map[netpkt.FlowKey]float64, len(offers))}
+
+	type fwd struct {
+		flow  netpkt.FlowKey
+		bytes float64
+	}
+	var forward []fwd
+	var forwardBytes float64
+
+	// Refill shaping buckets for this tick.
+	for _, r := range p.rules {
+		if r.Action == ActionShape {
+			r.tokens += r.ShapeRateBps * dtSeconds
+			if r.tokens > r.burstBits {
+				r.tokens = r.burstBits
+			}
+		}
+	}
+
+	// Group shape offers per rule so concurrent flows share the rule's
+	// rate limit proportionally (they share one shaping queue).
+	type shapeGroup struct {
+		rule   *Rule
+		offers []fwd
+		total  float64
+	}
+	shapeGroups := make(map[string]*shapeGroup)
+
+	for _, o := range offers {
+		r := p.classifyLocked(o.Flow)
+		if r == nil {
+			forward = append(forward, fwd{o.Flow, o.Bytes})
+			forwardBytes += o.Bytes
+			continue
+		}
+		r.counters.MatchedPackets.Add(int64(o.Packets))
+		r.counters.MatchedBytes.Add(int64(o.Bytes))
+		switch r.Action {
+		case ActionDrop:
+			r.counters.DroppedBytes.Add(int64(o.Bytes))
+			res.RuleDroppedBytes += o.Bytes
+		case ActionShape:
+			g := shapeGroups[r.ID]
+			if g == nil {
+				g = &shapeGroup{rule: r}
+				shapeGroups[r.ID] = g
+			}
+			g.offers = append(g.offers, fwd{o.Flow, o.Bytes})
+			g.total += o.Bytes
+		default: // explicit forward rule
+			r.counters.ForwardedBytes.Add(int64(o.Bytes))
+			forward = append(forward, fwd{o.Flow, o.Bytes})
+			forwardBytes += o.Bytes
+		}
+	}
+
+	// Shaping queues: pass up to the available tokens, proportionally
+	// across the flows sharing the queue; the residue joins the forward
+	// queue, the excess is dropped.
+	groupIDs := make([]string, 0, len(shapeGroups))
+	for id := range shapeGroups {
+		groupIDs = append(groupIDs, id)
+	}
+	sort.Strings(groupIDs) // determinism
+	for _, id := range groupIDs {
+		g := shapeGroups[id]
+		bits := g.total * 8
+		passBits := bits
+		if passBits > g.rule.tokens {
+			passBits = g.rule.tokens
+		}
+		g.rule.tokens -= passBits
+		passFrac := 0.0
+		if bits > 0 {
+			passFrac = passBits / bits
+		}
+		for _, o := range g.offers {
+			passed := o.bytes * passFrac
+			droppedHere := o.bytes - passed
+			g.rule.counters.ForwardedBytes.Add(int64(passed))
+			g.rule.counters.ShapedResidue.Add(int64(passed))
+			g.rule.counters.DroppedBytes.Add(int64(droppedHere))
+			res.ShaperDroppedBytes += droppedHere
+			if passed > 0 {
+				forward = append(forward, fwd{o.flow, passed})
+				forwardBytes += passed
+			}
+		}
+	}
+
+	// Forward queue: bounded by port capacity for the tick; when
+	// oversubscribed every flow loses the same fraction (a fluid
+	// approximation of tail drop on a shared queue).
+	capBytes := p.CapacityBps * dtSeconds / 8
+	deliverFrac := 1.0
+	if forwardBytes > capBytes && forwardBytes > 0 {
+		deliverFrac = capBytes / forwardBytes
+	}
+	for _, f := range forward {
+		delivered := f.bytes * deliverFrac
+		res.DeliveredBytes += delivered
+		res.CongestionDroppedBytes += f.bytes - delivered
+		res.DeliveredByFlow[f.flow] += delivered
+	}
+	return res
+}

@@ -1,0 +1,93 @@
+package fabric
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// ActionKind selects the queue a matching packet is steered into
+// (Figure 8): the zero-length dropping queue, the rate-limited shaping
+// queue, or the forwarding queue.
+type ActionKind int
+
+// Queue actions.
+const (
+	ActionForward ActionKind = iota
+	ActionShape
+	ActionDrop
+)
+
+func (a ActionKind) String() string {
+	switch a {
+	case ActionForward:
+		return "forward"
+	case ActionShape:
+		return "shape"
+	case ActionDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("ActionKind(%d)", int(a))
+	}
+}
+
+// Rule is one installed QoS policy on a port: a classification pattern
+// plus the queue action. Shape rules carry the shaping rate; the shaped
+// residue that passes the limiter is the telemetry sample the victim
+// receives (Section 3.1, "Telemetry").
+type Rule struct {
+	// ID identifies the rule for updates, withdrawal and telemetry.
+	ID string
+	// Match is the L2-L4 classification pattern.
+	Match Match
+	// Action selects the queue.
+	Action ActionKind
+	// ShapeRateBps is the shaping queue's rate limit in bits/s; used only
+	// when Action == ActionShape.
+	ShapeRateBps float64
+
+	counters RuleCounters
+	// shaping token bucket state (bits)
+	tokens    float64
+	burstBits float64
+}
+
+// RuleCounters is the per-rule telemetry exposed to the rule's owner:
+// how much traffic matched, and its fate.
+type RuleCounters struct {
+	MatchedPackets atomic.Int64
+	MatchedBytes   atomic.Int64
+	DroppedBytes   atomic.Int64 // bytes discarded by drop queue or shaper
+	ForwardedBytes atomic.Int64 // bytes passed on (incl. shaped residue)
+	ShapedResidue  atomic.Int64 // bytes that passed the shaping queue
+}
+
+// CounterSnapshot is a point-in-time copy of the telemetry counters.
+type CounterSnapshot struct {
+	MatchedPackets int64
+	MatchedBytes   int64
+	DroppedBytes   int64
+	ForwardedBytes int64
+	ShapedResidue  int64
+}
+
+// Snapshot copies the counters.
+func (c *RuleCounters) Snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		MatchedPackets: c.MatchedPackets.Load(),
+		MatchedBytes:   c.MatchedBytes.Load(),
+		DroppedBytes:   c.DroppedBytes.Load(),
+		ForwardedBytes: c.ForwardedBytes.Load(),
+		ShapedResidue:  c.ShapedResidue.Load(),
+	}
+}
+
+// Counters exposes the rule's telemetry counters.
+func (r *Rule) Counters() *RuleCounters { return &r.counters }
+
+func (r *Rule) String() string {
+	s := fmt.Sprintf("rule %s: match(%s) -> %s", r.ID, r.Match, r.Action)
+	if r.Action == ActionShape {
+		s += fmt.Sprintf("@%.0fbps", r.ShapeRateBps)
+	}
+	return s
+}

@@ -1,0 +1,207 @@
+// Package flowmon is the IXP's flow-monitoring pipeline: an IPFIX-style
+// collector that aggregates per-tick flow observations into time-binned
+// counters, from which the evaluation derives per-port traffic shares
+// (Figure 2c), UDP source-port histograms across blackholing events
+// (Figure 3a), protocol mixes (Section 2.3) and peer counts (Figures 3c
+// and 10c).
+package flowmon
+
+import (
+	"sort"
+
+	"stellar/internal/netpkt"
+)
+
+// Record is one flow observation: key, byte and packet counts within a
+// time bin.
+type Record struct {
+	Bin     int
+	Key     netpkt.FlowKey
+	Bytes   float64
+	Packets float64
+}
+
+// binAgg accumulates per-bin counters.
+type binAgg struct {
+	bySrcPort map[uint16]float64 // UDP source port -> bytes
+	byDstPort map[uint16]float64 // any-proto destination port -> bytes
+	byProto   map[netpkt.IPProto]float64
+	peers     map[netpkt.MAC]float64 // source member -> bytes
+	total     float64
+}
+
+// Collector aggregates records. It is not safe for concurrent use; the
+// simulation loop owns it.
+type Collector struct {
+	bins map[int]*binAgg
+	// SampleEvery subsamples records (IPFIX samples 1-in-N packets in
+	// production); 1 observes everything.
+	SampleEvery int
+	counter     int
+}
+
+// NewCollector returns an empty collector observing every record.
+func NewCollector() *Collector {
+	return &Collector{bins: make(map[int]*binAgg), SampleEvery: 1}
+}
+
+// Observe adds one record.
+func (c *Collector) Observe(r Record) {
+	c.counter++
+	if c.SampleEvery > 1 && c.counter%c.SampleEvery != 0 {
+		return
+	}
+	b := c.bins[r.Bin]
+	if b == nil {
+		b = &binAgg{
+			bySrcPort: make(map[uint16]float64),
+			byDstPort: make(map[uint16]float64),
+			byProto:   make(map[netpkt.IPProto]float64),
+			peers:     make(map[netpkt.MAC]float64),
+		}
+		c.bins[r.Bin] = b
+	}
+	b.total += r.Bytes
+	b.byProto[r.Key.Proto] += r.Bytes
+	b.byDstPort[r.Key.DstPort] += r.Bytes
+	if r.Key.Proto == netpkt.ProtoUDP {
+		b.bySrcPort[r.Key.SrcPort] += r.Bytes
+	}
+	b.peers[r.Key.SrcMAC] += r.Bytes
+}
+
+// Bins returns the observed bin indices, sorted.
+func (c *Collector) Bins() []int {
+	out := make([]int, 0, len(c.bins))
+	for b := range c.bins {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TotalBytes returns the bytes observed in bin.
+func (c *Collector) TotalBytes(bin int) float64 {
+	if b := c.bins[bin]; b != nil {
+		return b.total
+	}
+	return 0
+}
+
+// DstPortShares returns each destination port's share of the bin's
+// bytes — the Figure 2(c) view ("traffic share IXP member [%]").
+func (c *Collector) DstPortShares(bin int) map[uint16]float64 {
+	b := c.bins[bin]
+	out := make(map[uint16]float64)
+	if b == nil || b.total == 0 {
+		return out
+	}
+	for port, bytes := range b.byDstPort {
+		out[port] = bytes / b.total
+	}
+	return out
+}
+
+// SrcPortShares returns each UDP source port's share of the bin's bytes
+// — the Figure 3(a) view.
+func (c *Collector) SrcPortShares(bin int) map[uint16]float64 {
+	b := c.bins[bin]
+	out := make(map[uint16]float64)
+	if b == nil || b.total == 0 {
+		return out
+	}
+	for port, bytes := range b.bySrcPort {
+		out[port] = bytes / b.total
+	}
+	return out
+}
+
+// ProtoShares returns the protocol byte shares of the bin.
+func (c *Collector) ProtoShares(bin int) map[netpkt.IPProto]float64 {
+	b := c.bins[bin]
+	out := make(map[netpkt.IPProto]float64)
+	if b == nil || b.total == 0 {
+		return out
+	}
+	for proto, bytes := range b.byProto {
+		out[proto] = bytes / b.total
+	}
+	return out
+}
+
+// PeerCount returns the number of distinct source members whose bytes in
+// the bin exceed minBytes — the "#peers" series of Figures 3(c)/10(c).
+func (c *Collector) PeerCount(bin int, minBytes float64) int {
+	b := c.bins[bin]
+	if b == nil {
+		return 0
+	}
+	n := 0
+	for _, bytes := range b.peers {
+		if bytes > minBytes {
+			n++
+		}
+	}
+	return n
+}
+
+// PortRank is one entry of a top-ports report.
+type PortRank struct {
+	Port  uint16
+	Bytes float64
+	Share float64
+}
+
+// TopSrcPorts returns the k highest-volume UDP source ports across all
+// bins, plus the residual share under the sentinel port 65535 when
+// "others" is non-zero. Ties break toward the lower port for
+// determinism.
+func (c *Collector) TopSrcPorts(k int) []PortRank {
+	agg := make(map[uint16]float64)
+	var total float64
+	for _, b := range c.bins {
+		for port, bytes := range b.bySrcPort {
+			agg[port] += bytes
+		}
+		total += b.total
+	}
+	ranks := make([]PortRank, 0, len(agg))
+	for port, bytes := range agg {
+		ranks = append(ranks, PortRank{Port: port, Bytes: bytes})
+	}
+	sort.Slice(ranks, func(i, j int) bool {
+		if ranks[i].Bytes != ranks[j].Bytes {
+			return ranks[i].Bytes > ranks[j].Bytes
+		}
+		return ranks[i].Port < ranks[j].Port
+	})
+	if k < len(ranks) {
+		ranks = ranks[:k]
+	}
+	var top float64
+	for i := range ranks {
+		if total > 0 {
+			ranks[i].Share = ranks[i].Bytes / total
+		}
+		top += ranks[i].Bytes
+	}
+	if rest := total - top; rest > 1e-9 {
+		share := 0.0
+		if total > 0 {
+			share = rest / total
+		}
+		ranks = append(ranks, PortRank{Port: 65535, Bytes: rest, Share: share})
+	}
+	return ranks
+}
+
+// Series returns the per-bin total bytes as (bins, values) aligned
+// slices — the traffic time series of Figures 3(c) and 10(c).
+func (c *Collector) Series() (bins []int, bytes []float64) {
+	bins = c.Bins()
+	bytes = make([]float64, len(bins))
+	for i, b := range bins {
+		bytes[i] = c.bins[b].total
+	}
+	return bins, bytes
+}

@@ -1,0 +1,163 @@
+package flowmon
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+
+	"stellar/internal/netpkt"
+)
+
+var (
+	macA = netpkt.MustParseMAC("02:00:00:00:00:0a")
+	macB = netpkt.MustParseMAC("02:00:00:00:00:0b")
+	ip1  = netip.MustParseAddr("198.51.100.1")
+	dst  = netip.MustParseAddr("100.10.10.10")
+)
+
+func rec(bin int, mac netpkt.MAC, proto netpkt.IPProto, srcPort, dstPort uint16, bytes float64) Record {
+	return Record{
+		Bin: bin,
+		Key: netpkt.FlowKey{SrcMAC: mac, Src: ip1, Dst: dst, Proto: proto,
+			SrcPort: srcPort, DstPort: dstPort},
+		Bytes:   bytes,
+		Packets: bytes / 500,
+	}
+}
+
+func TestSharesAndTotals(t *testing.T) {
+	c := NewCollector()
+	c.Observe(rec(0, macA, netpkt.ProtoUDP, 123, 443, 600))
+	c.Observe(rec(0, macB, netpkt.ProtoTCP, 50000, 443, 400))
+
+	if got := c.TotalBytes(0); got != 1000 {
+		t.Fatalf("TotalBytes: %v", got)
+	}
+	ps := c.SrcPortShares(0)
+	if math.Abs(ps[123]-0.6) > 1e-12 {
+		t.Fatalf("udp src 123 share: %v", ps[123])
+	}
+	if _, ok := ps[50000]; ok {
+		t.Fatal("TCP flow leaked into UDP src-port shares")
+	}
+	dp := c.DstPortShares(0)
+	if math.Abs(dp[443]-1.0) > 1e-12 {
+		t.Fatalf("dst 443 share: %v", dp[443])
+	}
+	pr := c.ProtoShares(0)
+	if math.Abs(pr[netpkt.ProtoUDP]-0.6) > 1e-12 || math.Abs(pr[netpkt.ProtoTCP]-0.4) > 1e-12 {
+		t.Fatalf("proto shares: %v", pr)
+	}
+}
+
+func TestEmptyBin(t *testing.T) {
+	c := NewCollector()
+	if c.TotalBytes(9) != 0 || len(c.SrcPortShares(9)) != 0 ||
+		len(c.DstPortShares(9)) != 0 || len(c.ProtoShares(9)) != 0 || c.PeerCount(9, 0) != 0 {
+		t.Fatal("empty bin not empty")
+	}
+}
+
+func TestPeerCount(t *testing.T) {
+	c := NewCollector()
+	c.Observe(rec(0, macA, netpkt.ProtoUDP, 123, 443, 1000))
+	c.Observe(rec(0, macB, netpkt.ProtoUDP, 123, 443, 5))
+	if got := c.PeerCount(0, 0); got != 2 {
+		t.Fatalf("PeerCount(0): %d", got)
+	}
+	// Threshold excludes the 5-byte peer.
+	if got := c.PeerCount(0, 10); got != 1 {
+		t.Fatalf("PeerCount(10): %d", got)
+	}
+}
+
+func TestBinsAndSeries(t *testing.T) {
+	c := NewCollector()
+	c.Observe(rec(3, macA, netpkt.ProtoUDP, 1, 1, 30))
+	c.Observe(rec(1, macA, netpkt.ProtoUDP, 1, 1, 10))
+	c.Observe(rec(1, macB, netpkt.ProtoUDP, 1, 1, 5))
+	bins := c.Bins()
+	if len(bins) != 2 || bins[0] != 1 || bins[1] != 3 {
+		t.Fatalf("Bins: %v", bins)
+	}
+	b, v := c.Series()
+	if len(b) != 2 || v[0] != 15 || v[1] != 30 {
+		t.Fatalf("Series: %v %v", b, v)
+	}
+}
+
+func TestTopSrcPorts(t *testing.T) {
+	c := NewCollector()
+	c.Observe(rec(0, macA, netpkt.ProtoUDP, 0, 1, 500))
+	c.Observe(rec(0, macA, netpkt.ProtoUDP, 123, 1, 300))
+	c.Observe(rec(0, macA, netpkt.ProtoUDP, 53, 1, 100))
+	c.Observe(rec(1, macA, netpkt.ProtoTCP, 443, 1, 100)) // TCP: not a UDP src port
+
+	top := c.TopSrcPorts(2)
+	// 2 ports + "others" sentinel (port 53 UDP bytes + implicit gap from
+	// TCP bytes counted in totals).
+	if len(top) != 3 {
+		t.Fatalf("TopSrcPorts: %+v", top)
+	}
+	if top[0].Port != 0 || top[1].Port != 123 {
+		t.Fatalf("order: %+v", top)
+	}
+	if top[0].Share <= top[1].Share {
+		t.Fatal("shares not ordered")
+	}
+	if top[2].Port != 65535 {
+		t.Fatalf("others sentinel: %+v", top[2])
+	}
+	var sum float64
+	for _, r := range top {
+		sum += r.Share
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum: %v", sum)
+	}
+}
+
+func TestTopSrcPortsTieBreak(t *testing.T) {
+	c := NewCollector()
+	c.Observe(rec(0, macA, netpkt.ProtoUDP, 200, 1, 100))
+	c.Observe(rec(0, macA, netpkt.ProtoUDP, 100, 1, 100))
+	top := c.TopSrcPorts(2)
+	if top[0].Port != 100 || top[1].Port != 200 {
+		t.Fatalf("tie break: %+v", top)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	c := NewCollector()
+	c.SampleEvery = 10
+	for i := 0; i < 100; i++ {
+		c.Observe(rec(0, macA, netpkt.ProtoUDP, 123, 443, 10))
+	}
+	// Exactly 1 in 10 observed.
+	if got := c.TotalBytes(0); got != 100 {
+		t.Fatalf("sampled bytes: %v", got)
+	}
+}
+
+func TestAccumulationAcrossObserve(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 5; i++ {
+		c.Observe(rec(0, macA, netpkt.ProtoUDP, 123, 443, 100))
+	}
+	if got := c.TotalBytes(0); got != 500 {
+		t.Fatalf("accumulated: %v", got)
+	}
+	if got := c.SrcPortShares(0)[123]; math.Abs(got-1) > 1e-12 {
+		t.Fatalf("share: %v", got)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	c := NewCollector()
+	r := rec(0, macA, netpkt.ProtoUDP, 123, 443, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Bin = i % 600
+		c.Observe(r)
+	}
+}

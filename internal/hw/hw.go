@@ -1,0 +1,246 @@
+// Package hw models the IXP edge-router hardware that Stellar's filtering
+// layer runs on: TCAM filter budgets and the control-plane CPU cost of
+// configuration updates.
+//
+// The paper's scaling evaluation (Section 5.1) measures two exhaustion
+// dimensions on a production edge router with >350 member ports:
+//
+//   - F1: the total number of L3-L4 filter criteria for QoS policies is
+//     exceeded (a system-wide TCAM budget), and
+//   - F2: the maximum number of MAC filters is exceeded.
+//
+// Both are modeled as system-wide budgets expressed in units of N, the
+// 95th percentile of concurrently active RTBH rules per port observed in
+// production. The budget constants are calibrated so the feasibility
+// grids of Figure 9(a-c) reproduce: all-OK at 20% adoption, F1 beyond
+// 3N L3-L4 criteria and F2 at 10N MAC filters for 60% adoption, and the
+// paper's tighter region at 100% adoption.
+//
+// The control-plane model captures Figure 10(a): CPU usage grows linearly
+// with the rule-update rate, and the router enforces a hard 15% CPU cap
+// for configuration tasks, which yields a median sustainable rate of
+// ~4.33 updates/second.
+package hw
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"stellar/internal/stats"
+)
+
+// Filter-resource exhaustion errors, matching the paper's F1/F2 labels.
+var (
+	// ErrL34Exhausted (F1): total L3-L4 filter criteria exceeded.
+	ErrL34Exhausted = errors.New("hw: F1: L3-L4 filter criteria exhausted")
+	// ErrMACExhausted (F2): MAC filter budget exceeded.
+	ErrMACExhausted = errors.New("hw: F2: MAC filter budget exhausted")
+	// ErrQoSPoliciesExhausted: per-port QoS policy slots exceeded.
+	ErrQoSPoliciesExhausted = errors.New("hw: QoS policy slots exhausted on port")
+	// ErrUnknownPort is returned for out-of-range port indices.
+	ErrUnknownPort = errors.New("hw: unknown port")
+)
+
+// Limits describes an edge router's hardware resource budgets — the
+// "hardware information base" the network manager consults before
+// compiling configuration changes (Section 4.4).
+type Limits struct {
+	// Ports is the number of member ports on the router.
+	Ports int
+	// L34CriteriaTotal is the system-wide TCAM budget for L3-L4 filter
+	// criteria across all QoS policies.
+	L34CriteriaTotal int
+	// MACFiltersTotal is the system-wide budget for MAC filter criteria.
+	MACFiltersTotal int
+	// QoSPoliciesPerPort bounds the number of distinct QoS policies
+	// (blackholing rules) attachable to one member port.
+	QoSPoliciesPerPort int
+
+	// CPULimitPct is the hard control-plane CPU share available to
+	// configuration tasks (the paper's real-time OS enforces 15%).
+	CPULimitPct float64
+	// CPUBaselinePct is the configuration subsystem's idle CPU usage.
+	CPUBaselinePct float64
+	// CPUPerUpdatePct is the CPU percentage consumed per (rule update/s).
+	CPUPerUpdatePct float64
+}
+
+// RTBHUnitN is the reference unit for filter budgets: the 95th percentile
+// of concurrently active RTBH rules on any port by any member (the paper's
+// N). The simulator uses 8 as a realistic production value; all budget
+// math scales linearly in N.
+const RTBHUnitN = 8
+
+// DefaultEdgeRouterLimits returns the calibrated production edge-router
+// profile with the given number of member ports, expressed in units of n
+// (use RTBHUnitN for the paper's N).
+func DefaultEdgeRouterLimits(ports, n int) Limits {
+	return Limits{
+		Ports: ports,
+		// Calibration (see package comment): with 350 ports the paper's
+		// feasibility grid requires 630N < L34 budget < 700N and
+		// 1680N <= MAC budget < 2100N.
+		L34CriteriaTotal:   650 * n,
+		MACFiltersTotal:    1800 * n,
+		QoSPoliciesPerPort: 16 * n,
+		CPULimitPct:        15.0,
+		CPUBaselinePct:     2.0,
+		CPUPerUpdatePct:    3.0, // (15-2)/3 = 4.33 updates/s at the cap
+	}
+}
+
+// PortAlloc is the per-port filter allocation state.
+type PortAlloc struct {
+	MACFilters  int
+	L34Criteria int
+	QoSPolicies int
+}
+
+// EdgeRouter tracks TCAM allocations against Limits. All methods are
+// safe for concurrent use.
+type EdgeRouter struct {
+	limits Limits
+
+	mu       sync.Mutex
+	ports    []PortAlloc
+	totalMAC int
+	totalL34 int
+}
+
+// NewEdgeRouter returns a router with no allocations.
+func NewEdgeRouter(limits Limits) *EdgeRouter {
+	return &EdgeRouter{limits: limits, ports: make([]PortAlloc, limits.Ports)}
+}
+
+// Limits returns the router's budgets.
+func (r *EdgeRouter) Limits() Limits { return r.limits }
+
+// Allocate reserves TCAM resources for one blackholing rule on port:
+// macFilters MAC criteria and l34 L3-L4 criteria, consuming one QoS
+// policy slot. It fails atomically — checking F1 before F2, matching the
+// paper's reporting precedence — without partial reservation.
+func (r *EdgeRouter) Allocate(port, macFilters, l34 int) error {
+	if macFilters < 0 || l34 < 0 {
+		return fmt.Errorf("hw: negative allocation (%d MAC, %d L3-L4)", macFilters, l34)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if port < 0 || port >= len(r.ports) {
+		return ErrUnknownPort
+	}
+	if r.totalL34+l34 > r.limits.L34CriteriaTotal {
+		return ErrL34Exhausted
+	}
+	if r.totalMAC+macFilters > r.limits.MACFiltersTotal {
+		return ErrMACExhausted
+	}
+	if r.ports[port].QoSPolicies+1 > r.limits.QoSPoliciesPerPort {
+		return ErrQoSPoliciesExhausted
+	}
+	r.ports[port].MACFilters += macFilters
+	r.ports[port].L34Criteria += l34
+	r.ports[port].QoSPolicies++
+	r.totalMAC += macFilters
+	r.totalL34 += l34
+	return nil
+}
+
+// Release returns previously allocated resources for one rule on port.
+func (r *EdgeRouter) Release(port, macFilters, l34 int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if port < 0 || port >= len(r.ports) {
+		return ErrUnknownPort
+	}
+	p := &r.ports[port]
+	if p.MACFilters < macFilters || p.L34Criteria < l34 || p.QoSPolicies < 1 {
+		return fmt.Errorf("hw: release exceeds allocation on port %d", port)
+	}
+	p.MACFilters -= macFilters
+	p.L34Criteria -= l34
+	p.QoSPolicies--
+	r.totalMAC -= macFilters
+	r.totalL34 -= l34
+	return nil
+}
+
+// Port returns the allocation state of one port.
+func (r *EdgeRouter) Port(port int) (PortAlloc, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if port < 0 || port >= len(r.ports) {
+		return PortAlloc{}, ErrUnknownPort
+	}
+	return r.ports[port], nil
+}
+
+// Totals returns the system-wide MAC and L3-L4 criteria in use.
+func (r *EdgeRouter) Totals() (mac, l34 int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.totalMAC, r.totalL34
+}
+
+// Headroom returns the remaining system-wide budgets.
+func (r *EdgeRouter) Headroom() (mac, l34 int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.limits.MACFiltersTotal - r.totalMAC, r.limits.L34CriteriaTotal - r.totalL34
+}
+
+// CPUModel is the control-plane CPU cost model of Figure 10(a): linear
+// in the configuration update rate with multiplicative measurement noise.
+type CPUModel struct {
+	BaselinePct  float64
+	PerUpdatePct float64
+	LimitPct     float64
+	// NoiseStd is the standard deviation of additive measurement noise
+	// in CPU percentage points; zero for a deterministic model.
+	NoiseStd float64
+}
+
+// NewCPUModel builds the model from router limits with the given noise.
+func NewCPUModel(l Limits, noiseStd float64) CPUModel {
+	return CPUModel{
+		BaselinePct:  l.CPUBaselinePct,
+		PerUpdatePct: l.CPUPerUpdatePct,
+		LimitPct:     l.CPULimitPct,
+		NoiseStd:     noiseStd,
+	}
+}
+
+// Usage returns the expected CPU percentage at the given update rate
+// (updates per second), without noise.
+func (m CPUModel) Usage(ratePerSec float64) float64 {
+	return m.BaselinePct + m.PerUpdatePct*ratePerSec
+}
+
+// Sample returns a noisy CPU measurement at the given rate, clamped to
+// [0, 100].
+func (m CPUModel) Sample(ratePerSec float64, rng *stats.Rand) float64 {
+	u := m.Usage(ratePerSec)
+	if m.NoiseStd > 0 && rng != nil {
+		u += rng.NormFloat64() * m.NoiseStd
+	}
+	if u < 0 {
+		u = 0
+	}
+	if u > 100 {
+		u = 100
+	}
+	return u
+}
+
+// MaxUpdateRate returns the largest sustainable update rate under the
+// CPU cap — the paper's 4.33 updates/s for the production profile.
+func (m CPUModel) MaxUpdateRate() float64 {
+	if m.PerUpdatePct <= 0 {
+		return 0
+	}
+	r := (m.LimitPct - m.BaselinePct) / m.PerUpdatePct
+	if r < 0 {
+		return 0
+	}
+	return r
+}

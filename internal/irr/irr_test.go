@@ -1,0 +1,172 @@
+package irr
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func TestRegistryAuthorization(t *testing.T) {
+	r := NewRegistry()
+	r.Register(64512, pfx("100.10.10.0/24"))
+
+	cases := []struct {
+		asn  uint32
+		p    string
+		want bool
+	}{
+		{64512, "100.10.10.0/24", true},
+		{64512, "100.10.10.10/32", true}, // more specific: authorized
+		{64512, "100.10.0.0/16", false},  // less specific: not
+		{64512, "203.0.113.0/24", false},
+		{64513, "100.10.10.0/24", false}, // wrong AS
+	}
+	for _, c := range cases {
+		if got := r.Authorized(c.asn, pfx(c.p)); got != c.want {
+			t.Errorf("Authorized(%d, %s) = %v, want %v", c.asn, c.p, got, c.want)
+		}
+	}
+}
+
+func TestRegistryPrefixesCopy(t *testing.T) {
+	r := NewRegistry()
+	r.Register(1, pfx("10.0.0.0/8"))
+	ps := r.Prefixes(1)
+	if len(ps) != 1 {
+		t.Fatalf("Prefixes: %v", ps)
+	}
+	ps[0] = pfx("0.0.0.0/0")
+	if !r.Authorized(1, pfx("10.1.0.0/16")) {
+		t.Fatal("mutating returned slice affected registry")
+	}
+	if got := r.Prefixes(99); len(got) != 0 {
+		t.Fatalf("unknown ASN prefixes: %v", got)
+	}
+}
+
+func TestRPKIValidation(t *testing.T) {
+	r := NewRPKI()
+	r.AddROA(ROA{Prefix: pfx("100.10.0.0/16"), ASN: 64512, MaxLength: 24})
+
+	cases := []struct {
+		p    string
+		asn  uint32
+		want Validity
+	}{
+		{"100.10.10.0/24", 64512, Valid},
+		{"100.10.0.0/16", 64512, Valid},
+		{"100.10.10.10/32", 64512, Invalid}, // beyond max length
+		{"100.10.10.0/24", 64513, Invalid},  // wrong origin
+		{"203.0.113.0/24", 64512, NotFound},
+	}
+	for _, c := range cases {
+		if got := r.Validate(pfx(c.p), c.asn); got != c.want {
+			t.Errorf("Validate(%s, %d) = %v, want %v", c.p, c.asn, got, c.want)
+		}
+	}
+}
+
+func TestRPKIMaxLengthDefault(t *testing.T) {
+	r := NewRPKI()
+	r.AddROA(ROA{Prefix: pfx("198.51.100.0/24"), ASN: 1})
+	if got := r.Validate(pfx("198.51.100.0/24"), 1); got != Valid {
+		t.Fatalf("exact length: %v", got)
+	}
+	if got := r.Validate(pfx("198.51.100.128/25"), 1); got != Invalid {
+		t.Fatalf("more specific without maxlen: %v", got)
+	}
+}
+
+func TestRPKITwoROAs(t *testing.T) {
+	// A Valid from any ROA wins even if another covering ROA mismatches.
+	r := NewRPKI()
+	r.AddROA(ROA{Prefix: pfx("100.0.0.0/8"), ASN: 1, MaxLength: 8})
+	r.AddROA(ROA{Prefix: pfx("100.10.0.0/16"), ASN: 2, MaxLength: 24})
+	if got := r.Validate(pfx("100.10.10.0/24"), 2); got != Valid {
+		t.Fatalf("want Valid, got %v", got)
+	}
+}
+
+func TestBogons(t *testing.T) {
+	b := DefaultBogons()
+	for _, s := range []string{"10.1.2.0/24", "192.168.1.0/24", "127.0.0.1/32", "fe80::/64"} {
+		if !b.Contains(pfx(s)) {
+			t.Errorf("%s should be bogon", s)
+		}
+	}
+	for _, s := range []string{"100.10.10.0/24", "8.8.8.0/24", "2001:db8::/48", "192.0.2.0/24"} {
+		if b.Contains(pfx(s)) {
+			t.Errorf("%s should not be bogon", s)
+		}
+	}
+	b.Add(pfx("203.0.113.0/24"))
+	if !b.Contains(pfx("203.0.113.5/32")) {
+		t.Fatal("added bogon not matched for more specific")
+	}
+}
+
+func TestPolicyCheck(t *testing.T) {
+	p := NewPolicy()
+	p.IRR.Register(64512, pfx("100.10.10.0/24"))
+	p.RPKI.AddROA(ROA{Prefix: pfx("100.10.10.0/24"), ASN: 64512, MaxLength: 32})
+
+	if v := p.Check(pfx("100.10.10.10/32"), 64512); !v.Accept {
+		t.Fatalf("legit /32 rejected: %s", v.Reason)
+	}
+	if v := p.Check(pfx("10.0.0.0/8"), 64512); v.Accept {
+		t.Fatal("bogon accepted")
+	}
+	if v := p.Check(pfx("198.51.100.0/24"), 64512); v.Accept {
+		t.Fatal("unregistered prefix accepted")
+	}
+	// Hijack: 64513 announces 64512's prefix. IRR rejects first.
+	if v := p.Check(pfx("100.10.10.0/24"), 64513); v.Accept {
+		t.Fatal("hijack accepted")
+	}
+}
+
+func TestPolicyRPKIInvalidRejected(t *testing.T) {
+	p := NewPolicy()
+	// Registered in IRR but RPKI says a different origin.
+	p.IRR.Register(64513, pfx("100.10.10.0/24"))
+	p.RPKI.AddROA(ROA{Prefix: pfx("100.10.10.0/24"), ASN: 64512, MaxLength: 24})
+	if v := p.Check(pfx("100.10.10.0/24"), 64513); v.Accept {
+		t.Fatal("RPKI-invalid accepted")
+	}
+}
+
+func TestPolicyNotFoundPasses(t *testing.T) {
+	p := NewPolicy()
+	p.IRR.Register(64512, pfx("100.10.10.0/24"))
+	// No ROA at all: not-found must pass (RFC 7115 operational practice).
+	if v := p.Check(pfx("100.10.10.0/24"), 64512); !v.Accept {
+		t.Fatalf("not-found rejected: %s", v.Reason)
+	}
+}
+
+func TestAuthorizedMoreSpecificProperty(t *testing.T) {
+	// If a /16 is registered, every /24 inside it is authorized and every
+	// /24 outside is not.
+	r := NewRegistry()
+	r.Register(7, pfx("100.10.0.0/16"))
+	f := func(b3 uint8, outside bool) bool {
+		var p netip.Prefix
+		if outside {
+			p = netip.PrefixFrom(netip.AddrFrom4([4]byte{101, 10, b3, 0}), 24)
+		} else {
+			p = netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 10, b3, 0}), 24)
+		}
+		return r.Authorized(7, p) == !outside
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidityString(t *testing.T) {
+	if NotFound.String() != "not-found" || Valid.String() != "valid" || Invalid.String() != "invalid" {
+		t.Fatal("validity strings")
+	}
+}

@@ -1,0 +1,354 @@
+// Package ixp composes the full emulated exchange point: member ASes
+// attached to switching-fabric ports, the route server with its
+// routing-hygiene policy, the edge-router hardware model, and (when
+// enabled) the Stellar controller wired to the route server's southbound
+// feed. It adds the one behaviour no single substrate owns: how RTBH
+// announcements propagate into member null-routing decisions, i.e. who
+// actually stops sending traffic (Section 2.4).
+package ixp
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"stellar/internal/bgp"
+	"stellar/internal/core"
+	"stellar/internal/fabric"
+	"stellar/internal/hw"
+	"stellar/internal/irr"
+	"stellar/internal/member"
+	"stellar/internal/netpkt"
+	"stellar/internal/routeserver"
+	"stellar/internal/traffic"
+)
+
+// Config assembles an IXP.
+type Config struct {
+	// ASN is the IXP's AS number.
+	ASN uint32
+	// BlackholeNextHop is the RTBH null-route next hop.
+	BlackholeNextHop netip.Addr
+	// Members joins the given members to the fabric and route server.
+	Members []*member.Member
+	// EnableStellar wires a Stellar controller with a QoS manager.
+	EnableStellar bool
+	// QueueRate and QueueBurst configure Stellar's change queue
+	// (defaults: 4.33/s, burst 20).
+	QueueRate  float64
+	QueueBurst int
+	// HWUnitN is the hardware budget unit (defaults hw.RTBHUnitN).
+	HWUnitN int
+	// PlatformCapacityBps optionally constrains the switching core.
+	PlatformCapacityBps float64
+}
+
+// IXP is a fully wired exchange point.
+type IXP struct {
+	Cfg     Config
+	RS      *routeserver.RouteServer
+	Fabric  *fabric.Fabric
+	Router  *hw.EdgeRouter
+	Stellar *core.Stellar
+	Policy  *irr.Policy
+
+	mu      sync.Mutex
+	clock   float64
+	members map[string]*member.Member
+	byMAC   map[netpkt.MAC]*member.Member
+	// nullRoutes[memberName] is the set of prefixes the member has
+	// null-routed in response to accepted RTBH announcements.
+	nullRoutes map[string]map[netip.Prefix]bool
+}
+
+// Build constructs and wires the IXP.
+func Build(cfg Config) (*IXP, error) {
+	if cfg.QueueRate == 0 {
+		cfg.QueueRate = 4.33
+	}
+	if cfg.QueueBurst == 0 {
+		cfg.QueueBurst = 20
+	}
+	if cfg.HWUnitN == 0 {
+		cfg.HWUnitN = hw.RTBHUnitN
+	}
+	x := &IXP{
+		Cfg:        cfg,
+		Fabric:     fabric.New(),
+		Policy:     irr.NewPolicy(),
+		members:    make(map[string]*member.Member),
+		byMAC:      make(map[netpkt.MAC]*member.Member),
+		nullRoutes: make(map[string]map[netip.Prefix]bool),
+	}
+	x.Fabric.PlatformCapacityBps = cfg.PlatformCapacityBps
+	x.RS = routeserver.New(routeserver.Config{
+		ASN:              cfg.ASN,
+		BlackholeNextHop: cfg.BlackholeNextHop,
+		Policy:           x.Policy,
+	})
+	x.Router = hw.NewEdgeRouter(hw.DefaultEdgeRouterLimits(len(cfg.Members), cfg.HWUnitN))
+
+	portIndex := make(map[string]int, len(cfg.Members))
+	for i, m := range cfg.Members {
+		if _, dup := x.members[m.Name]; dup {
+			return nil, fmt.Errorf("ixp: duplicate member %s", m.Name)
+		}
+		x.members[m.Name] = m
+		x.byMAC[m.MAC] = m
+		x.nullRoutes[m.Name] = make(map[netip.Prefix]bool)
+		if err := x.Fabric.AddPort(fabric.NewPort(m.Name, m.MAC, m.PortCapacityBps)); err != nil {
+			return nil, err
+		}
+		if err := x.RS.AddPeer(routeserver.PeerConfig{Name: m.Name, ASN: m.ASN, BGPID: m.BGPID}); err != nil {
+			return nil, err
+		}
+		for _, p := range m.Prefixes {
+			x.Policy.IRR.Register(m.ASN, p)
+		}
+		portIndex[m.Name] = i
+	}
+
+	if cfg.EnableStellar {
+		mgr := core.NewQoSManager(x.Fabric, x.Router, portIndex)
+		x.Stellar = core.New(core.Config{
+			Manager: mgr,
+			Queue:   core.NewChangeQueue(cfg.QueueRate, cfg.QueueBurst),
+		})
+		x.RS.Subscribe(func(ev routeserver.ControllerEvent) {
+			x.Stellar.HandleEvent(ev, x.Clock())
+		})
+	}
+	return x, nil
+}
+
+// Clock returns the current simulation time in seconds.
+func (x *IXP) Clock() float64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.clock
+}
+
+// Member returns a member by name.
+func (x *IXP) Member(name string) (*member.Member, error) {
+	if m, ok := x.members[name]; ok {
+		return m, nil
+	}
+	return nil, fmt.Errorf("ixp: unknown member %s", name)
+}
+
+// MemberByMAC resolves a fabric source MAC to its member.
+func (x *IXP) MemberByMAC(mac netpkt.MAC) (*member.Member, bool) {
+	m, ok := x.byMAC[mac]
+	return m, ok
+}
+
+// PeersOf converts members into traffic-generator peers, using the first
+// address of each member's first prefix as the representative source.
+func PeersOf(members []*member.Member) []traffic.Peer {
+	peers := make([]traffic.Peer, 0, len(members))
+	for _, m := range members {
+		src := netip.Addr{}
+		if len(m.Prefixes) > 0 {
+			src = m.Prefixes[0].Addr().Next()
+		}
+		peers = append(peers, traffic.Peer{Name: m.Name, MAC: m.MAC, SrcIP: src})
+	}
+	return peers
+}
+
+// Announce sends a BGP announcement from a member to the route server:
+// prefix, communities, and Advanced Blackholing rule signals. It applies
+// the resulting exports to the member population (RTBH honoring).
+func (x *IXP) Announce(memberName string, prefix netip.Prefix, communities []bgp.Community, specs []core.RuleSpec) error {
+	m, err := x.Member(memberName)
+	if err != nil {
+		return err
+	}
+	attrs := bgp.PathAttrs{
+		Origin:      bgp.OriginIGP,
+		ASPath:      []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{m.ASN}}},
+		NextHop:     m.BGPID, // router address on the peering LAN
+		Communities: communities,
+	}
+	for _, s := range specs {
+		ec, err := s.Encode()
+		if err != nil {
+			return err
+		}
+		attrs.ExtCommunities = append(attrs.ExtCommunities, ec)
+	}
+	u := &bgp.Update{Attrs: attrs}
+	if prefix.Addr().Is4() {
+		u.NLRI = []bgp.PathPrefix{{Prefix: prefix}}
+	} else {
+		// IPv6 reachability rides MP-BGP (RFC 4760); the next hop is the
+		// member's router on the v6 peering LAN.
+		u.Attrs.NextHop = netip.Addr{}
+		u.Attrs.MPReach = &bgp.MPReach{
+			AFI: bgp.AFIIPv6, SAFI: bgp.SAFIUnicast,
+			NextHop: netip.AddrFrom16(netip.MustParseAddr("2001:db8:ff::1").As16()),
+			NLRI:    []bgp.PathPrefix{{Prefix: prefix}},
+		}
+	}
+	exports, rejections, err := x.RS.HandleUpdate(memberName, u)
+	if err != nil {
+		return err
+	}
+	if len(rejections) > 0 {
+		return fmt.Errorf("ixp: announcement rejected: %s", rejections[0].Reason)
+	}
+	x.applyExports(exports)
+	return nil
+}
+
+// Withdraw retracts a member's announcement.
+func (x *IXP) Withdraw(memberName string, prefix netip.Prefix) error {
+	u := &bgp.Update{}
+	if prefix.Addr().Is4() {
+		u.Withdrawn = []bgp.PathPrefix{{Prefix: prefix}}
+	} else {
+		u.Attrs.MPUnreach = &bgp.MPUnreach{
+			AFI: bgp.AFIIPv6, SAFI: bgp.SAFIUnicast,
+			NLRI: []bgp.PathPrefix{{Prefix: prefix}},
+		}
+	}
+	exports, _, err := x.RS.HandleUpdate(memberName, u)
+	if err != nil {
+		return err
+	}
+	x.applyExports(exports)
+	return nil
+}
+
+// applyExports models each member's reaction to route server exports:
+// members that honor RTBH install (or remove) null routes for
+// blackholed prefixes. Members that do not honor them ignore the signal
+// — the ~70% of Section 2.4.
+func (x *IXP) applyExports(exports []routeserver.PeerUpdate) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	for _, e := range exports {
+		m, ok := x.members[e.Peer]
+		if !ok {
+			continue
+		}
+		for _, w := range e.Update.AllWithdrawn() {
+			delete(x.nullRoutes[m.Name], w.Prefix)
+		}
+		for _, a := range e.Update.AllAnnounced() {
+			isBH := e.Update.Attrs.NextHop == x.Cfg.BlackholeNextHop && x.Cfg.BlackholeNextHop.IsValid()
+			if !isBH {
+				continue
+			}
+			// Seeing the /32 at all requires accepting more specifics;
+			// acting on it requires blackhole support.
+			if m.HonorsRTBH() {
+				x.nullRoutes[m.Name][a.Prefix] = true
+			}
+		}
+	}
+}
+
+// NullRouted reports whether source member name currently null-routes
+// dst (i.e. its traffic to dst dies at the IXP's null interface).
+func (x *IXP) NullRouted(name string, dst netip.Addr) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	for p := range x.nullRoutes[name] {
+		if p.Contains(dst) {
+			return true
+		}
+	}
+	return false
+}
+
+// NullRouteCount returns how many members installed a null route
+// covering dst.
+func (x *IXP) NullRouteCount(dst netip.Addr) int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	n := 0
+	for _, routes := range x.nullRoutes {
+		for p := range routes {
+			if p.Contains(dst) {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// TickReport summarizes one simulation tick at one destination port.
+type TickReport struct {
+	// OfferedBytes is the pre-mitigation attack+benign volume.
+	OfferedBytes float64
+	// NulledBytes died at the IXP null interface (RTBH honoring).
+	NulledBytes float64
+	// Result is the egress engine's account of the remainder.
+	Result fabric.TickResult
+}
+
+// DeliveredBps converts the report to a rate.
+func (r TickReport) DeliveredBps(dt float64) float64 { return r.Result.DeliveredBytes * 8 / dt }
+
+// Tick advances the simulation by dt seconds, delivering offers grouped
+// by destination port. Stellar's pending configuration changes are
+// processed first (they take effect this tick), then RTBH null routes
+// filter traffic from honoring members, then the fabric switches the
+// rest.
+func (x *IXP) Tick(offers fabric.TickOffers, dt float64) (map[string]TickReport, error) {
+	x.mu.Lock()
+	x.clock += dt
+	now := x.clock
+	x.mu.Unlock()
+
+	if x.Stellar != nil {
+		x.Stellar.Process(now)
+	}
+
+	reports := make(map[string]TickReport, len(offers))
+	filtered := make(fabric.TickOffers, len(offers))
+	for portName, os := range offers {
+		rep := TickReport{}
+		var keep []fabric.Offer
+		for _, o := range os {
+			rep.OfferedBytes += o.Bytes
+			if src, ok := x.byMAC[o.Flow.SrcMAC]; ok && x.NullRouted(src.Name, o.Flow.Dst) {
+				rep.NulledBytes += o.Bytes
+				continue
+			}
+			keep = append(keep, o)
+		}
+		filtered[portName] = keep
+		reports[portName] = rep
+	}
+	stats, err := x.Fabric.Tick(filtered, dt)
+	if err != nil {
+		return nil, err
+	}
+	for portName, res := range stats.PerPort {
+		rep := reports[portName]
+		rep.Result = res
+		reports[portName] = rep
+	}
+	return reports, nil
+}
+
+// ActivePeers counts the distinct source members whose delivered bytes
+// at the port exceeded minBytes in the given tick result.
+func (x *IXP) ActivePeers(res fabric.TickResult, minBytes float64) int {
+	perMember := make(map[string]float64)
+	for flow, bytes := range res.DeliveredByFlow {
+		if m, ok := x.byMAC[flow.SrcMAC]; ok {
+			perMember[m.Name] += bytes
+		}
+	}
+	n := 0
+	for _, b := range perMember {
+		if b > minBytes {
+			n++
+		}
+	}
+	return n
+}

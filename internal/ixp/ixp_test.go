@@ -1,0 +1,422 @@
+package ixp
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+
+	"stellar/internal/bgp"
+	"stellar/internal/core"
+	"stellar/internal/fabric"
+	"stellar/internal/member"
+	"stellar/internal/netpkt"
+	"stellar/internal/stats"
+	"stellar/internal/traffic"
+)
+
+const ixpASN = 6695
+
+var blackholeNH = netip.MustParseAddr("80.81.193.66")
+
+// buildTestIXP creates an IXP with n members, honoring fraction f.
+func buildTestIXP(t *testing.T, n int, honorFrac float64, stellarOn bool) (*IXP, []*member.Member) {
+	t.Helper()
+	members := member.MakePopulation(member.PopulationConfig{
+		N: n, HonoringFraction: honorFrac, PortCapacityBps: 1e10, Seed: 11,
+	})
+	// The victim gets a 1 Gbps port (the paper's monitored member port).
+	members[0].PortCapacityBps = 1e9
+	x, err := Build(Config{
+		ASN:              ixpASN,
+		BlackholeNextHop: blackholeNH,
+		Members:          members,
+		EnableStellar:    stellarOn,
+		QueueRate:        1000, // effectively unthrottled for unit tests
+		QueueBurst:       1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x, members
+}
+
+func victimAddr(m *member.Member) netip.Addr {
+	return m.Prefixes[0].Addr().Next() // .1 in the member's /24
+}
+
+func TestBuildWiring(t *testing.T) {
+	x, members := buildTestIXP(t, 20, 0.3, true)
+	if len(x.RS.Peers()) != 20 {
+		t.Fatalf("peers: %d", len(x.RS.Peers()))
+	}
+	if got := len(x.Fabric.Ports()); got != 20 {
+		t.Fatalf("ports: %d", got)
+	}
+	if x.Stellar == nil {
+		t.Fatal("stellar not wired")
+	}
+	if _, err := x.Member(members[0].Name); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Member("ghost"); err == nil {
+		t.Fatal("ghost member found")
+	}
+	if _, ok := x.MemberByMAC(members[3].MAC); !ok {
+		t.Fatal("MemberByMAC")
+	}
+	owner, err := x.VictimOwner(victimAddr(members[0]))
+	if err != nil || owner != members[0].Name {
+		t.Fatalf("VictimOwner: %v %v", owner, err)
+	}
+	if _, err := x.VictimOwner(netip.MustParseAddr("9.9.9.9")); err == nil {
+		t.Fatal("unowned address resolved")
+	}
+}
+
+func TestBuildDuplicateMember(t *testing.T) {
+	members := member.MakePopulation(member.PopulationConfig{N: 2, Seed: 1})
+	members[1] = members[0]
+	if _, err := Build(Config{ASN: 1, Members: members}); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+}
+
+func TestRTBHHonoringOnlyHonoringMembersNullRoute(t *testing.T) {
+	x, members := buildTestIXP(t, 50, 0.3, false)
+	victim := members[0]
+	target := victimAddr(victim)
+	host := netip.PrefixFrom(target, 32)
+
+	// Victim announces its /24, then blackholes the /32.
+	if err := x.Announce(victim.Name, victim.Prefixes[0], nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Announce(victim.Name, host, []bgp.Community{bgp.CommunityBlackhole}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	honoring := 0
+	for _, m := range members[1:] {
+		if m.HonorsRTBH() {
+			honoring++
+			if !x.NullRouted(m.Name, target) {
+				t.Fatalf("honoring member %s did not null-route", m.Name)
+			}
+		} else if x.NullRouted(m.Name, target) {
+			t.Fatalf("non-honoring member %s null-routed", m.Name)
+		}
+	}
+	if honoring == 0 {
+		t.Fatal("test needs at least one honoring member")
+	}
+	if got := x.NullRouteCount(target); got != honoring {
+		t.Fatalf("NullRouteCount: %d, want %d", got, honoring)
+	}
+
+	// Withdrawal clears the null routes.
+	if err := x.Withdraw(victim.Name, host); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.NullRouteCount(target); got != 0 {
+		t.Fatalf("null routes after withdraw: %d", got)
+	}
+}
+
+func TestTickNullRoutingDropsHonoringTraffic(t *testing.T) {
+	x, members := buildTestIXP(t, 10, 1.0, false) // everyone honors
+	victim := members[0]
+	target := victimAddr(victim)
+	host := netip.PrefixFrom(target, 32)
+	if err := x.Announce(victim.Name, victim.Prefixes[0], nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Announce(victim.Name, host, []bgp.Community{bgp.CommunityBlackhole}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := stats.NewRand(1)
+	attack := traffic.NewAttack(traffic.VectorNTP, target, PeersOf(members[1:]), 1e9, 0, 100, rng)
+	attack.RampTicks = 0
+	offers := attack.Offers(10, 1)
+	reports, err := x.Tick(fabric.TickOffers{victim.Name: offers}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := reports[victim.Name]
+	if rep.NulledBytes <= 0 {
+		t.Fatal("no traffic nulled")
+	}
+	if rep.Result.DeliveredBytes != 0 {
+		t.Fatalf("delivered despite full honoring: %v", rep.Result.DeliveredBytes)
+	}
+}
+
+func TestStellarEndToEndMitigation(t *testing.T) {
+	// The complete §5.3 signal path: announce /32 with an AdvBH drop
+	// signal -> controller -> QoS rule -> attack dies, web lives.
+	x, members := buildTestIXP(t, 10, 0.0, true) // nobody honors RTBH
+	victim := members[0]
+	target := victimAddr(victim)
+	host := netip.PrefixFrom(target, 32)
+	if err := x.Announce(victim.Name, victim.Prefixes[0], nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := stats.NewRand(2)
+	peers := PeersOf(members[1:])
+	attack := traffic.NewAttack(traffic.VectorNTP, target, peers, 2e9, 0, 1000, rng)
+	attack.RampTicks = 0
+	web := traffic.NewWebService(target, peers[:3], 4e8, rng)
+
+	mkOffers := func(tick int) []fabric.Offer {
+		return append(attack.Offers(tick, 1), web.Offers(tick, 1)...)
+	}
+
+	// Before mitigation: congestion, web suffers.
+	reports, err := x.Tick(fabric.TickOffers{victim.Name: mkOffers(0)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := reports[victim.Name]
+	if pre.Result.CongestionDroppedBytes <= 0 {
+		t.Fatal("expected congestion before mitigation")
+	}
+
+	// Signal Advanced Blackholing: drop UDP src 123 toward the /32.
+	if err := x.Announce(victim.Name, host, nil, []core.RuleSpec{core.DropUDPSrcPort(123)}); err != nil {
+		t.Fatal(err)
+	}
+	// Next tick applies the queued change, then filters.
+	reports, err = x.Tick(fabric.TickOffers{victim.Name: mkOffers(1)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := reports[victim.Name]
+	if post.Result.RuleDroppedBytes <= 0 {
+		t.Fatalf("rule did not drop: %+v (stellar errs %v)", post.Result, x.Stellar.Errors())
+	}
+	// Web traffic delivered in full: 4e8 bps = 5e7 bytes.
+	if post.Result.DeliveredBytes < 4.9e7 || post.Result.DeliveredBytes > 5.1e7 {
+		t.Fatalf("delivered: %v, want ~5e7 (web only)", post.Result.DeliveredBytes)
+	}
+	if post.Result.CongestionDroppedBytes != 0 {
+		t.Fatal("congestion after mitigation")
+	}
+}
+
+func TestScenarioRunsEvents(t *testing.T) {
+	x, members := buildTestIXP(t, 10, 0.0, true)
+	victim := members[0]
+	target := victimAddr(victim)
+	host := netip.PrefixFrom(target, 32)
+	if err := x.Announce(victim.Name, victim.Prefixes[0], nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(3)
+	peers := PeersOf(members[1:])
+	attack := traffic.NewAttack(traffic.VectorNTP, target, peers, 1e9, 5, 100, rng)
+
+	sc := &Scenario{
+		IXP:        x,
+		VictimPort: victim.Name,
+		Ticks:      30,
+		Dt:         1,
+		Sources:    []Source{attack},
+		Events: []Event{
+			{Tick: 15, Name: "drop ntp", Do: func(ix *IXP) error {
+				return ix.Announce(victim.Name, host, nil, []core.RuleSpec{core.DropUDPSrcPort(123)})
+			}},
+		},
+	}
+	samples, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 30 {
+		t.Fatalf("samples: %d", len(samples))
+	}
+	// Quiet before attack, loud during, near-zero after mitigation.
+	if samples[2].DeliveredBps != 0 {
+		t.Fatalf("tick 2 delivered: %v", samples[2].DeliveredBps)
+	}
+	during := MeanDeliveredBps(samples, 10, 15)
+	if during < 5e8 {
+		t.Fatalf("during attack: %v", during)
+	}
+	after := MeanDeliveredBps(samples, 18, 30)
+	if after > during/10 {
+		t.Fatalf("after mitigation: %v (during %v)", after, during)
+	}
+	if MeanActivePeers(samples, 10, 15) <= MeanActivePeers(samples, 20, 30) {
+		t.Fatal("peer count did not fall after drop")
+	}
+}
+
+func TestScenarioUnknownVictim(t *testing.T) {
+	x, _ := buildTestIXP(t, 3, 0, false)
+	sc := &Scenario{IXP: x, VictimPort: "ghost", Ticks: 1}
+	if _, err := sc.Run(); err == nil {
+		t.Fatal("unknown victim accepted")
+	}
+}
+
+func TestScenarioEventError(t *testing.T) {
+	x, members := buildTestIXP(t, 3, 0, false)
+	sc := &Scenario{
+		IXP: x, VictimPort: members[0].Name, Ticks: 5,
+		Events: []Event{{Tick: 1, Name: "bad", Do: func(ix *IXP) error {
+			return ix.Announce("ghost", members[0].Prefixes[0], nil, nil)
+		}}},
+	}
+	if _, err := sc.Run(); err == nil {
+		t.Fatal("event error swallowed")
+	}
+}
+
+func TestAnnounceRejectedPropagates(t *testing.T) {
+	x, members := buildTestIXP(t, 3, 0, false)
+	// Announce a prefix the member does not own.
+	err := x.Announce(members[0].Name, netip.MustParsePrefix("8.8.8.0/24"), nil, nil)
+	if err == nil {
+		t.Fatal("hijack accepted")
+	}
+}
+
+func TestMeanHelpersEmptyRange(t *testing.T) {
+	if MeanDeliveredBps(nil, 0, 10) != 0 || MeanActivePeers(nil, 0, 10) != 0 {
+		t.Fatal("empty range should be 0")
+	}
+}
+
+func TestIPv6BlackholingEndToEnd(t *testing.T) {
+	// The IPv6 path: a member announces a /48, then blackholes a /128
+	// with an Advanced Blackholing signal; the controller installs a v6
+	// rule and the fabric drops matching traffic.
+	x, members := buildTestIXP(t, 6, 0.0, true)
+	victim := members[0]
+	v6Prefix := netip.MustParsePrefix("2001:db8:100::/48")
+	victim.Prefixes = append(victim.Prefixes, v6Prefix)
+	x.Policy.IRR.Register(victim.ASN, v6Prefix)
+	target6 := netip.MustParseAddr("2001:db8:100::10")
+	host6 := netip.PrefixFrom(target6, 128)
+
+	if err := x.Announce(victim.Name, v6Prefix, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Announce(victim.Name, host6, nil, []core.RuleSpec{core.DropUDPSrcPort(123)}); err != nil {
+		t.Fatal(err)
+	}
+	// A plain /128 without a blackholing signal must be rejected.
+	other6 := netip.PrefixFrom(netip.MustParseAddr("2001:db8:100::99"), 128)
+	if err := x.Announce(victim.Name, other6, nil, nil); err == nil {
+		t.Fatal("plain /128 accepted")
+	}
+
+	// Attack traffic over IPv6 toward the /128.
+	attacker := members[1]
+	offer := fabric.Offer{
+		Flow: netpkt.FlowKey{
+			SrcMAC: attacker.MAC,
+			Src:    netip.MustParseAddr("2001:db8:bad::1"),
+			Dst:    target6,
+			Proto:  netpkt.ProtoUDP, SrcPort: 123, DstPort: 443,
+		},
+		Bytes: 1e6, Packets: 1000,
+	}
+	web := fabric.Offer{
+		Flow: netpkt.FlowKey{
+			SrcMAC: attacker.MAC,
+			Src:    netip.MustParseAddr("2001:db8:bad::1"),
+			Dst:    target6,
+			Proto:  netpkt.ProtoTCP, SrcPort: 50000, DstPort: 443,
+		},
+		Bytes: 5e5, Packets: 500,
+	}
+	reports, err := x.Tick(fabric.TickOffers{victim.Name: {offer, web}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := reports[victim.Name]
+	if rep.Result.RuleDroppedBytes != 1e6 {
+		t.Fatalf("v6 rule drop: %v (stellar errs: %v)", rep.Result.RuleDroppedBytes, x.Stellar.Errors())
+	}
+	if rep.Result.DeliveredBytes != 5e5 {
+		t.Fatalf("v6 benign delivered: %v", rep.Result.DeliveredBytes)
+	}
+
+	// Withdraw removes the v6 rule.
+	if err := x.Withdraw(victim.Name, host6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Tick(fabric.TickOffers{}, 1); err != nil {
+		t.Fatal(err)
+	}
+	port, _ := x.Fabric.PortByName(victim.Name)
+	if port.RuleCount() != 0 {
+		t.Fatalf("v6 rule not removed: %d", port.RuleCount())
+	}
+}
+
+func TestMemberSessionLossCleansRules(t *testing.T) {
+	// Failure injection: the victim's BGP session dies; the route server
+	// withdraws everything (RFC 4271 implicit withdraw) and Stellar must
+	// tear the member's blackholing rules down.
+	x, members := buildTestIXP(t, 6, 0.0, true)
+	victim := members[0]
+	target := victimAddr(victim)
+	host := netip.PrefixFrom(target, 32)
+	if err := x.Announce(victim.Name, host, nil, []core.RuleSpec{core.DropUDPSrcPort(123)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Tick(fabric.TickOffers{}, 1); err != nil {
+		t.Fatal(err)
+	}
+	port, _ := x.Fabric.PortByName(victim.Name)
+	if port.RuleCount() != 1 {
+		t.Fatalf("precondition: %d rules", port.RuleCount())
+	}
+	// Session loss.
+	if _, err := x.RS.HandleWithdrawAll(victim.Name); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Tick(fabric.TickOffers{}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if port.RuleCount() != 0 {
+		t.Fatalf("rules after session loss: %d", port.RuleCount())
+	}
+	if x.Stellar.RIBLen() != 0 {
+		t.Fatal("controller RIB not cleared")
+	}
+}
+
+func TestScenarioMonitorRecordsFlows(t *testing.T) {
+	x, members := buildTestIXP(t, 8, 0.0, false)
+	victim := members[0]
+	target := victimAddr(victim)
+	rng := stats.NewRand(4)
+	attack := traffic.NewAttack(traffic.VectorNTP, target, PeersOf(members[1:]), 5e8, 0, 20, rng)
+	attack.RampTicks = 0
+	sc := &Scenario{IXP: x, VictimPort: victim.Name, Ticks: 10, Sources: []Source{attack}}
+	samples, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The monitor saw every delivered flow: UDP/123 dominates the
+	// source-port histogram and the per-bin series matches the samples.
+	top := sc.Monitor.TopSrcPorts(1)
+	if len(top) == 0 || top[0].Port != 123 {
+		t.Fatalf("top ports: %+v", top)
+	}
+	if got := sc.Monitor.PeerCount(5, 0); got != samples[5].ActivePeers {
+		t.Fatalf("monitor peers %d != sample peers %d", got, samples[5].ActivePeers)
+	}
+	bins, bytes := sc.Monitor.Series()
+	if len(bins) != 10 {
+		t.Fatalf("bins: %d", len(bins))
+	}
+	wantBytes := samples[3].DeliveredBps / 8
+	if math.Abs(bytes[3]-wantBytes) > wantBytes*1e-6 {
+		t.Fatalf("series[3] = %v, want %v", bytes[3], wantBytes)
+	}
+}

@@ -1,0 +1,153 @@
+package ixp
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"stellar/internal/fabric"
+	"stellar/internal/flowmon"
+)
+
+// Source produces flow-level offers per tick (attacks, benign services).
+type Source interface {
+	Offers(tick int, dtSeconds float64) []fabric.Offer
+}
+
+// Event runs an action at the beginning of a tick — announcing a
+// blackhole, escalating a rule, withdrawing a route.
+type Event struct {
+	Tick int
+	Name string
+	Do   func(*IXP) error
+}
+
+// Sample is one tick of the scenario's victim-port time series — the
+// measurements plotted in Figures 3(c) and 10(c).
+type Sample struct {
+	Tick                 int
+	Time                 float64
+	OfferedBps           float64
+	DeliveredBps         float64
+	NulledBps            float64 // RTBH null-routed at the IXP
+	RuleDroppedBps       float64 // Stellar drop queue
+	ShaperDroppedBps     float64 // Stellar shaping queue excess
+	CongestionDroppedBps float64 // victim port overload
+	ActivePeers          int
+}
+
+// Scenario drives an IXP through a timed experiment against one victim
+// port.
+type Scenario struct {
+	IXP        *IXP
+	VictimPort string
+	Ticks      int
+	Dt         float64
+	Sources    []Source
+	Events     []Event
+	// PeerMinBps is the delivered-rate threshold for counting a peer as
+	// active (defaults to 1 kbps).
+	PeerMinBps float64
+	// Monitor receives every delivered flow as an IPFIX-style record
+	// (bin = tick). Run creates one when nil; it is the measurement
+	// pipeline behind the per-port and per-peer series.
+	Monitor *flowmon.Collector
+}
+
+// Run executes the scenario and returns the per-tick samples.
+func (s *Scenario) Run() ([]Sample, error) {
+	if s.Dt == 0 {
+		s.Dt = 1
+	}
+	if s.PeerMinBps == 0 {
+		s.PeerMinBps = 1e3
+	}
+	if _, err := s.IXP.Fabric.PortByName(s.VictimPort); err != nil {
+		return nil, fmt.Errorf("ixp: victim port: %w", err)
+	}
+	if s.Monitor == nil {
+		s.Monitor = flowmon.NewCollector()
+	}
+	events := append([]Event(nil), s.Events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Tick < events[j].Tick })
+
+	samples := make([]Sample, 0, s.Ticks)
+	ei := 0
+	for tick := 0; tick < s.Ticks; tick++ {
+		for ei < len(events) && events[ei].Tick == tick {
+			if err := events[ei].Do(s.IXP); err != nil {
+				return samples, fmt.Errorf("ixp: event %q at tick %d: %w", events[ei].Name, tick, err)
+			}
+			ei++
+		}
+		var offers []fabric.Offer
+		for _, src := range s.Sources {
+			offers = append(offers, src.Offers(tick, s.Dt)...)
+		}
+		reports, err := s.IXP.Tick(fabric.TickOffers{s.VictimPort: offers}, s.Dt)
+		if err != nil {
+			return samples, err
+		}
+		rep := reports[s.VictimPort]
+		for flow, bytes := range rep.Result.DeliveredByFlow {
+			s.Monitor.Observe(flowmon.Record{Bin: tick, Key: flow, Bytes: bytes})
+		}
+		samples = append(samples, Sample{
+			Tick:                 tick,
+			Time:                 float64(tick) * s.Dt,
+			OfferedBps:           rep.OfferedBytes * 8 / s.Dt,
+			DeliveredBps:         rep.Result.DeliveredBytes * 8 / s.Dt,
+			NulledBps:            rep.NulledBytes * 8 / s.Dt,
+			RuleDroppedBps:       rep.Result.RuleDroppedBytes * 8 / s.Dt,
+			ShaperDroppedBps:     rep.Result.ShaperDroppedBytes * 8 / s.Dt,
+			CongestionDroppedBps: rep.Result.CongestionDroppedBytes * 8 / s.Dt,
+			ActivePeers:          s.IXP.ActivePeers(rep.Result, s.PeerMinBps*s.Dt/8),
+		})
+	}
+	return samples, nil
+}
+
+// MeanDeliveredBps averages delivered rate over [from, to) ticks.
+func MeanDeliveredBps(samples []Sample, from, to int) float64 {
+	var sum float64
+	n := 0
+	for _, s := range samples {
+		if s.Tick >= from && s.Tick < to {
+			sum += s.DeliveredBps
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MeanActivePeers averages the peer count over [from, to) ticks.
+func MeanActivePeers(samples []Sample, from, to int) float64 {
+	var sum float64
+	n := 0
+	for _, s := range samples {
+		if s.Tick >= from && s.Tick < to {
+			sum += float64(s.ActivePeers)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// VictimOwner finds the member owning the address (by registered
+// prefix) — the destination port for attack traffic.
+func (x *IXP) VictimOwner(addr netip.Addr) (string, error) {
+	for name, m := range x.members {
+		for _, p := range m.Prefixes {
+			if p.Contains(addr) {
+				return name, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("ixp: no member owns %s", addr)
+}

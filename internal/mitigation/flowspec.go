@@ -1,0 +1,74 @@
+package mitigation
+
+import (
+	"stellar/internal/bgp"
+	"stellar/internal/fabric"
+	"stellar/internal/netpkt"
+)
+
+// FlowSpecToMatch compiles an RFC 5575 flow specification into the
+// fabric's single-pattern match, when it is expressible: equality-only
+// operators, one value per component, and the component types a TCAM
+// filter supports (dst/src prefix, protocol, src/dst port). This mirrors
+// what a router would push into hardware for simple Flowspec rules; the
+// general case (ranges, bitmasks, fragments) returns ok=false, which the
+// comparison experiments treat as "needs slow-path processing" — one of
+// the resource-sharing costs Section 4.2.1 holds against Flowspec.
+func FlowSpecToMatch(fs *bgp.FlowSpec) (fabric.Match, bool) {
+	m := fabric.MatchAll()
+	for _, c := range fs.Components {
+		switch c.Type {
+		case bgp.FSDstPrefix:
+			m.DstIP = c.Prefix
+		case bgp.FSSrcPrefix:
+			m.SrcIP = c.Prefix
+		case bgp.FSIPProto:
+			v, ok := singleEq(c.Matches)
+			if !ok || v > 255 {
+				return fabric.Match{}, false
+			}
+			m.Proto = netpkt.IPProto(v)
+		case bgp.FSSrcPort:
+			v, ok := singleEq(c.Matches)
+			if !ok || v > 65535 {
+				return fabric.Match{}, false
+			}
+			m.SrcPort = int32(v)
+		case bgp.FSDstPort:
+			v, ok := singleEq(c.Matches)
+			if !ok || v > 65535 {
+				return fabric.Match{}, false
+			}
+			m.DstPort = int32(v)
+		default:
+			return fabric.Match{}, false
+		}
+	}
+	return m, true
+}
+
+func singleEq(ms []bgp.FlowSpecMatch) (uint64, bool) {
+	if len(ms) != 1 {
+		return 0, false
+	}
+	m := ms[0]
+	if !m.EQ || m.LT || m.GT {
+		return 0, false
+	}
+	return m.Value, true
+}
+
+// FlowSpecAction derives the filtering action from a route's extended
+// communities per RFC 5575 §7: a traffic-rate of 0 drops, a positive
+// rate shapes. ok is false when no traffic-filtering action is present.
+func FlowSpecAction(attrs *bgp.PathAttrs) (action fabric.ActionKind, rateBps float64, ok bool) {
+	for _, e := range attrs.ExtCommunities {
+		if _, bytesPerSec, isRate := bgp.TrafficRateValue(e); isRate {
+			if bytesPerSec == 0 {
+				return fabric.ActionDrop, 0, true
+			}
+			return fabric.ActionShape, float64(bytesPerSec) * 8, true
+		}
+	}
+	return fabric.ActionForward, 0, false
+}

@@ -1,0 +1,98 @@
+package netpkt
+
+import "net/netip"
+
+// Builder constructs synthetic packets for the traffic generators and
+// tests. Methods return the builder for chaining; Build returns the
+// completed packet.
+type Builder struct {
+	p Packet
+}
+
+// NewBuilder returns a Builder with an Ethernet header between the given
+// hardware addresses.
+func NewBuilder(src, dst MAC) *Builder {
+	b := &Builder{}
+	b.p.Eth.Src = src
+	b.p.Eth.Dst = dst
+	return b
+}
+
+// IPv4 sets the network layer to IPv4 with the given endpoints.
+func (b *Builder) IPv4(src, dst netip.Addr) *Builder {
+	b.p.Eth.Type = EtherTypeIPv4
+	b.p.IPv4 = &IPv4{TTL: 64, Src: src, Dst: dst}
+	return b
+}
+
+// IPv6 sets the network layer to IPv6 with the given endpoints.
+func (b *Builder) IPv6(src, dst netip.Addr) *Builder {
+	b.p.Eth.Type = EtherTypeIPv6
+	b.p.IPv6 = &IPv6{HopLimit: 64, Src: src, Dst: dst}
+	return b
+}
+
+// UDP sets the transport layer to UDP with the given ports.
+func (b *Builder) UDP(srcPort, dstPort uint16) *Builder {
+	b.p.UDP = &UDP{SrcPort: srcPort, DstPort: dstPort}
+	b.setProto(ProtoUDP)
+	return b
+}
+
+// TCP sets the transport layer to TCP with the given ports and flags.
+func (b *Builder) TCP(srcPort, dstPort uint16, flags TCPFlags) *Builder {
+	b.p.TCP = &TCP{SrcPort: srcPort, DstPort: dstPort, Flags: flags, Window: 65535}
+	b.setProto(ProtoTCP)
+	return b
+}
+
+func (b *Builder) setProto(proto IPProto) {
+	if b.p.IPv4 != nil {
+		b.p.IPv4.Protocol = proto
+	}
+	if b.p.IPv6 != nil {
+		b.p.IPv6.NextHeader = proto
+	}
+}
+
+// Payload sets the application payload bytes.
+func (b *Builder) Payload(data []byte) *Builder {
+	b.p.Payload = data
+	return b
+}
+
+// PayloadLen sets a synthetic payload length without materializing bytes;
+// the flow-level simulator uses WireLen for byte accounting.
+func (b *Builder) PayloadLen(n int) *Builder {
+	b.p.WireLen = b.headerLen() + n
+	return b
+}
+
+// Build finalizes and returns the packet. WireLen is computed from the
+// declared headers and payload when not set explicitly.
+func (b *Builder) Build() *Packet {
+	p := b.p // copy; the builder can be reused
+	if p.WireLen == 0 {
+		p.WireLen = b.headerLen() + len(p.Payload)
+	}
+	return &p
+}
+
+func (b *Builder) headerLen() int {
+	n := ethernetHeaderLen
+	switch {
+	case b.p.IPv4 != nil:
+		n += 20 + len(b.p.IPv4.Options)
+	case b.p.IPv6 != nil:
+		n += 40
+	case b.p.ARP != nil:
+		n += 28
+	}
+	switch {
+	case b.p.UDP != nil:
+		n += 8
+	case b.p.TCP != nil:
+		n += 20 + len(b.p.TCP.Options)
+	}
+	return n
+}

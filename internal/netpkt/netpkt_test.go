@@ -1,0 +1,367 @@
+package netpkt
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	macA = MustParseMAC("02:00:00:00:00:0a")
+	macB = MustParseMAC("02:00:00:00:00:0b")
+	ip1  = netip.MustParseAddr("100.10.10.10")
+	ip2  = netip.MustParseAddr("203.0.113.7")
+	ip6a = netip.MustParseAddr("2001:db8::1")
+	ip6b = netip.MustParseAddr("2001:db8::2")
+)
+
+func TestParseMAC(t *testing.T) {
+	m, err := ParseMAC("aa:bb:cc:dd:ee:ff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "aa:bb:cc:dd:ee:ff" {
+		t.Fatalf("roundtrip: %s", m)
+	}
+	for _, bad := range []string{"", "aa:bb:cc:dd:ee", "aa-bb-cc-dd-ee-ff", "zz:bb:cc:dd:ee:ff", "aa:bb:cc:dd:ee:f"} {
+		if _, err := ParseMAC(bad); err == nil {
+			t.Errorf("ParseMAC(%q) should fail", bad)
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	if !Broadcast.IsBroadcast() {
+		t.Fatal("Broadcast not broadcast")
+	}
+	if macA.IsBroadcast() {
+		t.Fatal("unicast claimed broadcast")
+	}
+}
+
+func TestUDPIPv4Roundtrip(t *testing.T) {
+	pkt := NewBuilder(macA, macB).
+		IPv4(ip1, ip2).
+		UDP(123, 4500).
+		Payload([]byte("ntp-monlist-response")).
+		Build()
+	wire, err := pkt.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Eth.Src != macA || got.Eth.Dst != macB {
+		t.Fatalf("eth mismatch: %+v", got.Eth)
+	}
+	if got.IPv4 == nil || got.IPv4.Src != ip1 || got.IPv4.Dst != ip2 {
+		t.Fatalf("ip mismatch: %+v", got.IPv4)
+	}
+	if got.UDP == nil || got.UDP.SrcPort != 123 || got.UDP.DstPort != 4500 {
+		t.Fatalf("udp mismatch: %+v", got.UDP)
+	}
+	if string(got.Payload) != "ntp-monlist-response" {
+		t.Fatalf("payload mismatch: %q", got.Payload)
+	}
+	if got.WireLen != len(wire) {
+		t.Fatalf("WireLen = %d, want %d", got.WireLen, len(wire))
+	}
+}
+
+func TestTCPIPv4Roundtrip(t *testing.T) {
+	pkt := NewBuilder(macB, macA).
+		IPv4(ip2, ip1).
+		TCP(443, 50123, FlagSYN|FlagACK).
+		Payload([]byte{1, 2, 3}).
+		Build()
+	pkt.TCP.Seq, pkt.TCP.Ack = 1000, 2000
+	pkt.TCP.Options = []byte{2, 4, 5, 0xb4} // MSS option padded to 4
+	wire, err := pkt.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := got.TCP
+	if tc == nil || tc.SrcPort != 443 || tc.DstPort != 50123 {
+		t.Fatalf("tcp ports: %+v", tc)
+	}
+	if tc.Flags != FlagSYN|FlagACK {
+		t.Fatalf("flags = %v", tc.Flags)
+	}
+	if tc.Seq != 1000 || tc.Ack != 2000 {
+		t.Fatalf("seq/ack: %+v", tc)
+	}
+	if !bytes.Equal(tc.Options, []byte{2, 4, 5, 0xb4}) {
+		t.Fatalf("options: %v", tc.Options)
+	}
+	if !bytes.Equal(got.Payload, []byte{1, 2, 3}) {
+		t.Fatalf("payload: %v", got.Payload)
+	}
+}
+
+func TestUDPIPv6Roundtrip(t *testing.T) {
+	pkt := NewBuilder(macA, macB).
+		IPv6(ip6a, ip6b).
+		UDP(53, 3333).
+		Payload([]byte("dnssec-any-response")).
+		Build()
+	wire, err := pkt.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IPv6 == nil || got.IPv6.Src != ip6a || got.IPv6.Dst != ip6b {
+		t.Fatalf("ipv6 mismatch: %+v", got.IPv6)
+	}
+	if got.UDP == nil || got.UDP.SrcPort != 53 {
+		t.Fatalf("udp mismatch: %+v", got.UDP)
+	}
+	if got.Proto() != ProtoUDP {
+		t.Fatalf("Proto = %v", got.Proto())
+	}
+}
+
+func TestARPRoundtrip(t *testing.T) {
+	pkt := &Packet{
+		Eth: Ethernet{Src: macA, Dst: Broadcast, Type: EtherTypeARP},
+		ARP: &ARP{Op: 1, SenderHW: macA, SenderIP: ip1, TargetIP: ip2},
+	}
+	wire, err := pkt.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ARP == nil || got.ARP.Op != 1 || got.ARP.SenderIP != ip1 || got.ARP.TargetIP != ip2 {
+		t.Fatalf("arp mismatch: %+v", got.ARP)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	pkt := NewBuilder(macA, macB).IPv4(ip1, ip2).UDP(1, 2).Build()
+	wire, err := pkt.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every prefix shorter than the full header chain must error, not panic.
+	for i := 0; i < len(wire); i++ {
+		if _, err := Decode(wire[:i]); err == nil && i < 14+20+8 {
+			t.Fatalf("Decode of %d-byte prefix should fail", i)
+		}
+	}
+}
+
+func TestDecodeBadChecksum(t *testing.T) {
+	pkt := NewBuilder(macA, macB).IPv4(ip1, ip2).UDP(1, 2).Build()
+	wire, _ := pkt.Serialize()
+	wire[14+10] ^= 0xff // corrupt IPv4 checksum
+	if _, err := Decode(wire); err != ErrBadChecksum {
+		t.Fatalf("err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestDecodeBadVersion(t *testing.T) {
+	pkt := NewBuilder(macA, macB).IPv4(ip1, ip2).UDP(1, 2).Build()
+	wire, _ := pkt.Serialize()
+	wire[14] = 5<<4 | 5 // version 5
+	if _, err := Decode(wire); err != ErrBadVersion {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestFlowKey(t *testing.T) {
+	pkt := NewBuilder(macA, macB).IPv4(ip1, ip2).UDP(11211, 80).Build()
+	k := pkt.Flow()
+	want := FlowKey{SrcMAC: macA, Src: ip1, Dst: ip2, Proto: ProtoUDP, SrcPort: 11211, DstPort: 80}
+	if k != want {
+		t.Fatalf("FlowKey = %+v, want %+v", k, want)
+	}
+	// FlowKey must be usable as a map key.
+	m := map[FlowKey]int{k: 1}
+	if m[want] != 1 {
+		t.Fatal("map lookup failed")
+	}
+}
+
+func TestAccessorsNonIP(t *testing.T) {
+	p := &Packet{}
+	if p.SrcIP().IsValid() || p.DstIP().IsValid() {
+		t.Fatal("zero packet has IPs")
+	}
+	if p.Proto() != 0 || p.SrcPort() != 0 || p.DstPort() != 0 {
+		t.Fatal("zero packet has transport info")
+	}
+}
+
+func TestPayloadLenSynthetic(t *testing.T) {
+	pkt := NewBuilder(macA, macB).IPv4(ip1, ip2).UDP(123, 9).PayloadLen(1458).Build()
+	// 14 eth + 20 ip + 8 udp + 1458 = 1500
+	if pkt.WireLen != 1500 {
+		t.Fatalf("WireLen = %d, want 1500", pkt.WireLen)
+	}
+}
+
+func TestRoundtripPropertyUDP(t *testing.T) {
+	f := func(srcPort, dstPort uint16, tos, ttl uint8, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		pkt := NewBuilder(macA, macB).IPv4(ip1, ip2).UDP(srcPort, dstPort).Payload(payload).Build()
+		pkt.IPv4.TOS = tos
+		if ttl == 0 {
+			ttl = 1
+		}
+		pkt.IPv4.TTL = ttl
+		wire, err := pkt.Serialize()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		return got.UDP.SrcPort == srcPort &&
+			got.UDP.DstPort == dstPort &&
+			got.IPv4.TOS == tos &&
+			got.IPv4.TTL == ttl &&
+			bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundtripPropertyTCPFlags(t *testing.T) {
+	f := func(flags uint8, seq, ack uint32, window uint16) bool {
+		pkt := NewBuilder(macA, macB).IPv4(ip1, ip2).TCP(80, 443, TCPFlags(flags)).Build()
+		pkt.TCP.Seq, pkt.TCP.Ack, pkt.TCP.Window = seq, ack, window
+		wire, err := pkt.Serialize()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		return got.TCP.Flags == TCPFlags(flags) &&
+			got.TCP.Seq == seq && got.TCP.Ack == ack && got.TCP.Window == window
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeFuzzNoPanics(t *testing.T) {
+	// Decode must never panic on arbitrary bytes.
+	f := func(data []byte) bool {
+		_, _ = Decode(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializeErrors(t *testing.T) {
+	pkt := NewBuilder(macA, macB).IPv4(ip1, ip2).TCP(1, 2, 0).Build()
+	pkt.TCP.Options = []byte{1, 2, 3} // not multiple of 4
+	if _, err := pkt.Serialize(); err == nil {
+		t.Fatal("want error for bad TCP options length")
+	}
+	pkt2 := NewBuilder(macA, macB).IPv4(ip1, ip2).UDP(1, 2).Build()
+	pkt2.IPv4.Options = []byte{1}
+	if _, err := pkt2.Serialize(); err == nil {
+		t.Fatal("want error for bad IPv4 options length")
+	}
+}
+
+func TestEtherTypeStrings(t *testing.T) {
+	if EtherTypeIPv4.String() != "IPv4" || EtherTypeIPv6.String() != "IPv6" || EtherTypeARP.String() != "ARP" {
+		t.Fatal("EtherType strings")
+	}
+	if EtherType(0x1234).String() == "" {
+		t.Fatal("unknown EtherType string empty")
+	}
+	if ProtoUDP.String() != "UDP" || ProtoTCP.String() != "TCP" || ProtoICMP.String() != "ICMP" {
+		t.Fatal("IPProto strings")
+	}
+}
+
+func BenchmarkDecodeUDP(b *testing.B) {
+	pkt := NewBuilder(macA, macB).IPv4(ip1, ip2).UDP(123, 9999).Payload(make([]byte, 468)).Build()
+	wire, err := pkt.Serialize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerializeUDP(b *testing.B) {
+	pkt := NewBuilder(macA, macB).IPv4(ip1, ip2).UDP(123, 9999).Payload(make([]byte, 468)).Build()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pkt.Serialize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestTCPIPv6Roundtrip(t *testing.T) {
+	pkt := NewBuilder(macA, macB).
+		IPv6(ip6a, ip6b).
+		TCP(443, 51000, FlagPSH|FlagACK).
+		Payload([]byte("h2 frame")).
+		Build()
+	wire, err := pkt.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IPv6 == nil || got.IPv6.NextHeader != ProtoTCP {
+		t.Fatalf("ipv6: %+v", got.IPv6)
+	}
+	if got.TCP == nil || got.TCP.Flags != FlagPSH|FlagACK {
+		t.Fatalf("tcp: %+v", got.TCP)
+	}
+	if got.Flow().Dst != ip6b || got.Flow().DstPort != 51000 {
+		t.Fatalf("flow: %+v", got.Flow())
+	}
+}
+
+func TestIPv6FlowLabelTrafficClass(t *testing.T) {
+	pkt := NewBuilder(macA, macB).IPv6(ip6a, ip6b).UDP(1, 2).Build()
+	pkt.IPv6.TrafficClass = 0xb8
+	pkt.IPv6.FlowLabel = 0xabcde
+	wire, err := pkt.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IPv6.TrafficClass != 0xb8 || got.IPv6.FlowLabel != 0xabcde {
+		t.Fatalf("tc/flow: %x %x", got.IPv6.TrafficClass, got.IPv6.FlowLabel)
+	}
+}

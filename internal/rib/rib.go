@@ -1,0 +1,304 @@
+// Package rib implements the Routing Information Bases used by the route
+// server and Stellar's blackholing controller: per-peer Adj-RIB-In tables
+// keyed by (prefix, peer, path-id) so that ADD-PATH sessions can hold
+// multiple paths per prefix, BGP best-path selection, and snapshot
+// diffing. Snapshot diffs are how the controller turns a BGP message
+// stream into a set of abstract configuration changes (Section 4.4).
+package rib
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"stellar/internal/bgp"
+)
+
+// PathKey uniquely identifies a path within a table.
+type PathKey struct {
+	Prefix netip.Prefix
+	Peer   string // peer identifier (route server uses the member's BGP ID or name)
+	PathID uint32 // ADD-PATH identifier; 0 on non-ADD-PATH sessions
+}
+
+func (k PathKey) String() string {
+	return fmt.Sprintf("%s via %s id=%d", k.Prefix, k.Peer, k.PathID)
+}
+
+// Path is one routing table entry.
+type Path struct {
+	Key    PathKey
+	PeerAS uint32
+	Attrs  bgp.PathAttrs
+	// Seq is a table-assigned monotonic sequence number; it orders
+	// arrivals for deterministic tie-breaking and lets diffs detect
+	// re-announcements with changed attributes.
+	Seq uint64
+}
+
+// Table is a concurrency-safe RIB.
+type Table struct {
+	mu     sync.RWMutex
+	routes map[netip.Prefix]map[PathKey]*Path
+	seq    uint64
+}
+
+// New returns an empty table.
+func New() *Table {
+	return &Table{routes: make(map[netip.Prefix]map[PathKey]*Path)}
+}
+
+// Add installs or replaces the path identified by key. It returns the
+// stored (copied) path.
+func (t *Table) Add(key PathKey, peerAS uint32, attrs bgp.PathAttrs) *Path {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	p := &Path{Key: key, PeerAS: peerAS, Attrs: attrs.Clone(), Seq: t.seq}
+	m := t.routes[key.Prefix]
+	if m == nil {
+		m = make(map[PathKey]*Path)
+		t.routes[key.Prefix] = m
+	}
+	m[key] = p
+	return p
+}
+
+// Remove deletes the path identified by key; it reports whether a path
+// was present.
+func (t *Table) Remove(key PathKey) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := t.routes[key.Prefix]
+	if m == nil {
+		return false
+	}
+	if _, ok := m[key]; !ok {
+		return false
+	}
+	delete(m, key)
+	if len(m) == 0 {
+		delete(t.routes, key.Prefix)
+	}
+	return true
+}
+
+// RemovePeer withdraws every path learned from peer (session teardown,
+// RFC 4271 §8: implicit withdraw of the whole Adj-RIB-In). It returns the
+// removed paths.
+func (t *Table) RemovePeer(peer string) []*Path {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var removed []*Path
+	for prefix, m := range t.routes {
+		for key, p := range m {
+			if key.Peer == peer {
+				removed = append(removed, p)
+				delete(m, key)
+			}
+		}
+		if len(m) == 0 {
+			delete(t.routes, prefix)
+		}
+	}
+	sortPaths(removed)
+	return removed
+}
+
+// FindByPathID returns the path for (prefix, pathID) regardless of the
+// peer label, or nil. BGP withdrawals on ADD-PATH sessions identify the
+// path by its identifier alone (RFC 7911 §3); attribute-less withdraw
+// messages cannot name the peer.
+func (t *Table) FindByPathID(prefix netip.Prefix, pathID uint32) *Path {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for key, p := range t.routes[prefix] {
+		if key.PathID == pathID {
+			return p
+		}
+	}
+	return nil
+}
+
+// Lookup returns every path for prefix, ordered best-first.
+func (t *Table) Lookup(prefix netip.Prefix) []*Path {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	m := t.routes[prefix]
+	out := make([]*Path, 0, len(m))
+	for _, p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return better(out[i], out[j]) })
+	return out
+}
+
+// Best returns the best path for prefix, or nil if none exists.
+func (t *Table) Best(prefix netip.Prefix) *Path {
+	paths := t.Lookup(prefix)
+	if len(paths) == 0 {
+		return nil
+	}
+	return paths[0]
+}
+
+// Prefixes returns every prefix with at least one path, sorted.
+func (t *Table) Prefixes() []netip.Prefix {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]netip.Prefix, 0, len(t.routes))
+	for p := range t.routes {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if c := a.Addr().Compare(b.Addr()); c != 0 {
+			return c < 0
+		}
+		return a.Bits() < b.Bits()
+	})
+	return out
+}
+
+// Len returns the total number of paths.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, m := range t.routes {
+		n += len(m)
+	}
+	return n
+}
+
+// MoreSpecifics returns all paths whose prefix is covered by (and at
+// least as specific as) covering, best-first within each prefix. The
+// blackholing controller uses it to find /32 blackholing routes inside a
+// member's registered aggregate.
+func (t *Table) MoreSpecifics(covering netip.Prefix) []*Path {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []*Path
+	for prefix, m := range t.routes {
+		if covering.Bits() <= prefix.Bits() && covering.Contains(prefix.Addr()) {
+			for _, p := range m {
+				out = append(out, p)
+			}
+		}
+	}
+	sortPaths(out)
+	return out
+}
+
+// Snapshot returns a point-in-time copy of the table keyed by PathKey.
+type Snapshot map[PathKey]*Path
+
+// Snapshot captures the current table contents. Paths are shared
+// (immutable by convention once stored); the map is a copy.
+func (t *Table) Snapshot() Snapshot {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s := make(Snapshot, len(t.routes)*2)
+	for _, m := range t.routes {
+		for key, p := range m {
+			s[key] = p
+		}
+	}
+	return s
+}
+
+// Diff is the difference between two snapshots.
+type Diff struct {
+	Added   []*Path // present in new only
+	Removed []*Path // present in old only
+	Changed []*Path // present in both with different Seq (re-announced)
+}
+
+// Empty reports whether the diff contains no changes.
+func (d Diff) Empty() bool {
+	return len(d.Added) == 0 && len(d.Removed) == 0 && len(d.Changed) == 0
+}
+
+// DiffSnapshots computes new minus old. Results are sorted for
+// determinism.
+func DiffSnapshots(old, new Snapshot) Diff {
+	var d Diff
+	for key, np := range new {
+		op, ok := old[key]
+		switch {
+		case !ok:
+			d.Added = append(d.Added, np)
+		case op.Seq != np.Seq:
+			d.Changed = append(d.Changed, np)
+		}
+	}
+	for key, op := range old {
+		if _, ok := new[key]; !ok {
+			d.Removed = append(d.Removed, op)
+		}
+	}
+	sortPaths(d.Added)
+	sortPaths(d.Removed)
+	sortPaths(d.Changed)
+	return d
+}
+
+func sortPaths(ps []*Path) {
+	sort.Slice(ps, func(i, j int) bool {
+		a, b := ps[i].Key, ps[j].Key
+		if c := a.Prefix.Addr().Compare(b.Prefix.Addr()); c != 0 {
+			return c < 0
+		}
+		if a.Prefix.Bits() != b.Prefix.Bits() {
+			return a.Prefix.Bits() < b.Prefix.Bits()
+		}
+		if a.Peer != b.Peer {
+			return a.Peer < b.Peer
+		}
+		return a.PathID < b.PathID
+	})
+}
+
+// better implements BGP decision process ordering (RFC 4271 §9.1.2.2,
+// the subset meaningful at a route server): higher LOCAL_PREF, shorter
+// AS_PATH, lower ORIGIN, lower MED (only between paths from the same
+// neighbor AS), then oldest (lowest Seq), then lowest peer string as the
+// final deterministic tie-break.
+func better(a, b *Path) bool {
+	lpA, lpB := uint32(100), uint32(100)
+	if a.Attrs.LocalPref != nil {
+		lpA = *a.Attrs.LocalPref
+	}
+	if b.Attrs.LocalPref != nil {
+		lpB = *b.Attrs.LocalPref
+	}
+	if lpA != lpB {
+		return lpA > lpB
+	}
+	if la, lb := a.Attrs.PathLen(), b.Attrs.PathLen(); la != lb {
+		return la < lb
+	}
+	if a.Attrs.Origin != b.Attrs.Origin {
+		return a.Attrs.Origin < b.Attrs.Origin
+	}
+	if a.PeerAS == b.PeerAS {
+		var medA, medB uint32
+		if a.Attrs.MED != nil {
+			medA = *a.Attrs.MED
+		}
+		if b.Attrs.MED != nil {
+			medB = *b.Attrs.MED
+		}
+		if medA != medB {
+			return medA < medB
+		}
+	}
+	if a.Seq != b.Seq {
+		return a.Seq < b.Seq
+	}
+	if a.Key.Peer != b.Key.Peer {
+		return a.Key.Peer < b.Key.Peer
+	}
+	return a.Key.PathID < b.Key.PathID
+}

@@ -1,0 +1,418 @@
+// Package routeserver implements the IXP's multilateral-peering route
+// server (Section 4.3, Figure 6): eBGP sessions with every member,
+// routing-hygiene import filtering against IRR/RPKI/bogon databases, the
+// RTBH next-hop rewrite for announcements carrying the BLACKHOLE
+// community, export control via IXP policy communities, and the
+// southbound feed to Stellar's blackholing controller, which sees every
+// accepted path (the ADD-PATH bypass of best-path selection).
+//
+// The package exposes an in-process message-level API (HandleUpdate /
+// HandleWithdrawAll); cmd/ixpd wires it to real TCP BGP sessions via
+// package bgpsession.
+package routeserver
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"stellar/internal/bgp"
+	"stellar/internal/irr"
+	"stellar/internal/rib"
+)
+
+// PeerConfig describes one member's route server session.
+type PeerConfig struct {
+	Name  string
+	ASN   uint32
+	BGPID netip.Addr
+}
+
+// Rejection reports one prefix refused by the import policy.
+type Rejection struct {
+	Peer   string
+	Prefix netip.Prefix
+	Reason string
+}
+
+// PeerUpdate is an UPDATE the route server exports to one member.
+type PeerUpdate struct {
+	Peer   string
+	Update *bgp.Update
+}
+
+// ControllerEvent is the southbound feed to the blackholing controller:
+// one accepted path change, with the route server's ADD-PATH identifier
+// already assigned so the controller can hold the same prefix from
+// different members simultaneously.
+type ControllerEvent struct {
+	Peer      string
+	PeerAS    uint32
+	PathID    uint32
+	Announced []netip.Prefix
+	Withdrawn []netip.Prefix
+	Attrs     bgp.PathAttrs
+}
+
+// Subscriber consumes controller events.
+type Subscriber func(ControllerEvent)
+
+// Config parameterizes the route server.
+type Config struct {
+	// ASN is the IXP's AS number (used in policy communities).
+	ASN uint32
+	// BlackholeNextHop is the IXP's null-route next hop installed on
+	// RTBH announcements before re-export.
+	BlackholeNextHop netip.Addr
+	// Policy is the routing-hygiene import policy.
+	Policy *irr.Policy
+	// MaxPlainPrefixLen is the longest IPv4 prefix accepted without a
+	// blackholing community (/24 per common IXP practice); blackholing
+	// announcements may be as specific as /32.
+	MaxPlainPrefixLen int
+	// MaxPlainPrefixLen6 is the IPv6 equivalent (/48, blackholing /128).
+	MaxPlainPrefixLen6 int
+}
+
+// RouteServer is the IXP route server.
+type RouteServer struct {
+	cfg Config
+
+	mu       sync.Mutex
+	peers    map[string]*peerState
+	order    []string // peer names in join order (stable path IDs)
+	table    *rib.Table
+	subs     []Subscriber
+	rejected []Rejection
+}
+
+type peerState struct {
+	cfg    PeerConfig
+	pathID uint32
+}
+
+// Errors.
+var (
+	ErrUnknownPeer   = errors.New("routeserver: unknown peer")
+	ErrDuplicatePeer = errors.New("routeserver: duplicate peer")
+)
+
+// New creates a route server.
+func New(cfg Config) *RouteServer {
+	if cfg.MaxPlainPrefixLen == 0 {
+		cfg.MaxPlainPrefixLen = 24
+	}
+	if cfg.MaxPlainPrefixLen6 == 0 {
+		cfg.MaxPlainPrefixLen6 = 48
+	}
+	return &RouteServer{
+		cfg:   cfg,
+		peers: make(map[string]*peerState),
+		table: rib.New(),
+	}
+}
+
+// AddPeer registers a member session. Path IDs on the controller feed are
+// assigned in join order and never reused.
+func (rs *RouteServer) AddPeer(cfg PeerConfig) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if _, ok := rs.peers[cfg.Name]; ok {
+		return ErrDuplicatePeer
+	}
+	rs.peers[cfg.Name] = &peerState{cfg: cfg, pathID: uint32(len(rs.order) + 1)}
+	rs.order = append(rs.order, cfg.Name)
+	return nil
+}
+
+// Peers returns the registered peer names, in join order.
+func (rs *RouteServer) Peers() []string {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return append([]string(nil), rs.order...)
+}
+
+// Table exposes the route server's RIB (all accepted paths from all
+// peers).
+func (rs *RouteServer) Table() *rib.Table { return rs.table }
+
+// Subscribe attaches a controller feed subscriber; every accepted path
+// change is delivered, bypassing best-path selection.
+func (rs *RouteServer) Subscribe(s Subscriber) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.subs = append(rs.subs, s)
+}
+
+// Rejections returns the accumulated import-policy rejections.
+func (rs *RouteServer) Rejections() []Rejection {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return append([]Rejection(nil), rs.rejected...)
+}
+
+// IsBlackhole reports whether attrs request blackholing: the RFC 7999
+// BLACKHOLE community or the IXP-specific variant (IXP_ASN:666).
+func (rs *RouteServer) IsBlackhole(attrs *bgp.PathAttrs) bool {
+	return attrs.HasCommunity(bgp.CommunityBlackhole) ||
+		attrs.HasCommunity(bgp.MakeCommunity(uint16(rs.cfg.ASN), 666))
+}
+
+// HandleUpdate processes one UPDATE from a member: import policy, RIB
+// maintenance, best-path recomputation, export generation and the
+// controller feed. The returned PeerUpdates are what the route server
+// sends to the other members.
+func (rs *RouteServer) HandleUpdate(peer string, u *bgp.Update) ([]PeerUpdate, []Rejection, error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	ps, ok := rs.peers[peer]
+	if !ok {
+		return nil, nil, ErrUnknownPeer
+	}
+
+	var exports []PeerUpdate
+	var rejections []Rejection
+	var acceptedAnn, acceptedWdr []netip.Prefix
+
+	// Withdrawals first (RFC 4271: withdrawn routes precede NLRI).
+	for _, pp := range u.AllWithdrawn() {
+		key := rib.PathKey{Prefix: pp.Prefix, Peer: peer, PathID: ps.pathID}
+		oldBest := rs.table.Best(pp.Prefix)
+		if !rs.table.Remove(key) {
+			continue // not in table: ignore
+		}
+		acceptedWdr = append(acceptedWdr, pp.Prefix)
+		exports = append(exports, rs.exportAfterChangeLocked(pp.Prefix, oldBest)...)
+	}
+
+	originAS := u.Attrs.OriginAS()
+	if originAS == 0 {
+		originAS = ps.cfg.ASN
+	}
+	for _, pp := range u.AllAnnounced() {
+		if reason, ok := rs.importCheckLocked(ps, pp.Prefix, originAS, &u.Attrs); !ok {
+			rejections = append(rejections, Rejection{Peer: peer, Prefix: pp.Prefix, Reason: reason})
+			continue
+		}
+		key := rib.PathKey{Prefix: pp.Prefix, Peer: peer, PathID: ps.pathID}
+		oldBest := rs.table.Best(pp.Prefix)
+		rs.table.Add(key, ps.cfg.ASN, u.Attrs)
+		acceptedAnn = append(acceptedAnn, pp.Prefix)
+		exports = append(exports, rs.exportAfterChangeLocked(pp.Prefix, oldBest)...)
+	}
+
+	rs.rejected = append(rs.rejected, rejections...)
+
+	if len(acceptedAnn) > 0 || len(acceptedWdr) > 0 {
+		ev := ControllerEvent{
+			Peer:      peer,
+			PeerAS:    ps.cfg.ASN,
+			PathID:    ps.pathID,
+			Announced: acceptedAnn,
+			Withdrawn: acceptedWdr,
+			Attrs:     u.Attrs.Clone(),
+		}
+		for _, s := range rs.subs {
+			s(ev)
+		}
+	}
+	return exports, rejections, nil
+}
+
+// HandleWithdrawAll processes a session teardown: every path from the
+// peer is withdrawn (BGP implicit withdraw on session loss).
+func (rs *RouteServer) HandleWithdrawAll(peer string) ([]PeerUpdate, error) {
+	rs.mu.Lock()
+	ps, ok := rs.peers[peer]
+	if !ok {
+		rs.mu.Unlock()
+		return nil, ErrUnknownPeer
+	}
+	removed := rs.table.RemovePeer(peer)
+	var exports []PeerUpdate
+	var withdrawn []netip.Prefix
+	for _, p := range removed {
+		withdrawn = append(withdrawn, p.Key.Prefix)
+		exports = append(exports, rs.exportAfterChangeLocked(p.Key.Prefix, p)...)
+	}
+	subs := append([]Subscriber(nil), rs.subs...)
+	ev := ControllerEvent{Peer: peer, PeerAS: ps.cfg.ASN, PathID: ps.pathID, Withdrawn: withdrawn}
+	rs.mu.Unlock()
+
+	if len(withdrawn) > 0 {
+		for _, s := range subs {
+			s(ev)
+		}
+	}
+	return exports, nil
+}
+
+// importCheckLocked applies the import policy of Figure 6.
+func (rs *RouteServer) importCheckLocked(ps *peerState, prefix netip.Prefix, originAS uint32, attrs *bgp.PathAttrs) (string, bool) {
+	maxPlain := rs.cfg.MaxPlainPrefixLen
+	maxHost := 32
+	if prefix.Addr().Is6() {
+		maxPlain = rs.cfg.MaxPlainPrefixLen6
+		maxHost = 128
+	}
+	if prefix.Bits() > maxPlain {
+		// More specific than allowed: only blackholing announcements may
+		// pass, up to host routes.
+		if !rs.IsBlackhole(attrs) && !HasAdvancedBlackholeSignal(attrs) {
+			return fmt.Sprintf("prefix more specific than /%d without blackhole community", maxPlain), false
+		}
+		if prefix.Bits() > maxHost {
+			return "invalid prefix length", false
+		}
+	}
+	if rs.cfg.Policy != nil {
+		if v := rs.cfg.Policy.Check(prefix, originAS); !v.Accept {
+			return v.Reason, false
+		}
+	}
+	// The announcing peer must be on the path origin or an authorized
+	// reseller; at an IXP the first AS must be the peer's.
+	if len(attrs.ASPath) > 0 {
+		first := attrs.ASPath[0]
+		if first.Type == bgp.ASSequence && len(first.ASNs) > 0 && first.ASNs[0] != ps.cfg.ASN {
+			return fmt.Sprintf("AS path does not start with peer AS %d", ps.cfg.ASN), false
+		}
+	}
+	return "", true
+}
+
+// exportAfterChangeLocked recomputes the best path for prefix and emits
+// the resulting per-peer updates: a new announcement when a best path
+// exists, a withdrawal otherwise.
+func (rs *RouteServer) exportAfterChangeLocked(prefix netip.Prefix, oldBest *rib.Path) []PeerUpdate {
+	best := rs.table.Best(prefix)
+	if best == nil {
+		// Withdraw from everyone except (harmlessly) the announcer.
+		var out []PeerUpdate
+		for _, name := range rs.order {
+			if oldBest != nil && name == oldBest.Key.Peer {
+				continue
+			}
+			out = append(out, PeerUpdate{Peer: name, Update: withdrawUpdate(prefix)})
+		}
+		return out
+	}
+	if oldBest != nil && oldBest.Key == best.Key && oldBest.Seq == best.Seq {
+		return nil // best path unchanged: nothing to export
+	}
+	return rs.exportBestLocked(prefix, best)
+}
+
+func (rs *RouteServer) exportBestLocked(prefix netip.Prefix, best *rib.Path) []PeerUpdate {
+	targets := rs.exportTargetsLocked(best)
+	if len(targets) == 0 {
+		return nil
+	}
+	attrs := best.Attrs.Clone()
+	// RTBH: the route server sets the next hop to the IXP's blackholing
+	// IP so that accepting members forward the traffic to the null
+	// interface (Section 2.2, Figure 2b).
+	if rs.IsBlackhole(&attrs) && rs.cfg.BlackholeNextHop.IsValid() {
+		if prefix.Addr().Is4() {
+			attrs.NextHop = rs.cfg.BlackholeNextHop
+		} else if attrs.MPReach != nil {
+			attrs.MPReach.NextHop = rs.cfg.BlackholeNextHop
+		}
+		attrs.AddCommunity(bgp.CommunityNoExport)
+	}
+	u := &bgp.Update{Attrs: attrs}
+	if prefix.Addr().Is4() {
+		u.NLRI = []bgp.PathPrefix{{Prefix: prefix}}
+		u.Attrs.MPReach = nil
+	} else {
+		var nh netip.Addr
+		if attrs.MPReach != nil {
+			nh = attrs.MPReach.NextHop
+		}
+		u.Attrs.MPReach = &bgp.MPReach{
+			AFI: bgp.AFIIPv6, SAFI: bgp.SAFIUnicast,
+			NextHop: nh,
+			NLRI:    []bgp.PathPrefix{{Prefix: prefix}},
+		}
+		u.NLRI = nil
+	}
+	out := make([]PeerUpdate, 0, len(targets))
+	for _, name := range targets {
+		out = append(out, PeerUpdate{Peer: name, Update: u})
+	}
+	return out
+}
+
+// exportTargetsLocked evaluates the IXP policy communities on the path:
+//
+//	(0, IXP_ASN)     announce to no one
+//	(0, peer_ASN)    do not announce to peer
+//	(IXP_ASN, peer_ASN) announce to peer (whitelist mode once present)
+//
+// Without policy communities the path is exported to every peer except
+// its announcer — Figure 3(b)'s dominant "All" case.
+func (rs *RouteServer) exportTargetsLocked(best *rib.Path) []string {
+	ixp := uint16(rs.cfg.ASN)
+	blockAll := false
+	blocked := make(map[uint16]bool)
+	allowed := make(map[uint16]bool)
+	whitelist := false
+	for _, c := range best.Attrs.Communities {
+		switch {
+		case c.ASN() == 0 && c.Value() == ixp:
+			blockAll = true
+		case c.ASN() == 0:
+			blocked[c.Value()] = true
+		case c.ASN() == ixp && c.Value() != 666:
+			allowed[c.Value()] = true
+			whitelist = true
+		}
+	}
+	var out []string
+	for _, name := range rs.order {
+		ps := rs.peers[name]
+		if name == best.Key.Peer {
+			continue
+		}
+		asn16 := uint16(ps.cfg.ASN)
+		switch {
+		case whitelist:
+			if allowed[asn16] {
+				out = append(out, name)
+			}
+		case blockAll:
+			// no export
+		case blocked[asn16]:
+			// explicitly excluded ("All-k" policies)
+		default:
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func withdrawUpdate(prefix netip.Prefix) *bgp.Update {
+	if prefix.Addr().Is4() {
+		return &bgp.Update{Withdrawn: []bgp.PathPrefix{{Prefix: prefix}}}
+	}
+	return &bgp.Update{Attrs: bgp.PathAttrs{
+		MPUnreach: &bgp.MPUnreach{AFI: bgp.AFIIPv6, SAFI: bgp.SAFIUnicast,
+			NLRI: []bgp.PathPrefix{{Prefix: prefix}}},
+	}}
+}
+
+// HasAdvancedBlackholeSignal reports whether attrs carry Stellar's
+// Advanced Blackholing extended community (package core defines the
+// payload semantics; the route server only needs to recognize it for the
+// more-specific import exception).
+func HasAdvancedBlackholeSignal(attrs *bgp.PathAttrs) bool {
+	for _, e := range attrs.ExtCommunities {
+		if e.Type() == bgp.ExtTypeExperimental && e.SubType() == bgp.ExtSubTypeAdvBlackhole {
+			return true
+		}
+	}
+	return false
+}

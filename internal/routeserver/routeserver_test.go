@@ -1,0 +1,445 @@
+package routeserver
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"stellar/internal/bgp"
+	"stellar/internal/irr"
+)
+
+const ixpASN = 6695 // DE-CIX-like IXP ASN
+
+var blackholeNH = netip.MustParseAddr("80.81.193.66")
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func newRS(t *testing.T, peers ...PeerConfig) *RouteServer {
+	t.Helper()
+	policy := irr.NewPolicy()
+	rs := New(Config{ASN: ixpASN, BlackholeNextHop: blackholeNH, Policy: policy})
+	for _, p := range peers {
+		if err := rs.AddPeer(p); err != nil {
+			t.Fatal(err)
+		}
+		// Register each member's /24 in the IRR.
+		policy.IRR.Register(p.ASN, netip.PrefixFrom(
+			netip.AddrFrom4([4]byte{100, 10, byte(p.ASN % 256), 0}), 24))
+	}
+	return rs
+}
+
+func peerCfg(i int) PeerConfig {
+	return PeerConfig{
+		Name:  string(rune('A' + i)),
+		ASN:   uint32(64512 + i),
+		BGPID: netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)}),
+	}
+}
+
+func announce(asn uint32, prefix netip.Prefix, communities ...bgp.Community) *bgp.Update {
+	return &bgp.Update{
+		Attrs: bgp.PathAttrs{
+			Origin:      bgp.OriginIGP,
+			ASPath:      []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{asn}}},
+			NextHop:     netip.AddrFrom4([4]byte{80, 81, 192, byte(asn % 200)}),
+			Communities: communities,
+		},
+		NLRI: []bgp.PathPrefix{{Prefix: prefix}},
+	}
+}
+
+func TestAddPeerDuplicate(t *testing.T) {
+	rs := newRS(t, peerCfg(0))
+	if err := rs.AddPeer(peerCfg(0)); err != ErrDuplicatePeer {
+		t.Fatalf("err = %v", err)
+	}
+	if got := rs.Peers(); len(got) != 1 || got[0] != "A" {
+		t.Fatalf("Peers: %v", got)
+	}
+}
+
+func TestUnknownPeer(t *testing.T) {
+	rs := newRS(t, peerCfg(0))
+	if _, _, err := rs.HandleUpdate("Z", &bgp.Update{}); err != ErrUnknownPeer {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := rs.HandleWithdrawAll("Z"); err != ErrUnknownPeer {
+		t.Fatalf("withdraw err = %v", err)
+	}
+}
+
+func TestAnnouncePropagation(t *testing.T) {
+	rs := newRS(t, peerCfg(0), peerCfg(1), peerCfg(2))
+	prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 10, byte(64512 % 256), 0}), 24)
+	exports, rejs, err := rs.HandleUpdate("A", announce(64512, prefix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejs) != 0 {
+		t.Fatalf("rejections: %+v", rejs)
+	}
+	// Exported to B and C, not back to A.
+	if len(exports) != 2 {
+		t.Fatalf("exports: %d, want 2", len(exports))
+	}
+	seen := map[string]bool{}
+	for _, e := range exports {
+		seen[e.Peer] = true
+		if len(e.Update.NLRI) != 1 || e.Update.NLRI[0].Prefix != prefix {
+			t.Fatalf("export NLRI: %+v", e.Update.NLRI)
+		}
+		// Next hop unchanged for plain routes (route server transparency).
+		if e.Update.Attrs.NextHop == blackholeNH {
+			t.Fatal("plain route got blackhole next hop")
+		}
+	}
+	if !seen["B"] || !seen["C"] || seen["A"] {
+		t.Fatalf("targets: %v", seen)
+	}
+	if rs.Table().Len() != 1 {
+		t.Fatalf("table len: %d", rs.Table().Len())
+	}
+}
+
+func TestImportRejectsUnregistered(t *testing.T) {
+	rs := newRS(t, peerCfg(0), peerCfg(1))
+	_, rejs, err := rs.HandleUpdate("A", announce(64512, pfx("8.8.8.0/24")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejs) != 1 {
+		t.Fatalf("rejections: %+v", rejs)
+	}
+	if rs.Table().Len() != 0 {
+		t.Fatal("rejected route stored")
+	}
+	if len(rs.Rejections()) != 1 {
+		t.Fatal("rejection log")
+	}
+}
+
+func TestImportRejectsHijack(t *testing.T) {
+	// Peer B announces A's registered prefix: IRR check must reject.
+	rs := newRS(t, peerCfg(0), peerCfg(1))
+	prefixA := netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 10, byte(64512 % 256), 0}), 24)
+	_, rejs, err := rs.HandleUpdate("B", announce(64513, prefixA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejs) != 1 {
+		t.Fatalf("hijack accepted: %+v", rejs)
+	}
+}
+
+func TestImportRejectsWrongFirstAS(t *testing.T) {
+	rs := newRS(t, peerCfg(0), peerCfg(1))
+	prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 10, byte(64512 % 256), 0}), 24)
+	u := announce(64512, prefix)
+	// Peer B sends an update whose AS path starts with A's ASN.
+	_, rejs, err := rs.HandleUpdate("B", u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejs) != 1 {
+		t.Fatal("path spoof accepted")
+	}
+}
+
+func TestMoreSpecificRequiresBlackholeCommunity(t *testing.T) {
+	rs := newRS(t, peerCfg(0), peerCfg(1))
+	host := netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 10, byte(64512 % 256), 10}), 32)
+
+	// Without the community: rejected.
+	_, rejs, err := rs.HandleUpdate("A", announce(64512, host))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejs) != 1 {
+		t.Fatal("/32 without blackhole community accepted")
+	}
+
+	// With BLACKHOLE: accepted, next hop rewritten on export.
+	exports, rejs, err := rs.HandleUpdate("A", announce(64512, host, bgp.CommunityBlackhole))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejs) != 0 {
+		t.Fatalf("blackhole /32 rejected: %+v", rejs)
+	}
+	if len(exports) != 1 {
+		t.Fatalf("exports: %d", len(exports))
+	}
+	got := exports[0].Update
+	if got.Attrs.NextHop != blackholeNH {
+		t.Fatalf("next hop = %v, want blackhole %v", got.Attrs.NextHop, blackholeNH)
+	}
+	if !got.Attrs.HasCommunity(bgp.CommunityNoExport) {
+		t.Fatal("blackhole export missing no-export")
+	}
+}
+
+func TestIXPSpecificBlackholeCommunity(t *testing.T) {
+	rs := newRS(t, peerCfg(0), peerCfg(1))
+	host := netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 10, byte(64512 % 256), 10}), 32)
+	// IXP_ASN:666 variant.
+	_, rejs, err := rs.HandleUpdate("A", announce(64512, host, bgp.MakeCommunity(ixpASN, 666)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejs) != 0 {
+		t.Fatalf("IXP:666 rejected: %+v", rejs)
+	}
+}
+
+func TestExportPolicyBlockAll(t *testing.T) {
+	rs := newRS(t, peerCfg(0), peerCfg(1), peerCfg(2))
+	prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 10, byte(64512 % 256), 0}), 24)
+	// (0, IXP_ASN): announce to no one.
+	exports, _, err := rs.HandleUpdate("A", announce(64512, prefix, bgp.MakeCommunity(0, ixpASN)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exports) != 0 {
+		t.Fatalf("block-all exported to %d peers", len(exports))
+	}
+}
+
+func TestExportPolicyAllMinusOne(t *testing.T) {
+	rs := newRS(t, peerCfg(0), peerCfg(1), peerCfg(2))
+	prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 10, byte(64512 % 256), 0}), 24)
+	// (0, 64513): exclude peer B — the "All-1" policy of Figure 3(b).
+	exports, _, err := rs.HandleUpdate("A", announce(64512, prefix, bgp.MakeCommunity(0, 64513)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exports) != 1 || exports[0].Peer != "C" {
+		t.Fatalf("All-1 exports: %+v", exports)
+	}
+}
+
+func TestExportPolicyWhitelist(t *testing.T) {
+	rs := newRS(t, peerCfg(0), peerCfg(1), peerCfg(2))
+	prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 10, byte(64512 % 256), 0}), 24)
+	// (IXP, 64514): announce only to peer C.
+	exports, _, err := rs.HandleUpdate("A", announce(64512, prefix, bgp.MakeCommunity(ixpASN, 64514)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exports) != 1 || exports[0].Peer != "C" {
+		t.Fatalf("whitelist exports: %+v", exports)
+	}
+}
+
+func TestWithdrawPropagation(t *testing.T) {
+	rs := newRS(t, peerCfg(0), peerCfg(1))
+	prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 10, byte(64512 % 256), 0}), 24)
+	if _, _, err := rs.HandleUpdate("A", announce(64512, prefix)); err != nil {
+		t.Fatal(err)
+	}
+	exports, _, err := rs.HandleUpdate("A", &bgp.Update{
+		Withdrawn: []bgp.PathPrefix{{Prefix: prefix}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exports) != 1 || exports[0].Peer != "B" || len(exports[0].Update.Withdrawn) != 1 {
+		t.Fatalf("withdraw exports: %+v", exports)
+	}
+	if rs.Table().Len() != 0 {
+		t.Fatal("withdrawn route still in table")
+	}
+	// Withdrawing an unknown prefix is a no-op.
+	exports, _, err = rs.HandleUpdate("A", &bgp.Update{
+		Withdrawn: []bgp.PathPrefix{{Prefix: pfx("9.9.9.0/24")}},
+	})
+	if err != nil || len(exports) != 0 {
+		t.Fatalf("unknown withdraw: %v %v", exports, err)
+	}
+}
+
+func TestHandleWithdrawAll(t *testing.T) {
+	rs := newRS(t, peerCfg(0), peerCfg(1))
+	prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 10, byte(64512 % 256), 0}), 24)
+	if _, _, err := rs.HandleUpdate("A", announce(64512, prefix)); err != nil {
+		t.Fatal(err)
+	}
+	exports, err := rs.HandleWithdrawAll("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exports) != 1 || len(exports[0].Update.Withdrawn) != 1 {
+		t.Fatalf("session-loss exports: %+v", exports)
+	}
+	if rs.Table().Len() != 0 {
+		t.Fatal("table not cleared")
+	}
+}
+
+func TestControllerFeedBypassesBestPath(t *testing.T) {
+	// Two members announce the same /32 with different blackholing
+	// intent; the controller must see both paths (the ADD-PATH
+	// rationale of Section 4.3).
+	rs := newRS(t, peerCfg(0), peerCfg(1))
+	// Shared prefix registered for both (delegation).
+	shared := pfx("100.99.0.0/24")
+	rs.cfg.Policy.IRR.Register(64512, shared)
+	rs.cfg.Policy.IRR.Register(64513, shared)
+	host := pfx("100.99.0.7/32")
+
+	var events []ControllerEvent
+	rs.Subscribe(func(ev ControllerEvent) { events = append(events, ev) })
+
+	if _, _, err := rs.HandleUpdate("A", announce(64512, host, bgp.CommunityBlackhole)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rs.HandleUpdate("B", announce(64513, host, bgp.CommunityBlackhole)); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("controller events: %d, want 2", len(events))
+	}
+	if events[0].PathID == events[1].PathID {
+		t.Fatal("path IDs must differ per peer")
+	}
+	if rs.Table().Len() != 2 {
+		t.Fatalf("table holds %d paths, want 2 (ADD-PATH)", rs.Table().Len())
+	}
+	// Best-path export would have hidden one of them.
+	if len(rs.Table().Lookup(host)) != 2 {
+		t.Fatal("lookup lost a path")
+	}
+}
+
+func TestControllerFeedWithdraw(t *testing.T) {
+	rs := newRS(t, peerCfg(0), peerCfg(1))
+	prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 10, byte(64512 % 256), 0}), 24)
+	var events []ControllerEvent
+	rs.Subscribe(func(ev ControllerEvent) { events = append(events, ev) })
+	if _, _, err := rs.HandleUpdate("A", announce(64512, prefix)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rs.HandleUpdate("A", &bgp.Update{Withdrawn: []bgp.PathPrefix{{Prefix: prefix}}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || len(events[1].Withdrawn) != 1 {
+		t.Fatalf("events: %+v", events)
+	}
+}
+
+func TestRejectedAnnouncementNotFedToController(t *testing.T) {
+	rs := newRS(t, peerCfg(0), peerCfg(1))
+	var events int
+	rs.Subscribe(func(ControllerEvent) { events++ })
+	if _, _, err := rs.HandleUpdate("A", announce(64512, pfx("8.8.8.0/24"))); err != nil {
+		t.Fatal(err)
+	}
+	if events != 0 {
+		t.Fatal("rejected announcement reached controller")
+	}
+}
+
+func TestBestPathChangeReexports(t *testing.T) {
+	rs := newRS(t, peerCfg(0), peerCfg(1), peerCfg(2))
+	shared := pfx("100.99.0.0/24")
+	rs.cfg.Policy.IRR.Register(64512, shared)
+	rs.cfg.Policy.IRR.Register(64513, shared)
+
+	// A announces with a long path; B then announces shorter.
+	uA := announce(64512, shared)
+	uA.Attrs.ASPath = []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{64512, 65000, 65001}}}
+	if _, _, err := rs.HandleUpdate("A", uA); err != nil {
+		t.Fatal(err)
+	}
+	exports, _, err := rs.HandleUpdate("B", announce(64513, shared))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B's shorter path becomes best: exported to A and C.
+	if len(exports) != 2 {
+		t.Fatalf("re-export count: %d", len(exports))
+	}
+	// A re-announcing the same (non-best) path triggers no export churn.
+	exports, _, err = rs.HandleUpdate("A", uA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exports) != 0 {
+		t.Fatalf("non-best re-announce exported: %+v", exports)
+	}
+}
+
+func TestIsBlackhole(t *testing.T) {
+	rs := newRS(t, peerCfg(0))
+	a := bgp.PathAttrs{Communities: []bgp.Community{bgp.CommunityBlackhole}}
+	if !rs.IsBlackhole(&a) {
+		t.Fatal("RFC 7999 community not recognized")
+	}
+	b := bgp.PathAttrs{Communities: []bgp.Community{bgp.MakeCommunity(ixpASN, 666)}}
+	if !rs.IsBlackhole(&b) {
+		t.Fatal("IXP:666 not recognized")
+	}
+	c := bgp.PathAttrs{Communities: []bgp.Community{bgp.MakeCommunity(1, 2)}}
+	if rs.IsBlackhole(&c) {
+		t.Fatal("random community recognized as blackhole")
+	}
+}
+
+func TestHasAdvancedBlackholeSignal(t *testing.T) {
+	a := bgp.PathAttrs{ExtCommunities: []bgp.ExtCommunity{
+		bgp.MakeExtCommunity(bgp.ExtTypeExperimental, bgp.ExtSubTypeAdvBlackhole, [6]byte{}),
+	}}
+	if !HasAdvancedBlackholeSignal(&a) {
+		t.Fatal("signal not detected")
+	}
+	b := bgp.PathAttrs{ExtCommunities: []bgp.ExtCommunity{
+		bgp.MakeExtCommunity(bgp.ExtTypeTwoOctetAS, bgp.ExtSubTypeRouteTarget, [6]byte{}),
+	}}
+	if HasAdvancedBlackholeSignal(&b) {
+		t.Fatal("route target misdetected")
+	}
+}
+
+func TestLookingGlass(t *testing.T) {
+	rs := newRS(t, peerCfg(0), peerCfg(1))
+	shared := pfx("100.99.0.0/24")
+	rs.cfg.Policy.IRR.Register(64512, shared)
+	rs.cfg.Policy.IRR.Register(64513, shared)
+	host := pfx("100.99.0.7/32")
+	if _, _, err := rs.HandleUpdate("A", announce(64512, host, bgp.CommunityBlackhole)); err != nil {
+		t.Fatal(err)
+	}
+	uB := announce(64513, host, bgp.CommunityBlackhole)
+	uB.Attrs.ASPath = []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{64513, 64513}}} // prepended: longer path, registered origin
+	if _, _, err := rs.HandleUpdate("B", uB); err != nil {
+		t.Fatal(err)
+	}
+
+	entries := rs.Glass(host)
+	if len(entries) != 2 {
+		t.Fatalf("entries: %d", len(entries))
+	}
+	// Best first: A's shorter path.
+	if !entries[0].Best || entries[0].Peer != "A" || entries[1].Best {
+		t.Fatalf("best ordering: %+v", entries)
+	}
+	for _, e := range entries {
+		if !e.Blackhole {
+			t.Fatalf("blackhole flag missing: %+v", e)
+		}
+	}
+	dump := rs.GlassDump(host)
+	if !strings.Contains(dump, "[blackhole]") || !strings.Contains(dump, "*") {
+		t.Fatalf("dump:\n%s", dump)
+	}
+	// Whole-table summary for the zero prefix.
+	summary := rs.GlassDump(netip.Prefix{})
+	if !strings.Contains(summary, "route server AS6695") || !strings.Contains(summary, "100.99.0.7/32") {
+		t.Fatalf("summary:\n%s", summary)
+	}
+	// Unknown prefix.
+	if got := rs.GlassDump(pfx("9.9.9.0/24")); !strings.Contains(got, "no paths") {
+		t.Fatalf("unknown: %s", got)
+	}
+}

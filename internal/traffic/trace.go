@@ -1,0 +1,161 @@
+package traffic
+
+import (
+	"stellar/internal/stats"
+)
+
+// The paper's two-week IPFIX study (Section 2.3) is not redistributable,
+// so the trace generator below synthesizes blackholing-event samples
+// calibrated to the published aggregates: the UDP source-port shares of
+// Figure 3(a), the protocol mix (UDP 99.94% of blackholed bytes vs TCP
+// 86.81% of other traffic), and the announcement-policy shares of
+// Figure 3(b). The analysis pipeline (Welch's t-test, confidence
+// intervals, policy classification) runs unchanged on these samples.
+
+// PortShareProfile maps UDP source ports to their mean byte share of a
+// traffic class; the residual mass is attributed to "other" ports.
+type PortShareProfile struct {
+	Shares map[uint16]float64
+	// RelStd is the relative standard deviation of per-event shares
+	// around the mean (events differ in attack composition).
+	RelStd float64
+}
+
+// RTBHPortProfile is the mean port composition of blackholed traffic in
+// Figure 3(a): ports 0, 123 (NTP), 389 (LDAP), 11211 (memcached),
+// 53 (DNS) and 19 (chargen) dominate.
+func RTBHPortProfile() PortShareProfile {
+	return PortShareProfile{
+		Shares: map[uint16]float64{
+			0:     0.27,
+			123:   0.22,
+			389:   0.15,
+			11211: 0.11,
+			53:    0.08,
+			19:    0.045,
+		},
+		RelStd: 0.35,
+	}
+}
+
+// OtherPortProfile is the port composition of non-blackholed traffic:
+// the amplification ports are a vanishing fraction.
+func OtherPortProfile() PortShareProfile {
+	return PortShareProfile{
+		Shares: map[uint16]float64{
+			0:     0.004,
+			123:   0.003,
+			389:   0.001,
+			11211: 0.002,
+			53:    0.012,
+			19:    0.0005,
+		},
+		RelStd: 0.30,
+	}
+}
+
+// ProtoMix is the (UDP, TCP, other) byte-share mix of a traffic class.
+type ProtoMix struct {
+	UDP, TCP, Other float64
+}
+
+// RTBHProtoMix returns Section 2.3's blackholed-traffic protocol mix.
+func RTBHProtoMix() ProtoMix { return ProtoMix{UDP: 0.9994, TCP: 0.0003, Other: 0.0003} }
+
+// OtherProtoMix returns the non-blackholed mix.
+func OtherProtoMix() ProtoMix { return ProtoMix{UDP: 0.1289, TCP: 0.8681, Other: 0.0030} }
+
+// EventSample is the port decomposition of one blackholing event (or one
+// equal-duration sample of background traffic).
+type EventSample struct {
+	// PortShare maps each profiled UDP source port to its byte share in
+	// this event; Other carries the rest.
+	PortShare map[uint16]float64
+	Other     float64
+}
+
+// SampleEvent draws one event from the profile: mean shares perturbed by
+// lognormal-ish multiplicative noise and renormalized, preserving the
+// profile's expected ordering while giving realistic event-to-event
+// variance for the significance test.
+func SampleEvent(p PortShareProfile, rng *stats.Rand) EventSample {
+	shares := make(map[uint16]float64, len(p.Shares))
+	var sum float64
+	for port, mean := range p.Shares {
+		noise := 1 + rng.NormFloat64()*p.RelStd
+		if noise < 0.05 {
+			noise = 0.05
+		}
+		v := mean * noise
+		shares[port] = v
+		sum += v
+	}
+	// Residual ("others") mass, also noisy.
+	meanOther := 1.0
+	for _, m := range p.Shares {
+		meanOther -= m
+	}
+	if meanOther < 0 {
+		meanOther = 0
+	}
+	other := meanOther * (1 + rng.NormFloat64()*p.RelStd)
+	if other < 0.01 {
+		other = 0.01
+	}
+	total := sum + other
+	for port := range shares {
+		shares[port] /= total
+	}
+	return EventSample{PortShare: shares, Other: other / total}
+}
+
+// SampleEvents draws n independent events.
+func SampleEvents(p PortShareProfile, n int, rng *stats.Rand) []EventSample {
+	out := make([]EventSample, n)
+	for i := range out {
+		out[i] = SampleEvent(p, rng)
+	}
+	return out
+}
+
+// AnnouncementPolicy classifies the export policy of one RTBH
+// announcement at the route server, mirroring Figure 3(b)'s x-axis: how
+// many route-server peers the prefix owner asked to blackhole.
+type AnnouncementPolicy struct {
+	// Label is the paper's category ("All", "All-1", ..., or an AS count
+	// for announcements targeted at specific peers).
+	Label string
+	// Share is the fraction of blackholing announcements using this
+	// policy.
+	Share float64
+}
+
+// PolicyShares returns Figure 3(b)'s published distribution: 93.97% of
+// announcements ask all peers to blackhole; small minorities carve out
+// exceptions or target specific ASes.
+func PolicyShares() []AnnouncementPolicy {
+	return []AnnouncementPolicy{
+		{Label: "All-18", Share: 0.0003},
+		{Label: "All-5", Share: 0.0049},
+		{Label: "All-4", Share: 0.0013},
+		{Label: "All-1", Share: 0.0528},
+		{Label: "All", Share: 0.9397},
+		{Label: "20", Share: 0.0006},
+		{Label: "21", Share: 0.0003},
+	}
+}
+
+// SamplePolicies draws n announcement policies from the published
+// distribution.
+func SamplePolicies(n int, rng *stats.Rand) []AnnouncementPolicy {
+	dist := PolicyShares()
+	weights := make([]float64, len(dist))
+	for i, d := range dist {
+		weights[i] = d.Share
+	}
+	out := make([]AnnouncementPolicy, n)
+	for i := range out {
+		out[i] = dist[rng.WeightedChoice(weights)]
+	}
+	return out
+}

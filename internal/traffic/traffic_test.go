@@ -1,0 +1,247 @@
+package traffic
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+
+	"stellar/internal/netpkt"
+	"stellar/internal/stats"
+)
+
+var victim = netip.MustParseAddr("100.10.10.10")
+
+func TestVectors(t *testing.T) {
+	vs := Vectors()
+	if len(vs) != 6 {
+		t.Fatalf("vectors: %d", len(vs))
+	}
+	// Figure 3(a)'s port set.
+	wantPorts := map[uint16]bool{0: true, 123: true, 389: true, 11211: true, 53: true, 19: true}
+	for _, v := range vs {
+		if !wantPorts[v.SrcPort] {
+			t.Errorf("unexpected vector port %d", v.SrcPort)
+		}
+	}
+	if v, err := VectorByName("ntp"); err != nil || v.SrcPort != 123 {
+		t.Fatalf("VectorByName: %+v %v", v, err)
+	}
+	if _, err := VectorByName("smurf"); err == nil {
+		t.Fatal("unknown vector accepted")
+	}
+}
+
+func TestMakePeers(t *testing.T) {
+	peers := MakePeers(650)
+	if len(peers) != 650 {
+		t.Fatal("count")
+	}
+	seen := make(map[netpkt.MAC]bool)
+	for _, p := range peers {
+		if seen[p.MAC] {
+			t.Fatalf("duplicate MAC %s", p.MAC)
+		}
+		seen[p.MAC] = true
+		if !p.SrcIP.IsValid() {
+			t.Fatal("invalid src IP")
+		}
+	}
+}
+
+func TestAttackRateAndRamp(t *testing.T) {
+	rng := stats.NewRand(1)
+	peers := MakePeers(40)
+	a := NewAttack(VectorNTP, victim, peers, 1e9, 100, 700, rng)
+
+	if a.ActiveAt(99) || !a.ActiveAt(100) || !a.ActiveAt(699) || a.ActiveAt(700) {
+		t.Fatal("ActiveAt boundaries")
+	}
+	if len(a.Offers(50, 1)) != 0 {
+		t.Fatal("offers before start")
+	}
+	// During ramp the rate grows; at steady state it matches RateBps.
+	sum := func(tick int) float64 {
+		var s float64
+		for _, o := range a.Offers(tick, 1) {
+			s += o.Bytes
+		}
+		return s * 8
+	}
+	early := sum(100)
+	steady := sum(200)
+	if early >= steady {
+		t.Fatalf("ramp: early %v >= steady %v", early, steady)
+	}
+	if math.Abs(steady-1e9) > 1e9*0.001 {
+		t.Fatalf("steady rate %v, want 1e9", steady)
+	}
+}
+
+func TestAttackOffersShape(t *testing.T) {
+	rng := stats.NewRand(2)
+	peers := MakePeers(40)
+	a := NewAttack(VectorNTP, victim, peers, 1e9, 0, 100, rng)
+	offers := a.Offers(50, 1)
+	if len(offers) == 0 || len(offers) > 40 {
+		t.Fatalf("offer count: %d", len(offers))
+	}
+	macs := make(map[netpkt.MAC]bool)
+	for _, o := range offers {
+		if o.Flow.Proto != netpkt.ProtoUDP || o.Flow.SrcPort != 123 {
+			t.Fatalf("flow signature: %+v", o.Flow)
+		}
+		if o.Flow.Dst != victim {
+			t.Fatal("wrong target")
+		}
+		if o.Packets <= 0 || o.Bytes <= 0 {
+			t.Fatal("non-positive offer")
+		}
+		macs[o.Flow.SrcMAC] = true
+	}
+	// Attack traffic arrives via many distinct peers (40 in Fig 3c).
+	if len(macs) < 30 {
+		t.Fatalf("peer diversity: %d", len(macs))
+	}
+}
+
+func TestAttackDeterminism(t *testing.T) {
+	peers := MakePeers(10)
+	a1 := NewAttack(VectorDNS, victim, peers, 1e8, 0, 10, stats.NewRand(7))
+	a2 := NewAttack(VectorDNS, victim, peers, 1e8, 0, 10, stats.NewRand(7))
+	o1, o2 := a1.Offers(5, 1), a2.Offers(5, 1)
+	if len(o1) != len(o2) {
+		t.Fatal("length mismatch")
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("offer %d differs", i)
+		}
+	}
+}
+
+func TestWebServiceOffers(t *testing.T) {
+	rng := stats.NewRand(3)
+	peers := MakePeers(5)
+	w := NewWebService(victim, peers, 8e8, rng)
+	offers := w.Offers(0, 1)
+	var total float64
+	ports := make(map[uint16]float64)
+	for _, o := range offers {
+		if o.Flow.Proto != netpkt.ProtoTCP {
+			t.Fatalf("benign proto: %v", o.Flow.Proto)
+		}
+		total += o.Bytes
+		ports[o.Flow.DstPort] += o.Bytes
+	}
+	if math.Abs(total*8-8e8) > 8e8*0.001 {
+		t.Fatalf("total rate %v, want 8e8", total*8)
+	}
+	// HTTPS dominates (Fig 2c pre-attack).
+	if ports[443] <= ports[80] || ports[443] <= ports[8080] {
+		t.Fatalf("port mix: %v", ports)
+	}
+}
+
+func TestSampleEventNormalized(t *testing.T) {
+	rng := stats.NewRand(4)
+	for i := 0; i < 100; i++ {
+		ev := SampleEvent(RTBHPortProfile(), rng)
+		var sum float64
+		for _, s := range ev.PortShare {
+			if s < 0 {
+				t.Fatal("negative share")
+			}
+			sum += s
+		}
+		sum += ev.Other
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("shares sum to %v", sum)
+		}
+	}
+}
+
+func TestProfilesMatchPaperAggregates(t *testing.T) {
+	rng := stats.NewRand(5)
+	events := SampleEvents(RTBHPortProfile(), 500, rng)
+	mean := make(map[uint16]float64)
+	for _, ev := range events {
+		for p, s := range ev.PortShare {
+			mean[p] += s / float64(len(events))
+		}
+	}
+	// Port 0 highest, then 123, and all six ports materially present —
+	// the ordering of Figure 3(a).
+	if !(mean[0] > mean[123] && mean[123] > mean[389] && mean[389] > mean[11211]) {
+		t.Fatalf("ordering violated: %v", mean)
+	}
+	for _, port := range []uint16{0, 123, 389, 11211, 53, 19} {
+		if mean[port] < 0.01 {
+			t.Fatalf("port %d share too small: %v", port, mean[port])
+		}
+	}
+	// Non-blackholed traffic: the same ports are negligible.
+	other := SampleEvents(OtherPortProfile(), 500, rng)
+	meanOther := make(map[uint16]float64)
+	for _, ev := range other {
+		for p, s := range ev.PortShare {
+			meanOther[p] += s / float64(len(other))
+		}
+	}
+	for _, port := range []uint16{0, 123, 389, 11211, 19} {
+		if meanOther[port] > 0.05 {
+			t.Fatalf("other-traffic port %d share too large: %v", port, meanOther[port])
+		}
+	}
+}
+
+func TestProtoMixes(t *testing.T) {
+	r := RTBHProtoMix()
+	if math.Abs(r.UDP+r.TCP+r.Other-1) > 1e-9 {
+		t.Fatal("RTBH mix does not sum to 1")
+	}
+	if r.UDP < 0.99 {
+		t.Fatalf("RTBH UDP share: %v", r.UDP)
+	}
+	o := OtherProtoMix()
+	if math.Abs(o.UDP+o.TCP+o.Other-1) > 1e-9 {
+		t.Fatal("other mix does not sum to 1")
+	}
+	if o.TCP < 0.8 {
+		t.Fatalf("other TCP share: %v", o.TCP)
+	}
+}
+
+func TestPolicySharesSumToOne(t *testing.T) {
+	var sum float64
+	for _, p := range PolicyShares() {
+		sum += p.Share
+	}
+	if math.Abs(sum-0.9999) > 0.001 {
+		t.Fatalf("policy shares sum: %v", sum)
+	}
+}
+
+func TestSamplePoliciesDistribution(t *testing.T) {
+	rng := stats.NewRand(6)
+	samples := SamplePolicies(20000, rng)
+	counts := make(map[string]int)
+	for _, s := range samples {
+		counts[s.Label]++
+	}
+	allFrac := float64(counts["All"]) / 20000
+	if allFrac < 0.92 || allFrac > 0.96 {
+		t.Fatalf("All share = %v, want ~0.94", allFrac)
+	}
+	if counts["All-1"] == 0 {
+		t.Fatal("All-1 never sampled")
+	}
+}
+
+func BenchmarkAttackOffers(b *testing.B) {
+	rng := stats.NewRand(1)
+	a := NewAttack(VectorNTP, victim, MakePeers(60), 1e9, 0, 1<<30, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Offers(100, 1)
+	}
+}
