@@ -1,0 +1,177 @@
+package stellar_test
+
+// A frozen replica of the seed's route-server update path, kept as the
+// benchmark baseline for BenchmarkRouteServerSingleLockBaseline: one
+// global mutex over the whole pipeline, a single-lock RIB whose Best is
+// a sort of every path on every query, per-prefix export generation with
+// a sorted target list, and one (peer, update) pair per exported prefix.
+// The live implementation (internal/routeserver) replaced this with a
+// prefix-sharded RIB, cached best paths, lock-free import checks and
+// batched per-peer exports; benchmarking against the replica records the
+// speedup and guards against regressing back into it.
+
+import (
+	"net/netip"
+	"sort"
+	"sync"
+
+	"stellar/internal/bgp"
+	"stellar/internal/routeserver"
+)
+
+type seedPath struct {
+	prefix netip.Prefix
+	peer   string
+	peerAS uint32
+	attrs  bgp.PathAttrs
+	seq    uint64
+}
+
+type seedPathKey struct {
+	prefix netip.Prefix
+	peer   string
+}
+
+// seedRouteServer is the seed's single-lock design, reduced to the parts
+// the throughput benchmark exercises (no IRR policy, no subscribers).
+type seedRouteServer struct {
+	asn         uint32
+	blackholeNH netip.Addr
+
+	mu     sync.Mutex
+	order  []string
+	peers  map[string]uint32 // name -> ASN
+	routes map[netip.Prefix]map[seedPathKey]*seedPath
+	seq    uint64
+}
+
+func newSeedRouteServer(asn uint32, nh netip.Addr) *seedRouteServer {
+	return &seedRouteServer{
+		asn: asn, blackholeNH: nh,
+		peers:  make(map[string]uint32),
+		routes: make(map[netip.Prefix]map[seedPathKey]*seedPath),
+	}
+}
+
+func (rs *seedRouteServer) addPeer(name string, asn uint32) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.peers[name] = asn
+	rs.order = append(rs.order, name)
+}
+
+func (rs *seedRouteServer) isBlackhole(attrs *bgp.PathAttrs) bool {
+	return attrs.HasCommunity(bgp.CommunityBlackhole) ||
+		attrs.HasCommunity(bgp.MakeCommunity(uint16(rs.asn), 666))
+}
+
+// best re-sorts every path of the prefix, exactly like the seed table's
+// Lookup-based Best.
+func (rs *seedRouteServer) best(prefix netip.Prefix) *seedPath {
+	m := rs.routes[prefix]
+	out := make([]*seedPath, 0, len(m))
+	for _, p := range m {
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool { return seedBetter(out[i], out[j]) })
+	return out[0]
+}
+
+func seedBetter(a, b *seedPath) bool {
+	if la, lb := a.attrs.PathLen(), b.attrs.PathLen(); la != lb {
+		return la < lb
+	}
+	if a.attrs.Origin != b.attrs.Origin {
+		return a.attrs.Origin < b.attrs.Origin
+	}
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	return a.peer < b.peer
+}
+
+func (rs *seedRouteServer) handleUpdate(peer string, u *bgp.Update) ([]routeserver.PeerUpdate, error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	peerAS, ok := rs.peers[peer]
+	if !ok {
+		return nil, routeserver.ErrUnknownPeer
+	}
+	var exports []routeserver.PeerUpdate
+	for _, pp := range u.AllWithdrawn() {
+		key := seedPathKey{prefix: pp.Prefix, peer: peer}
+		m := rs.routes[pp.Prefix]
+		if m == nil {
+			continue
+		}
+		oldBest := rs.best(pp.Prefix)
+		if _, ok := m[key]; !ok {
+			continue
+		}
+		delete(m, key)
+		if len(m) == 0 {
+			delete(rs.routes, pp.Prefix)
+		}
+		exports = append(exports, rs.exportAfterChange(pp.Prefix, oldBest)...)
+	}
+	for _, pp := range u.AllAnnounced() {
+		// The seed's import checks at benchmark shape: length gate plus
+		// blackhole-community exception (no IRR policy configured).
+		if pp.Prefix.Bits() > 24 && !rs.isBlackhole(&u.Attrs) {
+			continue
+		}
+		oldBest := rs.best(pp.Prefix)
+		rs.seq++
+		m := rs.routes[pp.Prefix]
+		if m == nil {
+			m = make(map[seedPathKey]*seedPath)
+			rs.routes[pp.Prefix] = m
+		}
+		m[seedPathKey{prefix: pp.Prefix, peer: peer}] = &seedPath{
+			prefix: pp.Prefix, peer: peer, peerAS: peerAS,
+			attrs: u.Attrs.Clone(), seq: rs.seq,
+		}
+		exports = append(exports, rs.exportAfterChange(pp.Prefix, oldBest)...)
+	}
+	return exports, nil
+}
+
+func (rs *seedRouteServer) exportAfterChange(prefix netip.Prefix, oldBest *seedPath) []routeserver.PeerUpdate {
+	best := rs.best(prefix)
+	if best == nil {
+		var out []routeserver.PeerUpdate
+		u := &bgp.Update{Withdrawn: []bgp.PathPrefix{{Prefix: prefix}}}
+		for _, name := range rs.order {
+			if oldBest != nil && name == oldBest.peer {
+				continue
+			}
+			out = append(out, routeserver.PeerUpdate{Peer: name, Update: u})
+		}
+		return out
+	}
+	if oldBest != nil && oldBest == best {
+		return nil
+	}
+	// Per-prefix target list with the seed's alphabetical sort.
+	targets := make([]string, 0, len(rs.order))
+	for _, name := range rs.order {
+		if name != best.peer {
+			targets = append(targets, name)
+		}
+	}
+	sort.Strings(targets)
+	attrs := best.attrs.Clone()
+	if rs.isBlackhole(&attrs) && rs.blackholeNH.IsValid() {
+		attrs.NextHop = rs.blackholeNH
+		attrs.AddCommunity(bgp.CommunityNoExport)
+	}
+	u := &bgp.Update{Attrs: attrs, NLRI: []bgp.PathPrefix{{Prefix: prefix}}}
+	out := make([]routeserver.PeerUpdate, 0, len(targets))
+	for _, name := range targets {
+		out = append(out, routeserver.PeerUpdate{Peer: name, Update: u})
+	}
+	return out
+}

@@ -1,7 +1,7 @@
 package stellar_test
 
-// One benchmark per table and figure of the paper's evaluation, plus the
-// ablation benches DESIGN.md calls out. Each benchmark runs the same
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation and route-server scaling benches. Each benchmark runs the same
 // driver as cmd/stellar-lab (at CI-friendly scale) and reports the
 // headline metric of its experiment as a custom unit alongside the usual
 // ns/op, so `go test -bench=. -benchmem` regenerates the evaluation.
@@ -9,6 +9,7 @@ package stellar_test
 import (
 	"fmt"
 	"net/netip"
+	"sync/atomic"
 	"testing"
 
 	"stellar/internal/bgp"
@@ -20,6 +21,8 @@ import (
 	"stellar/internal/member"
 	"stellar/internal/mitigation"
 	"stellar/internal/netpkt"
+	"stellar/internal/rib"
+	"stellar/internal/routeserver"
 	"stellar/internal/stats"
 	"stellar/internal/traffic"
 )
@@ -170,7 +173,7 @@ func BenchmarkSec52Functionality(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------
-// Ablation benches (DESIGN.md, "Design choices worth ablating").
+// Ablation benches: design choices worth ablating.
 
 // BenchmarkAblationEgressVsIngress compares the paper's egress filtering
 // placement against ingress placement on a capacity-constrained small
@@ -394,4 +397,184 @@ func BenchmarkCombinedTSS(b *testing.B) {
 		r = experiments.CombinedTSS(cfg)
 	}
 	b.ReportMetric(r.SavingsFrac*100, "scrub-cost-savings-%")
+}
+
+// ---------------------------------------------------------------------
+// Route-server update-pipeline benchmarks (the sharded-RIB tentpole).
+//
+// The workload drives the update path from many concurrent peer
+// sessions, each announcing batches of blackhole /32s — the attack-load
+// shape of Section 5. "SingleLockBaseline" is the seed's pre-sharding
+// design (bench_baseline_test.go): one global mutex over the whole
+// pipeline, sort-based best-path on every change, one exported message
+// per (peer, prefix). "ShardedParallel" is the current pipeline:
+// lock-free import checks, per-shard RIB locks with cached best paths,
+// batched per-peer exports.
+
+const (
+	benchPeers             = 100
+	benchPrefixesPerUpdate = 10
+)
+
+func benchMakeUpdate(asn uint32, id int, c *uint32) *bgp.Update {
+	u := &bgp.Update{Attrs: bgp.PathAttrs{
+		Origin:      bgp.OriginIGP,
+		ASPath:      []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{asn}}},
+		NextHop:     netip.AddrFrom4([4]byte{80, 81, 192, byte(id)}),
+		Communities: []bgp.Community{bgp.CommunityBlackhole},
+	}}
+	for k := 0; k < benchPrefixesPerUpdate; k++ {
+		addr := netip.AddrFrom4([4]byte{100, byte(id), byte(*c >> 8), byte(*c)})
+		*c++
+		u.NLRI = append(u.NLRI, bgp.PathPrefix{Prefix: netip.PrefixFrom(addr, 32)})
+	}
+	return u
+}
+
+// BenchmarkRouteServerSingleLockBaseline drives the seed's single-lock
+// pipeline replica: record its updates/s next to ShardedParallel's to see
+// the speedup.
+func BenchmarkRouteServerSingleLockBaseline(b *testing.B) {
+	rs := newSeedRouteServer(6695, netip.MustParseAddr("80.81.193.66"))
+	for i := 0; i < benchPeers; i++ {
+		rs.addPeer(fmt.Sprintf("AS%d", 64512+i), uint32(64512+i))
+	}
+	var nextPeer atomic.Int64
+	b.SetParallelism(4) // many sessions per core, like a real route server
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := int(nextPeer.Add(1)-1) % benchPeers
+		name := fmt.Sprintf("AS%d", 64512+id)
+		var c uint32
+		for pb.Next() {
+			u := benchMakeUpdate(uint32(64512+id), id, &c)
+			if _, err := rs.handleUpdate(name, u); err != nil {
+				panic(err)
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+	b.ReportMetric(float64(b.N*benchPrefixesPerUpdate)/b.Elapsed().Seconds(), "prefixes/s")
+}
+
+// BenchmarkRouteServerShardedParallel is the sharded pipeline under the
+// same 100-peer concurrent load.
+func BenchmarkRouteServerShardedParallel(b *testing.B) {
+	rs := routeserver.New(routeserver.Config{
+		ASN:              6695,
+		BlackholeNextHop: netip.MustParseAddr("80.81.193.66"),
+	})
+	cfgs := make([]routeserver.PeerConfig, benchPeers)
+	for i := range cfgs {
+		cfgs[i] = routeserver.PeerConfig{
+			Name:  fmt.Sprintf("AS%d", 64512+i),
+			ASN:   uint32(64512 + i),
+			BGPID: netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)}),
+		}
+		if err := rs.AddPeer(cfgs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var nextPeer atomic.Int64
+	b.SetParallelism(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := int(nextPeer.Add(1)-1) % benchPeers
+		cfg := cfgs[id]
+		var c uint32
+		for pb.Next() {
+			u := benchMakeUpdate(cfg.ASN, id, &c)
+			if _, _, err := rs.HandleUpdateBatch(cfg.Name, u); err != nil {
+				panic(err)
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+	b.ReportMetric(float64(b.N*benchPrefixesPerUpdate)/b.Elapsed().Seconds(), "prefixes/s")
+}
+
+// BenchmarkRouteServerWithdrawChurn measures announce/withdraw cycles —
+// the blackholing signal churn of an attack ramp — on the sharded
+// pipeline.
+func BenchmarkRouteServerWithdrawChurn(b *testing.B) {
+	const peers = 32
+	rs := routeserver.New(routeserver.Config{
+		ASN:              6695,
+		BlackholeNextHop: netip.MustParseAddr("80.81.193.66"),
+	})
+	cfgs := make([]routeserver.PeerConfig, peers)
+	for i := range cfgs {
+		cfgs[i] = routeserver.PeerConfig{
+			Name:  fmt.Sprintf("AS%d", 64512+i),
+			ASN:   uint32(64512 + i),
+			BGPID: netip.AddrFrom4([4]byte{10, 0, 0, byte(i)}),
+		}
+		if err := rs.AddPeer(cfgs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var nextPeer atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := int(nextPeer.Add(1)-1) % peers
+		cfg := cfgs[id]
+		var c uint32
+		for pb.Next() {
+			addr := netip.AddrFrom4([4]byte{100, byte(id), byte(c >> 8), byte(c)})
+			c++
+			p := netip.PrefixFrom(addr, 32)
+			u := &bgp.Update{
+				Attrs: bgp.PathAttrs{
+					Origin:      bgp.OriginIGP,
+					ASPath:      []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{cfg.ASN}}},
+					NextHop:     netip.AddrFrom4([4]byte{80, 81, 192, byte(id)}),
+					Communities: []bgp.Community{bgp.CommunityBlackhole},
+				},
+				NLRI: []bgp.PathPrefix{{Prefix: p}},
+			}
+			if _, _, err := rs.HandleUpdateBatch(cfg.Name, u); err != nil {
+				panic(err)
+			}
+			w := &bgp.Update{Withdrawn: []bgp.PathPrefix{{Prefix: p}}}
+			if _, _, err := rs.HandleUpdateBatch(cfg.Name, w); err != nil {
+				panic(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRIBParallel isolates the sharded table: parallel AddWithBest /
+// RemoveWithBest / Best across a wide prefix space, at one shard (the
+// old single-lock layout) and at the default shard count.
+func BenchmarkRIBParallel(b *testing.B) {
+	for _, shards := range []int{1, rib.DefaultShards} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			tbl := rib.NewSharded(shards)
+			attrs := bgp.PathAttrs{
+				Origin:  bgp.OriginIGP,
+				ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{64512}}},
+				NextHop: netip.MustParseAddr("192.0.2.1"),
+			}
+			var nextWorker atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := int(nextWorker.Add(1) - 1)
+				var c uint32
+				for pb.Next() {
+					addr := netip.AddrFrom4([4]byte{10, byte(w), byte(c >> 8), byte(c)})
+					c++
+					key := rib.PathKey{Prefix: netip.PrefixFrom(addr, 32), Peer: "p", PathID: uint32(w)}
+					tbl.AddWithBest(key, 64512, attrs)
+					tbl.Best(key.Prefix)
+					tbl.RemoveWithBest(key)
+				}
+			})
+		})
+	}
 }

@@ -10,8 +10,11 @@
 package main
 
 import (
+	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/netip"
 	"os"
@@ -22,18 +25,30 @@ import (
 )
 
 func main() {
-	vector := flag.String("vector", "ntp", "workload: ntp|dns|ldap|memcached|chargen|port-0|web")
-	rate := flag.Float64("rate", 1e9, "aggregate rate in bits/s")
-	peerCount := flag.Int("peers", 40, "number of source peers")
-	ticks := flag.Int("ticks", 600, "duration in 1-second ticks")
-	start := flag.Int("start", 0, "attack start tick")
-	target := flag.String("target", "100.10.10.10", "victim address")
-	seed := flag.Uint64("seed", 1, "PRNG seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		log.Fatalf("attackgen: %v", err)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("attackgen", flag.ContinueOnError)
+	vector := fs.String("vector", "ntp", "workload: ntp|dns|ldap|memcached|chargen|port-0|web")
+	rate := fs.Float64("rate", 1e9, "aggregate rate in bits/s")
+	peerCount := fs.Int("peers", 40, "number of source peers")
+	ticks := fs.Int("ticks", 600, "duration in 1-second ticks")
+	start := fs.Int("start", 0, "attack start tick")
+	target := fs.String("target", "100.10.10.10", "victim address")
+	seed := fs.Uint64("seed", 1, "PRNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	dst, err := netip.ParseAddr(*target)
 	if err != nil {
-		log.Fatalf("attackgen: bad target: %v", err)
+		return fmt.Errorf("bad target: %v", err)
 	}
 	rng := stats.NewRand(*seed)
 	peers := traffic.MakePeers(*peerCount)
@@ -45,19 +60,20 @@ func main() {
 	} else {
 		v, err := traffic.VectorByName(*vector)
 		if err != nil {
-			log.Fatalf("attackgen: %v", err)
+			return err
 		}
 		atk := traffic.NewAttack(v, dst, peers, *rate, *start, *ticks, rng)
 		offersAt = func(tick int) []fabric.Offer { return atk.Offers(tick, 1) }
 	}
 
-	w := os.Stdout
-	fmt.Fprintln(w, "tick,src_member,src_ip,proto,src_port,dst_port,bytes,packets")
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "tick,src_member,src_ip,proto,src_port,dst_port,bytes,packets")
 	for tick := 0; tick < *ticks; tick++ {
 		for _, o := range offersAt(tick) {
-			fmt.Fprintf(w, "%d,%s,%s,%s,%d,%d,%.0f,%.0f\n",
+			fmt.Fprintf(bw, "%d,%s,%s,%s,%d,%d,%.0f,%.0f\n",
 				tick, o.Flow.SrcMAC, o.Flow.Src, o.Flow.Proto,
 				o.Flow.SrcPort, o.Flow.DstPort, o.Bytes, o.Packets)
 		}
 	}
+	return bw.Flush()
 }

@@ -232,7 +232,7 @@ func (d *daemon) handleUpdate(name string, u *bgp.Update) {
 		}
 		d.mu.Unlock()
 	}
-	exports, rejections, err := d.rs.HandleUpdate(name, u)
+	exports, rejections, err := d.rs.HandleUpdateBatch(name, u)
 	if err != nil {
 		log.Printf("ixpd: update from %s: %v", name, err)
 		return
@@ -243,17 +243,28 @@ func (d *daemon) handleUpdate(name string, u *bgp.Update) {
 	d.distribute(exports)
 }
 
-// distribute forwards route server exports to the connected members.
-func (d *daemon) distribute(exports []routeserver.PeerUpdate) {
+// distribute forwards the route server's batched exports to the connected
+// members, one SendUpdates flush per peer. Session handles are looked up
+// under d.mu but the TCP writes happen outside it, so a member that stops
+// reading stalls only the pipeline that owes it updates, never the whole
+// daemon.
+func (d *daemon) distribute(exports []routeserver.PeerUpdates) {
+	type flush struct {
+		sess    *bgpsession.Session
+		peer    string
+		updates []*bgp.Update
+	}
+	flushes := make([]flush, 0, len(exports))
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	for _, e := range exports {
-		sess, ok := d.peers[e.Peer]
-		if !ok {
-			continue
+		if sess, ok := d.peers[e.Peer]; ok {
+			flushes = append(flushes, flush{sess: sess, peer: e.Peer, updates: e.Updates})
 		}
-		if err := sess.SendUpdate(e.Update); err != nil {
-			log.Printf("ixpd: export to %s: %v", e.Peer, err)
+	}
+	d.mu.Unlock()
+	for _, f := range flushes {
+		if err := f.sess.SendUpdates(f.updates); err != nil {
+			log.Printf("ixpd: export to %s: %v", f.peer, err)
 		}
 	}
 }

@@ -1,0 +1,186 @@
+package main
+
+// The bench subcommand measures route-server update throughput and emits
+// the numbers as JSON, so CI can archive a machine-readable perf
+// trajectory (BENCH_routeserver.json) next to the human-readable `go
+// test -bench` output. It drives the same concurrent multi-peer workload
+// as bench_test.go: every peer announces batches of blackhole /32s from
+// its own goroutine. Two configurations run back to back — "single-lock"
+// (one RIB shard plus a global mutex over the whole pipeline, the
+// pre-sharding serialization discipline) and "sharded" (the live
+// parallel pipeline) — so every archived report carries its own baseline.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"stellar/internal/bgp"
+	"stellar/internal/rib"
+	"stellar/internal/routeserver"
+)
+
+type benchConfig struct {
+	Peers             int `json:"peers"`
+	PrefixesPerPeer   int `json:"prefixes_per_peer"`
+	PrefixesPerUpdate int `json:"prefixes_per_update"`
+	Shards            int `json:"shards"`
+}
+
+type benchResult struct {
+	Name           string  `json:"name"`
+	Shards         int     `json:"shards"`
+	Updates        int     `json:"updates"`
+	Prefixes       int     `json:"prefixes"`
+	Seconds        float64 `json:"seconds"`
+	UpdatesPerSec  float64 `json:"updates_per_sec"`
+	PrefixesPerSec float64 `json:"prefixes_per_sec"`
+}
+
+type benchReport struct {
+	Benchmark  string        `json:"benchmark"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	CPUs       int           `json:"cpus"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Config     benchConfig   `json:"config"`
+	Results    []benchResult `json:"results"`
+	SpeedupX   float64       `json:"sharded_speedup_x"`
+}
+
+func runBenchCommand(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	peers := fs.Int("peers", 64, "concurrent peer sessions")
+	prefixes := fs.Int("prefixes", 2000, "prefixes announced per peer")
+	updateSize := fs.Int("update-size", 10, "prefixes per UPDATE message")
+	shards := fs.Int("shards", 0, "RIB shards for the sharded run (0 = default)")
+	out := fs.String("out", "", "write the JSON report to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *peers < 1 || *prefixes < 1 || *updateSize < 1 {
+		return fmt.Errorf("bench: -peers, -prefixes and -update-size must be >= 1")
+	}
+	cfg := benchConfig{
+		Peers:             *peers,
+		PrefixesPerPeer:   *prefixes,
+		PrefixesPerUpdate: *updateSize,
+		Shards:            *shards,
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = rib.DefaultShards
+	}
+
+	report := benchReport{
+		Benchmark:  "routeserver-throughput",
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Config:     cfg,
+	}
+	single := benchThroughput(cfg, 1, true)
+	single.Name = "single-lock"
+	sharded := benchThroughput(cfg, cfg.Shards, false)
+	sharded.Name = "sharded"
+	report.Results = []benchResult{single, sharded}
+	if single.UpdatesPerSec > 0 {
+		report.SpeedupX = sharded.UpdatesPerSec / single.UpdatesPerSec
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// benchThroughput runs the multi-peer announce workload once and times
+// it. serialize wraps every HandleUpdateBatch in one global mutex,
+// reproducing the seed's one-big-lock pipeline on today's code.
+func benchThroughput(cfg benchConfig, shards int, serialize bool) benchResult {
+	rs := routeserver.New(routeserver.Config{
+		ASN:              6695,
+		BlackholeNextHop: netip.MustParseAddr("80.81.193.66"),
+		RIBShards:        shards,
+	})
+	names := make([]string, cfg.Peers)
+	for i := range names {
+		names[i] = fmt.Sprintf("AS%d", 64512+i)
+		if err := rs.AddPeer(routeserver.PeerConfig{
+			Name:  names[i],
+			ASN:   uint32(64512 + i),
+			BGPID: netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)}),
+		}); err != nil {
+			panic(err)
+		}
+	}
+	updatesPerPeer := cfg.PrefixesPerPeer / cfg.PrefixesPerUpdate
+	if updatesPerPeer == 0 {
+		updatesPerPeer = 1
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for id := 0; id < cfg.Peers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			asn := uint32(64512 + id)
+			var c uint32
+			for n := 0; n < updatesPerPeer; n++ {
+				u := &bgp.Update{Attrs: bgp.PathAttrs{
+					Origin:      bgp.OriginIGP,
+					ASPath:      []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{asn}}},
+					NextHop:     netip.AddrFrom4([4]byte{80, 81, 192, byte(id)}),
+					Communities: []bgp.Community{bgp.CommunityBlackhole},
+				}}
+				for k := 0; k < cfg.PrefixesPerUpdate; k++ {
+					addr := netip.AddrFrom4([4]byte{100, byte(id), byte(c >> 8), byte(c)})
+					c++
+					u.NLRI = append(u.NLRI, bgp.PathPrefix{Prefix: netip.PrefixFrom(addr, 32)})
+				}
+				if serialize {
+					mu.Lock()
+				}
+				_, _, err := rs.HandleUpdateBatch(names[id], u)
+				if serialize {
+					mu.Unlock()
+				}
+				if err != nil {
+					panic(err)
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	updates := cfg.Peers * updatesPerPeer
+	prefixes := updates * cfg.PrefixesPerUpdate
+	return benchResult{
+		Shards:         shards,
+		Updates:        updates,
+		Prefixes:       prefixes,
+		Seconds:        elapsed,
+		UpdatesPerSec:  float64(updates) / elapsed,
+		PrefixesPerSec: float64(prefixes) / elapsed,
+	}
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,9 @@ import (
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "stellar-lab:", err)
 		os.Exit(1)
 	}
@@ -27,9 +31,13 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: stellar-lab <table1|fig2c|fig3a|fig3b|fig3c|fig9|fig10a|fig10b|fig10c|sec52|compare|combined-tss|all> [flags]")
+		return fmt.Errorf("usage: stellar-lab <table1|fig2c|fig3a|fig3b|fig3c|fig9|fig10a|fig10b|fig10c|sec52|compare|combined-tss|bench|all> [flags]")
 	}
 	name := args[0]
+	if name == "bench" {
+		// Route-server throughput probe with JSON output (its own flags).
+		return runBenchCommand(args[1:], os.Stdout)
+	}
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	seed := fs.Uint64("seed", 0, "override the experiment's default seed (0 keeps it)")
 	scale := fs.String("scale", "full", "experiment scale: small (CI-sized) or full (paper-sized)")

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 // TestRunAllExperimentsSmallScale executes every subcommand end to end
 // at CI scale, covering the CLI plumbing and every experiment driver.
@@ -33,5 +40,61 @@ func TestRunErrors(t *testing.T) {
 func TestSeedOverride(t *testing.T) {
 	if err := run([]string{"fig3b", "-scale", "small", "-seed", "99"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestBenchCommandJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runBenchCommand([]string{"-peers", "8", "-prefixes", "100", "-update-size", "10"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var r benchReport
+	if err := json.Unmarshal(buf.Bytes(), &r); err != nil {
+		t.Fatalf("bench output is not JSON: %v\n%s", err, buf.String())
+	}
+	if r.Benchmark != "routeserver-throughput" || len(r.Results) != 2 {
+		t.Fatalf("report: %+v", r)
+	}
+	for _, res := range r.Results {
+		if res.UpdatesPerSec <= 0 || res.Prefixes != 8*100 {
+			t.Fatalf("result %s: %+v", res.Name, res)
+		}
+	}
+	if r.Results[0].Name != "single-lock" || r.Results[0].Shards != 1 {
+		t.Fatalf("baseline result: %+v", r.Results[0])
+	}
+	if r.Results[1].Name != "sharded" || r.Results[1].Shards < 2 {
+		t.Fatalf("sharded result: %+v", r.Results[1])
+	}
+	if r.SpeedupX <= 0 {
+		t.Fatalf("speedup: %v", r.SpeedupX)
+	}
+	if err := runBenchCommand([]string{"-bogus"}, &buf); err == nil {
+		t.Fatal("bad bench flag accepted")
+	}
+}
+
+func TestBenchCommandOutFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := runBenchCommand([]string{"-peers", "4", "-prefixes", "40", "-out", path}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("file output not JSON: %v", err)
+	}
+}
+
+func TestBenchCommandRejectsZeroFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-update-size", "0"}, {"-peers", "0"}, {"-prefixes", "0"},
+	} {
+		if err := runBenchCommand(args, io.Discard); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
 	}
 }

@@ -9,8 +9,9 @@
 // mitigation techniques (RTBH, ACL, Flowspec, TSS) the paper compares
 // against.
 //
-// See README.md for the architecture overview, DESIGN.md for the system
-// inventory and per-experiment index, and EXPERIMENTS.md for the
-// paper-vs-measured record. The benchmarks in bench_test.go regenerate
-// every table and figure of the evaluation; cmd/stellar-lab prints them.
+// See README.md for the architecture overview and build/test
+// instructions. The benchmarks in bench_test.go regenerate every table
+// and figure of the evaluation and measure the route server's sharded
+// update pipeline against its single-lock baseline; cmd/stellar-lab
+// prints the experiments and emits throughput numbers as JSON.
 package stellar

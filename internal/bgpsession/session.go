@@ -291,6 +291,14 @@ func (s *Session) receiveLoop(hold time.Duration, opts *bgp.Options) error {
 // SendUpdate sends an UPDATE; the session must be Established and not
 // configured Passive.
 func (s *Session) SendUpdate(u *bgp.Update) error {
+	return s.SendUpdates([]*bgp.Update{u})
+}
+
+// SendUpdates sends a batch of UPDATEs back to back under one writer-lock
+// acquisition, preserving order against concurrent senders. The route
+// server's batched export path uses it to flush a peer's whole update set
+// without interleaving messages from other pipelines.
+func (s *Session) SendUpdates(us []*bgp.Update) error {
 	if s.cfg.Passive {
 		return errors.New("bgpsession: passive session cannot announce")
 	}
@@ -300,7 +308,14 @@ func (s *Session) SendUpdate(u *bgp.Update) error {
 	if st != StateEstablished {
 		return ErrNotEstablished
 	}
-	return s.writeOpts(u, &opts)
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	for _, u := range us {
+		if err := bgp.WriteMessage(s.conn, u, &opts); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Close terminates the session with an administrative-shutdown

@@ -640,3 +640,39 @@ func TestSDNManagerCounters(t *testing.T) {
 		t.Fatal("ghost rule counters")
 	}
 }
+
+func TestHandleEventsBatch(t *testing.T) {
+	// A batch of events (the decode of one ADD-PATH iBGP UPDATE) folds
+	// into a single diff: two ADD-PATH paths' rules for the same prefix
+	// install, and a withdraw in a later batch removes only its own rule.
+	h := newHarness(t, NewChangeQueue(1000, 1000))
+	h.st.HandleEvents([]routeserver.ControllerEvent{
+		advEvent("AS64512", victimPrefix, 1, DropUDPSrcPort(123)),
+		advEvent("AS64512", victimPrefix, 2, DropUDPSrcPort(53)),
+	}, 0)
+	if h.st.PendingChanges() != 2 {
+		t.Fatalf("pending: %d", h.st.PendingChanges())
+	}
+	if n := h.st.Process(0.1); n != 2 {
+		t.Fatalf("applied: %d", n)
+	}
+	if h.st.RIBLen() != 2 {
+		t.Fatalf("rib len: %d", h.st.RIBLen())
+	}
+	wdr := routeserver.ControllerEvent{
+		Peer: "AS64512", PeerAS: 64512, PathID: 1,
+		Withdrawn: []netip.Prefix{victimPrefix},
+	}
+	h.st.HandleEvents([]routeserver.ControllerEvent{wdr}, 0.2)
+	if n := h.st.Process(0.3); n != 1 {
+		t.Fatalf("withdraw applied: %d", n)
+	}
+	if h.st.RIBLen() != 1 {
+		t.Fatalf("rib len after withdraw: %d", h.st.RIBLen())
+	}
+	// Empty batch is a no-op.
+	h.st.HandleEvents(nil, 0.4)
+	if h.st.PendingChanges() != 0 {
+		t.Fatal("empty batch enqueued changes")
+	}
+}

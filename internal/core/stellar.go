@@ -95,22 +95,38 @@ func RuleID(member string, prefix netip.Prefix, spec RuleSpec) string {
 // snapshot, and enqueues the resulting configuration changes at the
 // given time (seconds).
 func (s *Stellar) HandleEvent(ev routeserver.ControllerEvent, now float64) {
+	s.HandleEvents([]routeserver.ControllerEvent{ev}, now)
+}
+
+// HandleEvents folds a batch of route server events into the RIB and
+// derives configuration changes from a single snapshot diff for the whole
+// batch. It pairs with EventsFromUpdate on the wire feed: one iBGP UPDATE
+// from the route server carries prefixes for several ADD-PATH identifiers
+// and decodes to several events, and diffing once per message instead of
+// once per event keeps the controller's hot path off the O(table)
+// snapshot cost.
+func (s *Stellar) HandleEvents(evs []routeserver.ControllerEvent, now float64) {
+	if len(evs) == 0 {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	for _, prefix := range ev.Withdrawn {
-		key := rib.PathKey{Prefix: prefix, Peer: ev.Peer, PathID: ev.PathID}
-		if !s.rib.Remove(key) && ev.PathID != 0 {
-			// Withdrawals on the wire feed carry no attributes, so the
-			// peer label derived from them may not match the installed
-			// path's; the ADD-PATH identifier alone names the path.
-			if p := s.rib.FindByPathID(prefix, ev.PathID); p != nil {
-				s.rib.Remove(p.Key)
+	for _, ev := range evs {
+		for _, prefix := range ev.Withdrawn {
+			key := rib.PathKey{Prefix: prefix, Peer: ev.Peer, PathID: ev.PathID}
+			if !s.rib.Remove(key) && ev.PathID != 0 {
+				// Withdrawals on the wire feed carry no attributes, so the
+				// peer label derived from them may not match the installed
+				// path's; the ADD-PATH identifier alone names the path.
+				if p := s.rib.FindByPathID(prefix, ev.PathID); p != nil {
+					s.rib.Remove(p.Key)
+				}
 			}
 		}
-	}
-	for _, prefix := range ev.Announced {
-		s.rib.Add(rib.PathKey{Prefix: prefix, Peer: ev.Peer, PathID: ev.PathID}, ev.PeerAS, ev.Attrs)
+		for _, prefix := range ev.Announced {
+			s.rib.Add(rib.PathKey{Prefix: prefix, Peer: ev.Peer, PathID: ev.PathID}, ev.PeerAS, ev.Attrs)
+		}
 	}
 
 	next := s.rib.Snapshot()

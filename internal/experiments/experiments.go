@@ -2,7 +2,7 @@
 // paper's evaluation. Each driver builds its workload from the substrate
 // packages, runs it, and returns a result struct that (a) formats to the
 // same rows/series the paper reports and (b) exposes the numbers the
-// shape assertions in the test suite and EXPERIMENTS.md check.
+// shape assertions in the test suites check.
 //
 // Absolute numbers differ from the paper (our substrate is a simulator,
 // not DE-CIX hardware); the shapes — who wins, by what factor, where the

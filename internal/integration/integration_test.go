@@ -51,9 +51,7 @@ func (w *wireStellar) handle(e bgpsession.Event) {
 	w.now += 1
 	now := w.now
 	w.mu.Unlock()
-	for _, ev := range core.EventsFromUpdate(e.Update, nil) {
-		w.st.HandleEvent(ev, now)
-	}
+	w.st.HandleEvents(core.EventsFromUpdate(e.Update, nil), now)
 	w.st.Process(now)
 	select {
 	case w.seen <- struct{}{}:

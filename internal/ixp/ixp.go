@@ -190,7 +190,7 @@ func (x *IXP) Announce(memberName string, prefix netip.Prefix, communities []bgp
 			NLRI:    []bgp.PathPrefix{{Prefix: prefix}},
 		}
 	}
-	exports, rejections, err := x.RS.HandleUpdate(memberName, u)
+	exports, rejections, err := x.RS.HandleUpdateBatch(memberName, u)
 	if err != nil {
 		return err
 	}
@@ -212,7 +212,7 @@ func (x *IXP) Withdraw(memberName string, prefix netip.Prefix) error {
 			NLRI: []bgp.PathPrefix{{Prefix: prefix}},
 		}
 	}
-	exports, _, err := x.RS.HandleUpdate(memberName, u)
+	exports, _, err := x.RS.HandleUpdateBatch(memberName, u)
 	if err != nil {
 		return err
 	}
@@ -224,7 +224,7 @@ func (x *IXP) Withdraw(memberName string, prefix netip.Prefix) error {
 // members that honor RTBH install (or remove) null routes for
 // blackholed prefixes. Members that do not honor them ignore the signal
 // — the ~70% of Section 2.4.
-func (x *IXP) applyExports(exports []routeserver.PeerUpdate) {
+func (x *IXP) applyExports(exports []routeserver.PeerUpdates) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	for _, e := range exports {
@@ -232,18 +232,20 @@ func (x *IXP) applyExports(exports []routeserver.PeerUpdate) {
 		if !ok {
 			continue
 		}
-		for _, w := range e.Update.AllWithdrawn() {
-			delete(x.nullRoutes[m.Name], w.Prefix)
-		}
-		for _, a := range e.Update.AllAnnounced() {
-			isBH := e.Update.Attrs.NextHop == x.Cfg.BlackholeNextHop && x.Cfg.BlackholeNextHop.IsValid()
-			if !isBH {
-				continue
+		for _, u := range e.Updates {
+			for _, w := range u.AllWithdrawn() {
+				delete(x.nullRoutes[m.Name], w.Prefix)
 			}
-			// Seeing the /32 at all requires accepting more specifics;
-			// acting on it requires blackhole support.
-			if m.HonorsRTBH() {
-				x.nullRoutes[m.Name][a.Prefix] = true
+			for _, a := range u.AllAnnounced() {
+				isBH := u.Attrs.NextHop == x.Cfg.BlackholeNextHop && x.Cfg.BlackholeNextHop.IsValid()
+				if !isBH {
+					continue
+				}
+				// Seeing the /32 at all requires accepting more specifics;
+				// acting on it requires blackhole support.
+				if m.HonorsRTBH() {
+					x.nullRoutes[m.Name][a.Prefix] = true
+				}
 			}
 		}
 	}

@@ -4,6 +4,14 @@
 // multiple paths per prefix, BGP best-path selection, and snapshot
 // diffing. Snapshot diffs are how the controller turns a BGP message
 // stream into a set of abstract configuration changes (Section 4.4).
+//
+// The table is sharded by prefix hash: every prefix lives in exactly one
+// shard, each shard owns its routes map and cached best paths behind its
+// own lock, and a single atomic counter issues globally monotonic
+// sequence numbers. Mutations on different shards proceed in parallel;
+// mutations on the same prefix serialize on its shard, which is what lets
+// AddWithBest / RemoveWithBest report an atomically consistent best-path
+// transition to the route server's export pipeline.
 package rib
 
 import (
@@ -11,6 +19,7 @@ import (
 	"net/netip"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"stellar/internal/bgp"
 )
@@ -37,73 +46,195 @@ type Path struct {
 	Seq uint64
 }
 
-// Table is a concurrency-safe RIB.
-type Table struct {
-	mu     sync.RWMutex
-	routes map[netip.Prefix]map[PathKey]*Path
-	seq    uint64
+// DefaultShards is the shard count used by New. It trades map sizing
+// against lock contention for a route server with hundreds of concurrent
+// peer sessions.
+const DefaultShards = 32
+
+// prefixEntry holds every path for one prefix plus the cached best path,
+// maintained incrementally so Best is O(1) and a mutation recomputes at
+// most one prefix's ordering.
+type prefixEntry struct {
+	paths map[PathKey]*Path
+	best  *Path
 }
 
-// New returns an empty table.
-func New() *Table {
-	return &Table{routes: make(map[netip.Prefix]map[PathKey]*Path)}
+type shard struct {
+	mu     sync.RWMutex
+	routes map[netip.Prefix]*prefixEntry
 }
+
+// Table is a concurrency-safe, prefix-sharded RIB.
+type Table struct {
+	shards []shard
+	mask   uint32
+	seq    atomic.Uint64
+}
+
+// New returns an empty table with DefaultShards shards.
+func New() *Table { return NewSharded(DefaultShards) }
+
+// NewSharded returns an empty table with n shards (rounded up to a power
+// of two; n <= 1 yields the single-lock layout, the pre-sharding
+// baseline).
+func NewSharded(n int) *Table {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	t := &Table{shards: make([]shard, size), mask: uint32(size - 1)}
+	for i := range t.shards {
+		t.shards[i].routes = make(map[netip.Prefix]*prefixEntry)
+	}
+	return t
+}
+
+// ShardCount returns the number of shards.
+func (t *Table) ShardCount() int { return len(t.shards) }
+
+func (t *Table) shardFor(p netip.Prefix) *shard {
+	a := p.Addr().As16()
+	h := uint32(2166136261) // FNV-1a
+	for _, b := range a {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	h = (h ^ uint32(p.Bits())) * 16777619
+	return &t.shards[h&t.mask]
+}
+
+// BestChange describes how one mutation moved a prefix's best path. Old
+// and New are pointers into the table's immutable path set; Old == New
+// (including both nil) means the best path did not change.
+type BestChange struct {
+	Prefix netip.Prefix
+	Old    *Path
+	New    *Path
+}
+
+// Changed reports whether the mutation altered the best path.
+func (c BestChange) Changed() bool { return c.Old != c.New }
 
 // Add installs or replaces the path identified by key. It returns the
 // stored (copied) path.
 func (t *Table) Add(key PathKey, peerAS uint32, attrs bgp.PathAttrs) *Path {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.seq++
-	p := &Path{Key: key, PeerAS: peerAS, Attrs: attrs.Clone(), Seq: t.seq}
-	m := t.routes[key.Prefix]
-	if m == nil {
-		m = make(map[PathKey]*Path)
-		t.routes[key.Prefix] = m
-	}
-	m[key] = p
+	p, _ := t.AddWithBest(key, peerAS, attrs)
 	return p
+}
+
+// AddWithBest installs or replaces the path identified by key and
+// reports, atomically with the mutation, how the prefix's best path
+// changed.
+func (t *Table) AddWithBest(key PathKey, peerAS uint32, attrs bgp.PathAttrs) (*Path, BestChange) {
+	sh := t.shardFor(key.Prefix)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p := &Path{Key: key, PeerAS: peerAS, Attrs: attrs.Clone(), Seq: t.seq.Add(1)}
+	e := sh.routes[key.Prefix]
+	if e == nil {
+		e = &prefixEntry{paths: make(map[PathKey]*Path)}
+		sh.routes[key.Prefix] = e
+	}
+	old := e.best
+	e.paths[key] = p
+	switch {
+	case old == nil:
+		e.best = p
+	case old.Key == key:
+		// Replaced the best path: its attributes may have worsened.
+		e.recomputeBest()
+	case better(p, old):
+		e.best = p
+	}
+	return p, BestChange{Prefix: key.Prefix, Old: old, New: e.best}
 }
 
 // Remove deletes the path identified by key; it reports whether a path
 // was present.
 func (t *Table) Remove(key PathKey) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	m := t.routes[key.Prefix]
-	if m == nil {
-		return false
+	ok, _ := t.RemoveWithBest(key)
+	return ok
+}
+
+// RemoveWithBest deletes the path identified by key and reports, when a
+// path was present, how the prefix's best path changed.
+func (t *Table) RemoveWithBest(key PathKey) (bool, BestChange) {
+	sh := t.shardFor(key.Prefix)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.routes[key.Prefix]
+	if e == nil {
+		return false, BestChange{Prefix: key.Prefix}
 	}
-	if _, ok := m[key]; !ok {
-		return false
+	if _, ok := e.paths[key]; !ok {
+		return false, BestChange{Prefix: key.Prefix, Old: e.best, New: e.best}
 	}
-	delete(m, key)
-	if len(m) == 0 {
-		delete(t.routes, key.Prefix)
+	old := e.best
+	delete(e.paths, key)
+	if len(e.paths) == 0 {
+		delete(sh.routes, key.Prefix)
+		return true, BestChange{Prefix: key.Prefix, Old: old}
 	}
-	return true
+	if old != nil && old.Key == key {
+		e.recomputeBest()
+	}
+	return true, BestChange{Prefix: key.Prefix, Old: old, New: e.best}
+}
+
+func (e *prefixEntry) recomputeBest() {
+	var best *Path
+	for _, p := range e.paths {
+		if best == nil || better(p, best) {
+			best = p
+		}
+	}
+	e.best = best
 }
 
 // RemovePeer withdraws every path learned from peer (session teardown,
 // RFC 4271 §8: implicit withdraw of the whole Adj-RIB-In). It returns the
 // removed paths.
 func (t *Table) RemovePeer(peer string) []*Path {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	removed, _ := t.RemovePeerWithBest(peer)
+	return removed
+}
+
+// RemovePeerWithBest withdraws every path learned from peer and
+// additionally returns the best-path transition of every affected prefix,
+// sorted for determinism.
+func (t *Table) RemovePeerWithBest(peer string) ([]*Path, []BestChange) {
 	var removed []*Path
-	for prefix, m := range t.routes {
-		for key, p := range m {
-			if key.Peer == peer {
-				removed = append(removed, p)
-				delete(m, key)
+	var changes []BestChange
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for prefix, e := range sh.routes {
+			old := e.best
+			touched := false
+			for key, p := range e.paths {
+				if key.Peer == peer {
+					removed = append(removed, p)
+					delete(e.paths, key)
+					touched = true
+				}
 			}
+			if !touched {
+				continue
+			}
+			if len(e.paths) == 0 {
+				delete(sh.routes, prefix)
+				changes = append(changes, BestChange{Prefix: prefix, Old: old})
+				continue
+			}
+			if old != nil && old.Key.Peer == peer {
+				e.recomputeBest()
+			}
+			changes = append(changes, BestChange{Prefix: prefix, Old: old, New: e.best})
 		}
-		if len(m) == 0 {
-			delete(t.routes, prefix)
-		}
+		sh.mu.Unlock()
 	}
 	sortPaths(removed)
-	return removed
+	sort.Slice(changes, func(i, j int) bool { return prefixLess(changes[i].Prefix, changes[j].Prefix) })
+	return removed, changes
 }
 
 // FindByPathID returns the path for (prefix, pathID) regardless of the
@@ -111,9 +242,14 @@ func (t *Table) RemovePeer(peer string) []*Path {
 // path by its identifier alone (RFC 7911 §3); attribute-less withdraw
 // messages cannot name the peer.
 func (t *Table) FindByPathID(prefix netip.Prefix, pathID uint32) *Path {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for key, p := range t.routes[prefix] {
+	sh := t.shardFor(prefix)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e := sh.routes[prefix]
+	if e == nil {
+		return nil
+	}
+	for key, p := range e.paths {
 		if key.PathID == pathID {
 			return p
 		}
@@ -123,51 +259,57 @@ func (t *Table) FindByPathID(prefix netip.Prefix, pathID uint32) *Path {
 
 // Lookup returns every path for prefix, ordered best-first.
 func (t *Table) Lookup(prefix netip.Prefix) []*Path {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	m := t.routes[prefix]
-	out := make([]*Path, 0, len(m))
-	for _, p := range m {
-		out = append(out, p)
+	sh := t.shardFor(prefix)
+	sh.mu.RLock()
+	e := sh.routes[prefix]
+	out := make([]*Path, 0, 4)
+	if e != nil {
+		for _, p := range e.paths {
+			out = append(out, p)
+		}
 	}
+	sh.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return better(out[i], out[j]) })
 	return out
 }
 
-// Best returns the best path for prefix, or nil if none exists.
+// Best returns the best path for prefix, or nil if none exists. It is an
+// O(1) read of the shard's incrementally maintained cache.
 func (t *Table) Best(prefix netip.Prefix) *Path {
-	paths := t.Lookup(prefix)
-	if len(paths) == 0 {
-		return nil
+	sh := t.shardFor(prefix)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if e := sh.routes[prefix]; e != nil {
+		return e.best
 	}
-	return paths[0]
+	return nil
 }
 
 // Prefixes returns every prefix with at least one path, sorted.
 func (t *Table) Prefixes() []netip.Prefix {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]netip.Prefix, 0, len(t.routes))
-	for p := range t.routes {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if c := a.Addr().Compare(b.Addr()); c != 0 {
-			return c < 0
+	var out []netip.Prefix
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for p := range sh.routes {
+			out = append(out, p)
 		}
-		return a.Bits() < b.Bits()
-	})
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return prefixLess(out[i], out[j]) })
 	return out
 }
 
 // Len returns the total number of paths.
 func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	n := 0
-	for _, m := range t.routes {
-		n += len(m)
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.routes {
+			n += len(e.paths)
+		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
@@ -177,15 +319,18 @@ func (t *Table) Len() int {
 // blackholing controller uses it to find /32 blackholing routes inside a
 // member's registered aggregate.
 func (t *Table) MoreSpecifics(covering netip.Prefix) []*Path {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	var out []*Path
-	for prefix, m := range t.routes {
-		if covering.Bits() <= prefix.Bits() && covering.Contains(prefix.Addr()) {
-			for _, p := range m {
-				out = append(out, p)
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for prefix, e := range sh.routes {
+			if covering.Bits() <= prefix.Bits() && covering.Contains(prefix.Addr()) {
+				for _, p := range e.paths {
+					out = append(out, p)
+				}
 			}
 		}
+		sh.mu.RUnlock()
 	}
 	sortPaths(out)
 	return out
@@ -195,15 +340,20 @@ func (t *Table) MoreSpecifics(covering netip.Prefix) []*Path {
 type Snapshot map[PathKey]*Path
 
 // Snapshot captures the current table contents. Paths are shared
-// (immutable by convention once stored); the map is a copy.
+// (immutable by convention once stored); the map is a copy. Shards are
+// snapshotted one at a time, so concurrent mutations on other shards may
+// or may not be included — each prefix is internally consistent.
 func (t *Table) Snapshot() Snapshot {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	s := make(Snapshot, len(t.routes)*2)
-	for _, m := range t.routes {
-		for key, p := range m {
-			s[key] = p
+	s := make(Snapshot, 64)
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.routes {
+			for key, p := range e.paths {
+				s[key] = p
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return s
 }
@@ -244,14 +394,18 @@ func DiffSnapshots(old, new Snapshot) Diff {
 	return d
 }
 
+func prefixLess(a, b netip.Prefix) bool {
+	if c := a.Addr().Compare(b.Addr()); c != 0 {
+		return c < 0
+	}
+	return a.Bits() < b.Bits()
+}
+
 func sortPaths(ps []*Path) {
 	sort.Slice(ps, func(i, j int) bool {
 		a, b := ps[i].Key, ps[j].Key
-		if c := a.Prefix.Addr().Compare(b.Prefix.Addr()); c != 0 {
-			return c < 0
-		}
-		if a.Prefix.Bits() != b.Prefix.Bits() {
-			return a.Prefix.Bits() < b.Prefix.Bits()
+		if a.Prefix != b.Prefix {
+			return prefixLess(a.Prefix, b.Prefix)
 		}
 		if a.Peer != b.Peer {
 			return a.Peer < b.Peer

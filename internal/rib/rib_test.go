@@ -2,6 +2,7 @@ package rib
 
 import (
 	"net/netip"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -332,5 +333,196 @@ func TestFindByPathID(t *testing.T) {
 	}
 	if p := tbl.FindByPathID(pfx("9.9.9.9/32"), 7); p != nil {
 		t.Fatalf("unknown prefix: %+v", p)
+	}
+}
+
+func TestNewShardedRounding(t *testing.T) {
+	for _, c := range []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {32, 32}, {33, 64},
+	} {
+		if got := NewSharded(c.in).ShardCount(); got != c.want {
+			t.Fatalf("NewSharded(%d).ShardCount() = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if New().ShardCount() != DefaultShards {
+		t.Fatalf("New().ShardCount() = %d", New().ShardCount())
+	}
+}
+
+func TestAddWithBestTransitions(t *testing.T) {
+	tbl := New()
+	prefix := pfx("100.10.10.0/24")
+	kA := PathKey{Prefix: prefix, Peer: "a"}
+	kB := PathKey{Prefix: prefix, Peer: "b"}
+
+	pA, tr := tbl.AddWithBest(kA, 1, attrs(1, 2, 3))
+	if tr.Old != nil || tr.New != pA || !tr.Changed() {
+		t.Fatalf("first add transition: %+v", tr)
+	}
+	// Worse path: best unchanged.
+	_, tr = tbl.AddWithBest(kB, 2, attrs(9, 8, 7, 6))
+	if tr.Changed() || tr.New != pA {
+		t.Fatalf("worse add transition: %+v", tr)
+	}
+	// Better path: best moves.
+	pB, tr := tbl.AddWithBest(kB, 2, attrs(9))
+	if tr.Old != pA || tr.New != pB {
+		t.Fatalf("better add transition: %+v", tr)
+	}
+	// Replacing the best with a worse path: best falls back to A.
+	_, tr = tbl.AddWithBest(kB, 2, attrs(9, 8, 7, 6))
+	if tr.Old != pB || tr.New.Key != kA {
+		t.Fatalf("demote transition: %+v", tr)
+	}
+	// Re-announce of the best with equal merit still reports a change
+	// (new Seq, new object) — the export path uses this to re-export
+	// refreshed attributes.
+	pA2, tr := tbl.AddWithBest(kA, 1, attrs(1, 2, 3))
+	if !tr.Changed() || tr.New != pA2 {
+		t.Fatalf("refresh transition: %+v", tr)
+	}
+}
+
+func TestRemoveWithBestTransitions(t *testing.T) {
+	tbl := New()
+	prefix := pfx("100.10.10.0/24")
+	kA := PathKey{Prefix: prefix, Peer: "a"}
+	kB := PathKey{Prefix: prefix, Peer: "b"}
+	pA, _ := tbl.AddWithBest(kA, 1, attrs(1))
+	pB, _ := tbl.AddWithBest(kB, 2, attrs(2, 3))
+
+	// Removing the non-best path: no transition.
+	ok, tr := tbl.RemoveWithBest(kB)
+	if !ok || tr.Changed() || tr.New != pA {
+		t.Fatalf("non-best remove: ok=%v tr=%+v", ok, tr)
+	}
+	tbl.AddWithBest(kB, 2, attrs(2, 3))
+	// Removing the best: next best promoted.
+	ok, tr = tbl.RemoveWithBest(kA)
+	if !ok || tr.Old != pA || tr.New == nil || tr.New.Key != kB {
+		t.Fatalf("best remove: ok=%v tr=%+v", ok, tr)
+	}
+	_ = pB
+	// Removing the last path: best vanishes.
+	ok, tr = tbl.RemoveWithBest(tr.New.Key)
+	if !ok || tr.New != nil {
+		t.Fatalf("last remove: ok=%v tr=%+v", ok, tr)
+	}
+	// Removing from an empty prefix.
+	ok, tr = tbl.RemoveWithBest(kA)
+	if ok || tr.Changed() {
+		t.Fatalf("empty remove: ok=%v tr=%+v", ok, tr)
+	}
+}
+
+func TestRemovePeerWithBest(t *testing.T) {
+	tbl := New()
+	p1, p2 := pfx("1.0.0.0/8"), pfx("2.0.0.0/8")
+	tbl.Add(PathKey{Prefix: p1, Peer: "a"}, 1, attrs(1))
+	tbl.Add(PathKey{Prefix: p2, Peer: "a"}, 1, attrs(1))
+	tbl.Add(PathKey{Prefix: p2, Peer: "b"}, 2, attrs(2, 3))
+	removed, changes := tbl.RemovePeerWithBest("a")
+	if len(removed) != 2 || len(changes) != 2 {
+		t.Fatalf("removed=%d changes=%d", len(removed), len(changes))
+	}
+	// Sorted by prefix: 1/8 vanishes, 2/8 falls back to b.
+	if changes[0].Prefix != p1 || changes[0].New != nil {
+		t.Fatalf("changes[0]: %+v", changes[0])
+	}
+	if changes[1].Prefix != p2 || changes[1].New == nil || changes[1].New.Key.Peer != "b" {
+		t.Fatalf("changes[1]: %+v", changes[1])
+	}
+}
+
+// TestConcurrentStress hammers every table operation from parallel
+// goroutines across many prefixes (and therefore shards); run with
+// -race, it is the sharding's data-race canary. It then verifies the
+// surviving table agrees with a sequential replay.
+func TestConcurrentStress(t *testing.T) {
+	tbl := New()
+	const workers = 8
+	const opsPerWorker = 2000
+	prefixes := make([]netip.Prefix, 64)
+	for i := range prefixes {
+		prefixes[i] = netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i), 0, 0}), 24)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			peer := string(rune('a' + w%4))
+			for i := 0; i < opsPerWorker; i++ {
+				p := prefixes[(i*7+w)%len(prefixes)]
+				key := PathKey{Prefix: p, Peer: peer, PathID: uint32(w%4 + 1)}
+				switch i % 5 {
+				case 0, 1:
+					tbl.AddWithBest(key, uint32(64512+w), attrs(uint32(64512+w)))
+				case 2:
+					tbl.RemoveWithBest(key)
+				case 3:
+					tbl.Best(p)
+					tbl.Lookup(p)
+				case 4:
+					if i%50 == 0 {
+						tbl.Snapshot()
+						tbl.Len()
+					}
+					tbl.FindByPathID(p, uint32(w%4+1))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Post-condition: every prefix's cached best equals a fresh linear
+	// recomputation over its surviving paths.
+	for _, p := range prefixes {
+		paths := tbl.Lookup(p)
+		best := tbl.Best(p)
+		if len(paths) == 0 {
+			if best != nil {
+				t.Fatalf("%s: stale best %v", p, best.Key)
+			}
+			continue
+		}
+		if best == nil || best.Key != paths[0].Key {
+			t.Fatalf("%s: cached best %v != recomputed %v", p, best, paths[0].Key)
+		}
+	}
+}
+
+// TestConcurrentRemovePeer interleaves peer teardowns with adds: the
+// cross-shard sweep must stay consistent with per-shard mutations.
+func TestConcurrentRemovePeer(t *testing.T) {
+	tbl := New()
+	prefixes := make([]netip.Prefix, 32)
+	for i := range prefixes {
+		prefixes[i] = netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i), 0, 0}), 24)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			peer := string(rune('a' + w))
+			for i := 0; i < 500; i++ {
+				for _, p := range prefixes {
+					tbl.Add(PathKey{Prefix: p, Peer: peer}, uint32(w), attrs(uint32(w+1)))
+				}
+				tbl.RemovePeerWithBest(peer)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, p := range prefixes {
+		paths := tbl.Lookup(p)
+		best := tbl.Best(p)
+		if len(paths) == 0 && best != nil {
+			t.Fatalf("%s: stale best after RemovePeer", p)
+		}
+		if len(paths) > 0 && (best == nil || best.Key != paths[0].Key) {
+			t.Fatalf("%s: best cache inconsistent", p)
+		}
 	}
 }

@@ -6,9 +6,25 @@
 // southbound feed to Stellar's blackholing controller, which sees every
 // accepted path (the ADD-PATH bypass of best-path selection).
 //
-// The package exposes an in-process message-level API (HandleUpdate /
-// HandleWithdrawAll); cmd/ixpd wires it to real TCP BGP sessions via
+// The package exposes an in-process message-level API (HandleUpdateBatch
+// / HandleWithdrawAll); cmd/ixpd wires it to real TCP BGP sessions via
 // package bgpsession.
+//
+// The update path is a parallel pipeline: HandleUpdateBatch may be called
+// concurrently from any number of peer sessions. Import-policy checks run
+// lock-free against the immutable peer registry, RIB maintenance and
+// best-path recomputation take only the prefix's shard lock inside
+// rib.Table, and exports are batched per target peer — one UPDATE carries
+// every coalescible prefix instead of one message per (peer, prefix)
+// pair.
+//
+// Ordering contract: mutations on one prefix serialize at its RIB shard,
+// so every export batch reflects a consistent best-path transition. The
+// pipeline does not sequence delivery across concurrent inbound updates,
+// though — if two sessions race on the same prefix, a receiver may see
+// the two exports in either order and transiently hold the older best
+// path until the prefix next changes (BGP's usual eventual consistency;
+// the caller may serialize delivery per prefix if it needs more).
 package routeserver
 
 import (
@@ -17,6 +33,7 @@ import (
 	"net/netip"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"stellar/internal/bgp"
 	"stellar/internal/irr"
@@ -37,10 +54,20 @@ type Rejection struct {
 	Reason string
 }
 
-// PeerUpdate is an UPDATE the route server exports to one member.
+// PeerUpdate is a single UPDATE the route server exports to one member.
+// It is the flattened form of PeerUpdates, kept for callers that forward
+// messages one at a time.
 type PeerUpdate struct {
 	Peer   string
 	Update *bgp.Update
+}
+
+// PeerUpdates is the batched export set for one member: every UPDATE the
+// route server owes the peer as a result of one inbound message,
+// withdrawals first. Prefixes sharing attributes ride a single UPDATE.
+type PeerUpdates struct {
+	Peer    string
+	Updates []*bgp.Update
 }
 
 // ControllerEvent is the southbound feed to the blackholing controller:
@@ -74,17 +101,30 @@ type Config struct {
 	MaxPlainPrefixLen int
 	// MaxPlainPrefixLen6 is the IPv6 equivalent (/48, blackholing /128).
 	MaxPlainPrefixLen6 int
+	// RIBShards is the number of prefix-hash shards in the RIB. 0 uses
+	// rib.DefaultShards; 1 degenerates to the single-lock layout (the
+	// pre-sharding baseline, kept for benchmarking).
+	RIBShards int
+}
+
+// registry is the immutable peer/subscriber view the update pipeline
+// reads lock-free. AddPeer and Subscribe publish a fresh copy.
+type registry struct {
+	peers map[string]*peerState
+	order []string // peer names in join order (stable path IDs)
+	subs  []Subscriber
 }
 
 // RouteServer is the IXP route server.
 type RouteServer struct {
 	cfg Config
 
-	mu       sync.Mutex
-	peers    map[string]*peerState
-	order    []string // peer names in join order (stable path IDs)
-	table    *rib.Table
-	subs     []Subscriber
+	reg     atomic.Pointer[registry]
+	writeMu sync.Mutex // serializes registry writers
+
+	table *rib.Table
+
+	rejMu    sync.Mutex
 	rejected []Rejection
 }
 
@@ -107,31 +147,43 @@ func New(cfg Config) *RouteServer {
 	if cfg.MaxPlainPrefixLen6 == 0 {
 		cfg.MaxPlainPrefixLen6 = 48
 	}
-	return &RouteServer{
-		cfg:   cfg,
-		peers: make(map[string]*peerState),
-		table: rib.New(),
+	shards := cfg.RIBShards
+	if shards == 0 {
+		shards = rib.DefaultShards
 	}
+	rs := &RouteServer{
+		cfg:   cfg,
+		table: rib.NewSharded(shards),
+	}
+	rs.reg.Store(&registry{peers: make(map[string]*peerState)})
+	return rs
 }
 
 // AddPeer registers a member session. Path IDs on the controller feed are
 // assigned in join order and never reused.
 func (rs *RouteServer) AddPeer(cfg PeerConfig) error {
-	rs.mu.Lock()
-	defer rs.mu.Unlock()
-	if _, ok := rs.peers[cfg.Name]; ok {
+	rs.writeMu.Lock()
+	defer rs.writeMu.Unlock()
+	old := rs.reg.Load()
+	if _, ok := old.peers[cfg.Name]; ok {
 		return ErrDuplicatePeer
 	}
-	rs.peers[cfg.Name] = &peerState{cfg: cfg, pathID: uint32(len(rs.order) + 1)}
-	rs.order = append(rs.order, cfg.Name)
+	next := &registry{
+		peers: make(map[string]*peerState, len(old.peers)+1),
+		order: append(append([]string(nil), old.order...), cfg.Name),
+		subs:  old.subs,
+	}
+	for name, ps := range old.peers {
+		next.peers[name] = ps
+	}
+	next.peers[cfg.Name] = &peerState{cfg: cfg, pathID: uint32(len(next.order))}
+	rs.reg.Store(next)
 	return nil
 }
 
 // Peers returns the registered peer names, in join order.
 func (rs *RouteServer) Peers() []string {
-	rs.mu.Lock()
-	defer rs.mu.Unlock()
-	return append([]string(nil), rs.order...)
+	return append([]string(nil), rs.reg.Load().order...)
 }
 
 // Table exposes the route server's RIB (all accepted paths from all
@@ -141,15 +193,21 @@ func (rs *RouteServer) Table() *rib.Table { return rs.table }
 // Subscribe attaches a controller feed subscriber; every accepted path
 // change is delivered, bypassing best-path selection.
 func (rs *RouteServer) Subscribe(s Subscriber) {
-	rs.mu.Lock()
-	defer rs.mu.Unlock()
-	rs.subs = append(rs.subs, s)
+	rs.writeMu.Lock()
+	defer rs.writeMu.Unlock()
+	old := rs.reg.Load()
+	next := &registry{
+		peers: old.peers,
+		order: old.order,
+		subs:  append(append([]Subscriber(nil), old.subs...), s),
+	}
+	rs.reg.Store(next)
 }
 
 // Rejections returns the accumulated import-policy rejections.
 func (rs *RouteServer) Rejections() []Rejection {
-	rs.mu.Lock()
-	defer rs.mu.Unlock()
+	rs.rejMu.Lock()
+	defer rs.rejMu.Unlock()
 	return append([]Rejection(nil), rs.rejected...)
 }
 
@@ -160,31 +218,53 @@ func (rs *RouteServer) IsBlackhole(attrs *bgp.PathAttrs) bool {
 		attrs.HasCommunity(bgp.MakeCommunity(uint16(rs.cfg.ASN), 666))
 }
 
-// HandleUpdate processes one UPDATE from a member: import policy, RIB
-// maintenance, best-path recomputation, export generation and the
-// controller feed. The returned PeerUpdates are what the route server
-// sends to the other members.
+// HandleUpdate processes one UPDATE from a member and flattens the
+// batched exports into one PeerUpdate per (peer, message) pair. New
+// callers should prefer HandleUpdateBatch.
 func (rs *RouteServer) HandleUpdate(peer string, u *bgp.Update) ([]PeerUpdate, []Rejection, error) {
-	rs.mu.Lock()
-	defer rs.mu.Unlock()
-	ps, ok := rs.peers[peer]
+	batches, rejections, err := rs.HandleUpdateBatch(peer, u)
+	if err != nil {
+		return nil, rejections, err
+	}
+	return flatten(batches), rejections, nil
+}
+
+func flatten(batches []PeerUpdates) []PeerUpdate {
+	var out []PeerUpdate
+	for _, b := range batches {
+		for _, u := range b.Updates {
+			out = append(out, PeerUpdate{Peer: b.Peer, Update: u})
+		}
+	}
+	return out
+}
+
+// HandleUpdateBatch processes one UPDATE from a member: import policy,
+// RIB maintenance, best-path recomputation, export generation and the
+// controller feed. The returned batches — sorted by peer name, one entry
+// per target member — are what the route server sends to the other
+// members. It is safe for concurrent use from any number of peer
+// sessions.
+func (rs *RouteServer) HandleUpdateBatch(peer string, u *bgp.Update) ([]PeerUpdates, []Rejection, error) {
+	reg := rs.reg.Load()
+	ps, ok := reg.peers[peer]
 	if !ok {
 		return nil, nil, ErrUnknownPeer
 	}
 
-	var exports []PeerUpdate
+	eb := newExportBuilder(rs, reg)
 	var rejections []Rejection
 	var acceptedAnn, acceptedWdr []netip.Prefix
 
 	// Withdrawals first (RFC 4271: withdrawn routes precede NLRI).
 	for _, pp := range u.AllWithdrawn() {
 		key := rib.PathKey{Prefix: pp.Prefix, Peer: peer, PathID: ps.pathID}
-		oldBest := rs.table.Best(pp.Prefix)
-		if !rs.table.Remove(key) {
+		removed, tr := rs.table.RemoveWithBest(key)
+		if !removed {
 			continue // not in table: ignore
 		}
 		acceptedWdr = append(acceptedWdr, pp.Prefix)
-		exports = append(exports, rs.exportAfterChangeLocked(pp.Prefix, oldBest)...)
+		eb.bestChanged(tr, nil)
 	}
 
 	originAS := u.Attrs.OriginAS()
@@ -192,18 +272,21 @@ func (rs *RouteServer) HandleUpdate(peer string, u *bgp.Update) ([]PeerUpdate, [
 		originAS = ps.cfg.ASN
 	}
 	for _, pp := range u.AllAnnounced() {
-		if reason, ok := rs.importCheckLocked(ps, pp.Prefix, originAS, &u.Attrs); !ok {
+		if reason, ok := rs.importCheck(ps, pp.Prefix, originAS, &u.Attrs); !ok {
 			rejections = append(rejections, Rejection{Peer: peer, Prefix: pp.Prefix, Reason: reason})
 			continue
 		}
 		key := rib.PathKey{Prefix: pp.Prefix, Peer: peer, PathID: ps.pathID}
-		oldBest := rs.table.Best(pp.Prefix)
-		rs.table.Add(key, ps.cfg.ASN, u.Attrs)
+		added, tr := rs.table.AddWithBest(key, ps.cfg.ASN, u.Attrs)
 		acceptedAnn = append(acceptedAnn, pp.Prefix)
-		exports = append(exports, rs.exportAfterChangeLocked(pp.Prefix, oldBest)...)
+		eb.bestChanged(tr, added)
 	}
 
-	rs.rejected = append(rs.rejected, rejections...)
+	if len(rejections) > 0 {
+		rs.rejMu.Lock()
+		rs.rejected = append(rs.rejected, rejections...)
+		rs.rejMu.Unlock()
+	}
 
 	if len(acceptedAnn) > 0 || len(acceptedWdr) > 0 {
 		ev := ControllerEvent{
@@ -214,43 +297,44 @@ func (rs *RouteServer) HandleUpdate(peer string, u *bgp.Update) ([]PeerUpdate, [
 			Withdrawn: acceptedWdr,
 			Attrs:     u.Attrs.Clone(),
 		}
-		for _, s := range rs.subs {
+		for _, s := range reg.subs {
 			s(ev)
 		}
 	}
-	return exports, rejections, nil
+	return eb.finish(), rejections, nil
 }
 
 // HandleWithdrawAll processes a session teardown: every path from the
 // peer is withdrawn (BGP implicit withdraw on session loss).
-func (rs *RouteServer) HandleWithdrawAll(peer string) ([]PeerUpdate, error) {
-	rs.mu.Lock()
-	ps, ok := rs.peers[peer]
+func (rs *RouteServer) HandleWithdrawAll(peer string) ([]PeerUpdates, error) {
+	reg := rs.reg.Load()
+	ps, ok := reg.peers[peer]
 	if !ok {
-		rs.mu.Unlock()
 		return nil, ErrUnknownPeer
 	}
-	removed := rs.table.RemovePeer(peer)
-	var exports []PeerUpdate
+	removed, changes := rs.table.RemovePeerWithBest(peer)
+	eb := newExportBuilder(rs, reg)
 	var withdrawn []netip.Prefix
 	for _, p := range removed {
 		withdrawn = append(withdrawn, p.Key.Prefix)
-		exports = append(exports, rs.exportAfterChangeLocked(p.Key.Prefix, p)...)
 	}
-	subs := append([]Subscriber(nil), rs.subs...)
-	ev := ControllerEvent{Peer: peer, PeerAS: ps.cfg.ASN, PathID: ps.pathID, Withdrawn: withdrawn}
-	rs.mu.Unlock()
+	for _, tr := range changes {
+		eb.bestChanged(tr, nil)
+	}
 
 	if len(withdrawn) > 0 {
-		for _, s := range subs {
+		ev := ControllerEvent{Peer: peer, PeerAS: ps.cfg.ASN, PathID: ps.pathID, Withdrawn: withdrawn}
+		for _, s := range reg.subs {
 			s(ev)
 		}
 	}
-	return exports, nil
+	return eb.finish(), nil
 }
 
-// importCheckLocked applies the import policy of Figure 6.
-func (rs *RouteServer) importCheckLocked(ps *peerState, prefix netip.Prefix, originAS uint32, attrs *bgp.PathAttrs) (string, bool) {
+// importCheck applies the import policy of Figure 6. It reads only the
+// immutable peer state and the (internally synchronized) hygiene
+// databases, so it runs without any route-server lock.
+func (rs *RouteServer) importCheck(ps *peerState, prefix netip.Prefix, originAS uint32, attrs *bgp.PathAttrs) (string, bool) {
 	maxPlain := rs.cfg.MaxPlainPrefixLen
 	maxHost := 32
 	if prefix.Addr().Is6() {
@@ -283,33 +367,133 @@ func (rs *RouteServer) importCheckLocked(ps *peerState, prefix netip.Prefix, ori
 	return "", true
 }
 
-// exportAfterChangeLocked recomputes the best path for prefix and emits
-// the resulting per-peer updates: a new announcement when a best path
-// exists, a withdrawal otherwise.
-func (rs *RouteServer) exportAfterChangeLocked(prefix netip.Prefix, oldBest *rib.Path) []PeerUpdate {
-	best := rs.table.Best(prefix)
-	if best == nil {
-		// Withdraw from everyone except (harmlessly) the announcer.
-		var out []PeerUpdate
-		for _, name := range rs.order {
-			if oldBest != nil && name == oldBest.Key.Peer {
-				continue
-			}
-			out = append(out, PeerUpdate{Peer: name, Update: withdrawUpdate(prefix)})
-		}
-		return out
-	}
-	if oldBest != nil && oldBest.Key == best.Key && oldBest.Seq == best.Seq {
-		return nil // best path unchanged: nothing to export
-	}
-	return rs.exportBestLocked(prefix, best)
+// exportBuilder accumulates the per-peer export batches produced while
+// processing one inbound message. Three coalescing streams keep the fan-
+// out compact: withdrawals merge into one UPDATE per excluded peer, and
+// announcements whose new best path is the path just added merge into one
+// shared UPDATE per address family (they all carry the inbound message's
+// attributes, so their targets are identical too). Best-path changes that
+// promote a different pre-existing path get individual UPDATEs.
+type exportBuilder struct {
+	rs  *RouteServer
+	reg *registry
+
+	batches map[string]*PeerUpdates
+
+	// Coalesced withdrawals, keyed by the peer excluded from the fan-out
+	// (the announcer of the vanished best path; "" when unknown).
+	wdr map[string]*bgp.Update
+
+	// Coalesced announcements of the just-added path, per family. The
+	// shared update is appended to each target's batch once, on first use.
+	ann4, ann6 *bgp.Update
 }
 
-func (rs *RouteServer) exportBestLocked(prefix netip.Prefix, best *rib.Path) []PeerUpdate {
-	targets := rs.exportTargetsLocked(best)
-	if len(targets) == 0 {
+func newExportBuilder(rs *RouteServer, reg *registry) *exportBuilder {
+	return &exportBuilder{
+		rs: rs, reg: reg,
+		batches: make(map[string]*PeerUpdates),
+		wdr:     make(map[string]*bgp.Update),
+	}
+}
+
+// bestChanged folds one best-path transition into the export set. added
+// is the path installed by the current message, or nil for withdrawals.
+func (eb *exportBuilder) bestChanged(tr rib.BestChange, added *rib.Path) {
+	if !tr.Changed() {
+		return // best path unchanged: nothing to export
+	}
+	switch {
+	case tr.New == nil:
+		eb.coalesceWithdraw(tr)
+	case tr.New == added:
+		eb.coalesceAnnounce(tr.Prefix, added)
+	default:
+		// A pre-existing path was promoted (the old best worsened or went
+		// away): export it on its own.
+		u := eb.rs.buildExportUpdate(tr.Prefix, tr.New)
+		for _, name := range eb.rs.exportTargets(eb.reg, tr.New) {
+			eb.append(name, u)
+		}
+	}
+}
+
+// coalesceWithdraw merges the prefix into the withdraw UPDATE shared by
+// every target except the vanished best path's announcer.
+func (eb *exportBuilder) coalesceWithdraw(tr rib.BestChange) {
+	excluded := ""
+	if tr.Old != nil {
+		excluded = tr.Old.Key.Peer
+	}
+	u, ok := eb.wdr[excluded]
+	if !ok {
+		u = &bgp.Update{}
+		eb.wdr[excluded] = u
+		for _, name := range eb.reg.order {
+			if name == excluded {
+				continue
+			}
+			eb.append(name, u)
+		}
+	}
+	if tr.Prefix.Addr().Is4() {
+		u.Withdrawn = append(u.Withdrawn, bgp.PathPrefix{Prefix: tr.Prefix})
+	} else {
+		if u.Attrs.MPUnreach == nil {
+			u.Attrs.MPUnreach = &bgp.MPUnreach{AFI: bgp.AFIIPv6, SAFI: bgp.SAFIUnicast}
+		}
+		u.Attrs.MPUnreach.NLRI = append(u.Attrs.MPUnreach.NLRI, bgp.PathPrefix{Prefix: tr.Prefix})
+	}
+}
+
+// coalesceAnnounce merges the prefix into the shared announce UPDATE for
+// its family, creating it (and fanning it out) on first use.
+func (eb *exportBuilder) coalesceAnnounce(prefix netip.Prefix, best *rib.Path) {
+	if prefix.Addr().Is4() {
+		if eb.ann4 == nil {
+			eb.ann4 = eb.rs.buildExportUpdate(prefix, best)
+			for _, name := range eb.rs.exportTargets(eb.reg, best) {
+				eb.append(name, eb.ann4)
+			}
+			return
+		}
+		eb.ann4.NLRI = append(eb.ann4.NLRI, bgp.PathPrefix{Prefix: prefix})
+		return
+	}
+	if eb.ann6 == nil {
+		eb.ann6 = eb.rs.buildExportUpdate(prefix, best)
+		for _, name := range eb.rs.exportTargets(eb.reg, best) {
+			eb.append(name, eb.ann6)
+		}
+		return
+	}
+	eb.ann6.Attrs.MPReach.NLRI = append(eb.ann6.Attrs.MPReach.NLRI, bgp.PathPrefix{Prefix: prefix})
+}
+
+func (eb *exportBuilder) append(peer string, u *bgp.Update) {
+	b, ok := eb.batches[peer]
+	if !ok {
+		b = &PeerUpdates{Peer: peer}
+		eb.batches[peer] = b
+	}
+	b.Updates = append(b.Updates, u)
+}
+
+// finish returns the accumulated batches sorted by peer name.
+func (eb *exportBuilder) finish() []PeerUpdates {
+	if len(eb.batches) == 0 {
 		return nil
 	}
+	out := make([]PeerUpdates, 0, len(eb.batches))
+	for _, b := range eb.batches {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+// buildExportUpdate renders the UPDATE announcing best for prefix.
+func (rs *RouteServer) buildExportUpdate(prefix netip.Prefix, best *rib.Path) *bgp.Update {
 	attrs := best.Attrs.Clone()
 	// RTBH: the route server sets the next hop to the IXP's blackholing
 	// IP so that accepting members forward the traffic to the null
@@ -338,14 +522,10 @@ func (rs *RouteServer) exportBestLocked(prefix netip.Prefix, best *rib.Path) []P
 		}
 		u.NLRI = nil
 	}
-	out := make([]PeerUpdate, 0, len(targets))
-	for _, name := range targets {
-		out = append(out, PeerUpdate{Peer: name, Update: u})
-	}
-	return out
+	return u
 }
 
-// exportTargetsLocked evaluates the IXP policy communities on the path:
+// exportTargets evaluates the IXP policy communities on the path:
 //
 //	(0, IXP_ASN)     announce to no one
 //	(0, peer_ASN)    do not announce to peer
@@ -353,26 +533,31 @@ func (rs *RouteServer) exportBestLocked(prefix netip.Prefix, best *rib.Path) []P
 //
 // Without policy communities the path is exported to every peer except
 // its announcer — Figure 3(b)'s dominant "All" case.
-func (rs *RouteServer) exportTargetsLocked(best *rib.Path) []string {
+func (rs *RouteServer) exportTargets(reg *registry, best *rib.Path) []string {
 	ixp := uint16(rs.cfg.ASN)
 	blockAll := false
-	blocked := make(map[uint16]bool)
-	allowed := make(map[uint16]bool)
+	var blocked, allowed map[uint16]bool
 	whitelist := false
 	for _, c := range best.Attrs.Communities {
 		switch {
 		case c.ASN() == 0 && c.Value() == ixp:
 			blockAll = true
 		case c.ASN() == 0:
+			if blocked == nil {
+				blocked = make(map[uint16]bool)
+			}
 			blocked[c.Value()] = true
 		case c.ASN() == ixp && c.Value() != 666:
+			if allowed == nil {
+				allowed = make(map[uint16]bool)
+			}
 			allowed[c.Value()] = true
 			whitelist = true
 		}
 	}
 	var out []string
-	for _, name := range rs.order {
-		ps := rs.peers[name]
+	for _, name := range reg.order {
+		ps := reg.peers[name]
 		if name == best.Key.Peer {
 			continue
 		}
@@ -390,18 +575,7 @@ func (rs *RouteServer) exportTargetsLocked(best *rib.Path) []string {
 			out = append(out, name)
 		}
 	}
-	sort.Strings(out)
 	return out
-}
-
-func withdrawUpdate(prefix netip.Prefix) *bgp.Update {
-	if prefix.Addr().Is4() {
-		return &bgp.Update{Withdrawn: []bgp.PathPrefix{{Prefix: prefix}}}
-	}
-	return &bgp.Update{Attrs: bgp.PathAttrs{
-		MPUnreach: &bgp.MPUnreach{AFI: bgp.AFIIPv6, SAFI: bgp.SAFIUnicast,
-			NLRI: []bgp.PathPrefix{{Prefix: prefix}}},
-	}}
 }
 
 // HasAdvancedBlackholeSignal reports whether attrs carry Stellar's

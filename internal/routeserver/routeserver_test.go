@@ -3,10 +3,13 @@ package routeserver
 import (
 	"net/netip"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"stellar/internal/bgp"
 	"stellar/internal/irr"
+	"stellar/internal/rib"
 )
 
 const ixpASN = 6695 // DE-CIX-like IXP ASN
@@ -269,7 +272,7 @@ func TestHandleWithdrawAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(exports) != 1 || len(exports[0].Update.Withdrawn) != 1 {
+	if len(exports) != 1 || len(exports[0].Updates) != 1 || len(exports[0].Updates[0].Withdrawn) != 1 {
 		t.Fatalf("session-loss exports: %+v", exports)
 	}
 	if rs.Table().Len() != 0 {
@@ -441,5 +444,217 @@ func TestLookingGlass(t *testing.T) {
 	// Unknown prefix.
 	if got := rs.GlassDump(pfx("9.9.9.0/24")); !strings.Contains(got, "no paths") {
 		t.Fatalf("unknown: %s", got)
+	}
+}
+
+func TestBatchedExportCoalescing(t *testing.T) {
+	// One inbound UPDATE announcing three blackhole /32s must reach each
+	// target as ONE batched UPDATE carrying all three NLRI, not three
+	// messages.
+	rs := newRS(t, peerCfg(0), peerCfg(1), peerCfg(2))
+	base := netip.AddrFrom4([4]byte{100, 10, byte(64512 % 256), 0})
+	u := announce(64512, netip.PrefixFrom(base.Next(), 32), bgp.CommunityBlackhole)
+	u.NLRI = nil
+	var want []netip.Prefix
+	addr := base
+	for i := 0; i < 3; i++ {
+		addr = addr.Next()
+		p := netip.PrefixFrom(addr, 32)
+		want = append(want, p)
+		u.NLRI = append(u.NLRI, bgp.PathPrefix{Prefix: p})
+	}
+	batches, rejs, err := rs.HandleUpdateBatch("A", u)
+	if err != nil || len(rejs) != 0 {
+		t.Fatalf("err=%v rejs=%+v", err, rejs)
+	}
+	if len(batches) != 2 {
+		t.Fatalf("batches: %d, want 2 (B and C)", len(batches))
+	}
+	for _, b := range batches {
+		if b.Peer != "B" && b.Peer != "C" {
+			t.Fatalf("unexpected target %s", b.Peer)
+		}
+		if len(b.Updates) != 1 {
+			t.Fatalf("%s got %d updates, want 1 coalesced", b.Peer, len(b.Updates))
+		}
+		got := b.Updates[0]
+		if len(got.NLRI) != 3 {
+			t.Fatalf("%s update carries %d NLRI, want 3", b.Peer, len(got.NLRI))
+		}
+		for i, pp := range got.NLRI {
+			if pp.Prefix != want[i] {
+				t.Fatalf("NLRI[%d] = %s, want %s", i, pp.Prefix, want[i])
+			}
+		}
+		if got.Attrs.NextHop != blackholeNH {
+			t.Fatal("coalesced blackhole export missing next-hop rewrite")
+		}
+	}
+
+	// Withdrawing two of the three in one message coalesces the same way.
+	w := &bgp.Update{Withdrawn: []bgp.PathPrefix{{Prefix: want[0]}, {Prefix: want[1]}}}
+	batches, _, err = rs.HandleUpdateBatch("A", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 2 {
+		t.Fatalf("withdraw batches: %d", len(batches))
+	}
+	for _, b := range batches {
+		if len(b.Updates) != 1 || len(b.Updates[0].Withdrawn) != 2 {
+			t.Fatalf("%s withdraw batch: %+v", b.Peer, b.Updates)
+		}
+	}
+}
+
+func TestBatchedWithdrawalsPrecedeAnnouncements(t *testing.T) {
+	rs := newRS(t, peerCfg(0), peerCfg(1))
+	p24 := netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 10, byte(64512 % 256), 0}), 24)
+	host := netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 10, byte(64512 % 256), 9}), 32)
+	if _, _, err := rs.HandleUpdate("A", announce(64512, p24)); err != nil {
+		t.Fatal(err)
+	}
+	// One message: withdraw the /24, announce a blackhole /32.
+	u := announce(64512, host, bgp.CommunityBlackhole)
+	u.Withdrawn = []bgp.PathPrefix{{Prefix: p24}}
+	batches, _, err := rs.HandleUpdateBatch("A", u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 1 || batches[0].Peer != "B" || len(batches[0].Updates) != 2 {
+		t.Fatalf("batches: %+v", batches)
+	}
+	if len(batches[0].Updates[0].Withdrawn) != 1 {
+		t.Fatal("withdrawal must come first in the batch")
+	}
+	if len(batches[0].Updates[1].NLRI) != 1 {
+		t.Fatal("announcement must follow the withdrawal")
+	}
+}
+
+func TestRIBShardsConfig(t *testing.T) {
+	rs := New(Config{ASN: ixpASN, RIBShards: 1})
+	if rs.Table().ShardCount() != 1 {
+		t.Fatalf("RIBShards=1: got %d shards", rs.Table().ShardCount())
+	}
+	rs = New(Config{ASN: ixpASN})
+	if rs.Table().ShardCount() != rib.DefaultShards {
+		t.Fatalf("default shards: got %d", rs.Table().ShardCount())
+	}
+}
+
+// TestHandleUpdateConcurrent drives the parallel update pipeline from
+// many peer goroutines at once (run with -race): concurrent announce,
+// re-announce, withdraw, and best-path queries must leave the RIB
+// consistent.
+func TestHandleUpdateConcurrent(t *testing.T) {
+	const peers = 8
+	const prefixesPerPeer = 50
+	rs := New(Config{ASN: ixpASN, BlackholeNextHop: blackholeNH}) // no policy: import is lock-free
+	var events atomic.Int64
+	rs.Subscribe(func(ev ControllerEvent) {
+		events.Add(int64(len(ev.Announced) + len(ev.Withdrawn)))
+	})
+	for i := 0; i < peers; i++ {
+		if err := rs.AddPeer(peerCfg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < peers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := peerCfg(i)
+			for j := 0; j < prefixesPerPeer; j++ {
+				p := netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 20, byte(i), byte(j)}), 32)
+				u := announce(cfg.ASN, p, bgp.CommunityBlackhole)
+				if _, _, err := rs.HandleUpdateBatch(cfg.Name, u); err != nil {
+					t.Error(err)
+					return
+				}
+				if j%2 == 0 { // re-announce half of them
+					if _, _, err := rs.HandleUpdateBatch(cfg.Name, u); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				rs.Table().Best(p)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := rs.Table().Len(); got != peers*prefixesPerPeer {
+		t.Fatalf("table len = %d, want %d", got, peers*prefixesPerPeer)
+	}
+
+	// Concurrent session teardown of every peer empties the table.
+	for i := 0; i < peers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := rs.HandleWithdrawAll(peerCfg(i).Name); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := rs.Table().Len(); got != 0 {
+		t.Fatalf("table len after teardown = %d, want 0", got)
+	}
+	if events.Load() == 0 {
+		t.Fatal("controller feed saw no events")
+	}
+}
+
+// TestConcurrentSharedPrefix has every peer fight over the same prefixes:
+// per-shard serialization must keep the cached best path coherent.
+func TestConcurrentSharedPrefix(t *testing.T) {
+	const peers = 6
+	rs := New(Config{ASN: ixpASN, BlackholeNextHop: blackholeNH})
+	for i := 0; i < peers; i++ {
+		if err := rs.AddPeer(peerCfg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shared := make([]netip.Prefix, 8)
+	for i := range shared {
+		shared[i] = netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 30, 0, byte(i)}), 32)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < peers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := peerCfg(i)
+			for round := 0; round < 100; round++ {
+				for _, p := range shared {
+					u := announce(cfg.ASN, p, bgp.CommunityBlackhole)
+					if _, _, err := rs.HandleUpdateBatch(cfg.Name, u); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				w := &bgp.Update{}
+				for _, p := range shared {
+					w.Withdrawn = append(w.Withdrawn, bgp.PathPrefix{Prefix: p})
+				}
+				if _, _, err := rs.HandleUpdateBatch(cfg.Name, w); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, p := range shared {
+		paths := rs.Table().Lookup(p)
+		best := rs.Table().Best(p)
+		if len(paths) == 0 && best != nil {
+			t.Fatalf("%s: stale cached best", p)
+		}
+		if len(paths) > 0 && (best == nil || best.Key != paths[0].Key) {
+			t.Fatalf("%s: cached best %v != %v", p, best, paths[0].Key)
+		}
 	}
 }
