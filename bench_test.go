@@ -376,6 +376,162 @@ func BenchmarkFabricEgress(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------
+// Fabric classifier benchmarks (the compiled-classifier tentpole).
+//
+// benchRules builds a blackholing-deployment-shaped rule set: mostly
+// per-source-port drop rules (the amplification signatures of Figure
+// 3a), plus destination-prefix and MAC rules, so every index of the
+// compiled classifier carries load. The "linear-scan" series is the
+// retained baseline — the seed's first-match scan over Port.Rules() —
+// so the speedup of the compiled path is measured in-tree. The shape
+// intentionally mirrors benchFabric in cmd/stellar-lab/bench.go so the
+// archived JSON numbers track these benchmarks.
+
+func benchRules(n int) []*fabric.Rule {
+	rules := make([]*fabric.Rule, 0, n)
+	for i := 0; i < n; i++ {
+		m := fabric.MatchAll()
+		switch i % 8 {
+		case 6:
+			m.DstIP = netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 20, byte(i >> 8), byte(i)}), 32)
+		case 7:
+			mac := netpkt.MAC{0x02, 0x77, 0, 0, byte(i >> 8), byte(i)}
+			m.SrcMAC = &mac
+		default:
+			m.Proto = netpkt.ProtoUDP
+			m.SrcPort = int32(1000 + i)
+		}
+		rules = append(rules, &fabric.Rule{ID: fmt.Sprintf("r%04d", i), Match: m, Action: fabric.ActionDrop})
+	}
+	return rules
+}
+
+func benchFlows(n int) []netpkt.FlowKey {
+	flows := make([]netpkt.FlowKey, n)
+	for i := range flows {
+		srcPort := uint16(40000 + i) // benign: no rule matches
+		if i%4 == 0 {
+			srcPort = uint16(1000 + i) // hits a drop rule
+		}
+		flows[i] = netpkt.FlowKey{
+			SrcMAC:  netpkt.MAC{0x02, 0x10, 0, 0, 0, byte(i)},
+			Src:     netip.AddrFrom4([4]byte{198, 51, 100, byte(i)}),
+			Dst:     netip.AddrFrom4([4]byte{100, 10, 10, 10}),
+			Proto:   netpkt.ProtoUDP,
+			SrcPort: srcPort,
+			DstPort: 443,
+		}
+	}
+	return flows
+}
+
+// BenchmarkFabricClassifier compares classification cost at growing
+// rule counts: the retained linear-scan baseline, the compiled
+// classifier hashing on demand, and the compiled classifier fed
+// pre-hashed flows (the egress hot-loop configuration). The acceptance
+// bar is compiled ≥ 5x linear at 1024 rules.
+func BenchmarkFabricClassifier(b *testing.B) {
+	for _, n := range []int{16, 256, 1024} {
+		port := fabric.NewPort("victim", netpkt.MustParseMAC("02:00:00:00:00:01"), 1e9)
+		for _, r := range benchRules(n) {
+			if err := port.InstallRule(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		flows := benchFlows(512)
+		hashes := make([]uint64, len(flows))
+		for i, f := range flows {
+			hashes[i] = f.Hash()
+		}
+		rules := port.Rules()
+		b.Run(fmt.Sprintf("linear-scan/rules=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f := flows[i%len(flows)]
+				for _, r := range rules {
+					if r.Match.Matches(f) {
+						break
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("compiled/rules=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				port.Classify(flows[i%len(flows)])
+			}
+		})
+		b.Run(fmt.Sprintf("compiled-prehashed/rules=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				j := i % len(flows)
+				port.ClassifyHashed(flows[j], hashes[j])
+			}
+		})
+	}
+}
+
+// BenchmarkFabricEgress1kRules measures a full egress tick against 1024
+// installed rules with pre-hashed offers — the configuration the
+// parallel IXP tick runs per port.
+func BenchmarkFabricEgress1kRules(b *testing.B) {
+	port := fabric.NewPort("victim", netpkt.MustParseMAC("02:00:00:00:00:01"), 1e9)
+	for _, r := range benchRules(1024) {
+		if err := port.InstallRule(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	flows := benchFlows(256)
+	offers := make([]fabric.Offer, len(flows))
+	for i, f := range flows {
+		offers[i] = fabric.Offer{Flow: f, FlowHash: f.Hash(), Bytes: 1e4, Packets: 10}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		port.Egress(offers, 1)
+	}
+}
+
+// BenchmarkFabricParallelTick measures the platform tick across many
+// member ports — the worker-pool fan-out the IXP simulation drives
+// every tick.
+func BenchmarkFabricParallelTick(b *testing.B) {
+	const ports = 64
+	fab := fabric.New()
+	offers := make(fabric.TickOffers, ports)
+	for p := 0; p < ports; p++ {
+		name := fmt.Sprintf("AS%d", 64512+p)
+		mac := netpkt.MAC{0x02, 0x20, 0, 0, byte(p >> 8), byte(p)}
+		port := fabric.NewPort(name, mac, 1e9)
+		for _, r := range benchRules(64) {
+			if err := port.InstallRule(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := fab.AddPort(port); err != nil {
+			b.Fatal(err)
+		}
+		flows := benchFlows(64)
+		os := make([]fabric.Offer, len(flows))
+		for i, f := range flows {
+			f.SrcMAC = mac
+			os[i] = fabric.Offer{Flow: f, FlowHash: f.Hash(), Bytes: 1e4, Packets: 10}
+		}
+		offers[name] = os
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fab.Tick(offers, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*ports)/b.Elapsed().Seconds(), "port-ticks/s")
+}
+
 // BenchmarkCompareMitigations regenerates the quantitative five-way
 // comparison backing Table 1.
 func BenchmarkCompareMitigations(b *testing.B) {

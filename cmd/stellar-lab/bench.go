@@ -1,14 +1,20 @@
 package main
 
-// The bench subcommand measures route-server update throughput and emits
-// the numbers as JSON, so CI can archive a machine-readable perf
-// trajectory (BENCH_routeserver.json) next to the human-readable `go
-// test -bench` output. It drives the same concurrent multi-peer workload
+// The bench subcommand measures route-server update throughput and the
+// fabric data-plane classifier, and emits the numbers as JSON, so CI can
+// archive a machine-readable perf trajectory (BENCH_routeserver.json)
+// next to the human-readable `go test -bench` output. The JSON schema is
+// documented in README.md ("Benchmark JSON schema").
+//
+// The control-plane half drives the same concurrent multi-peer workload
 // as bench_test.go: every peer announces batches of blackhole /32s from
 // its own goroutine. Two configurations run back to back — "single-lock"
 // (one RIB shard plus a global mutex over the whole pipeline, the
 // pre-sharding serialization discipline) and "sharded" (the live
 // parallel pipeline) — so every archived report carries its own baseline.
+// The data-plane half (the "fabric" section) compares the retained
+// linear-scan classification baseline against the compiled classifier on
+// one port carrying -fabric-rules rules.
 
 import (
 	"encoding/json"
@@ -22,6 +28,8 @@ import (
 	"time"
 
 	"stellar/internal/bgp"
+	"stellar/internal/fabric"
+	"stellar/internal/netpkt"
 	"stellar/internal/rib"
 	"stellar/internal/routeserver"
 )
@@ -52,6 +60,23 @@ type benchReport struct {
 	Config     benchConfig   `json:"config"`
 	Results    []benchResult `json:"results"`
 	SpeedupX   float64       `json:"sharded_speedup_x"`
+	Fabric     *fabricBench  `json:"fabric,omitempty"`
+}
+
+// fabricBench is the data-plane half of the report: classification cost
+// on one port under the retained linear-scan baseline versus the
+// compiled classifier (hash-on-demand and pre-hashed), plus a full
+// egress-tick rate with the compiled path.
+type fabricBench struct {
+	Rules               int     `json:"rules"`
+	Flows               int     `json:"flows"`
+	LinearNsPerOp       float64 `json:"linear_ns_per_classify"`
+	CompiledNsPerOp     float64 `json:"compiled_ns_per_classify"`
+	PrehashedNsPerOp    float64 `json:"prehashed_ns_per_classify"`
+	CompiledSpeedupX    float64 `json:"compiled_speedup_x"`
+	EgressTicksPerSec   float64 `json:"egress_ticks_per_sec"`
+	EgressFlowsPerSec   float64 `json:"egress_flows_per_sec"`
+	ClassifierBuildUsec float64 `json:"classifier_build_usec"`
 }
 
 func runBenchCommand(args []string, w io.Writer) error {
@@ -60,6 +85,8 @@ func runBenchCommand(args []string, w io.Writer) error {
 	prefixes := fs.Int("prefixes", 2000, "prefixes announced per peer")
 	updateSize := fs.Int("update-size", 10, "prefixes per UPDATE message")
 	shards := fs.Int("shards", 0, "RIB shards for the sharded run (0 = default)")
+	fabricRules := fs.Int("fabric-rules", 1024, "installed rules for the fabric classifier bench (0 = skip)")
+	fabricFlows := fs.Int("fabric-flows", 512, "distinct flows offered in the fabric classifier bench")
 	out := fs.String("out", "", "write the JSON report to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +120,13 @@ func runBenchCommand(args []string, w io.Writer) error {
 	if single.UpdatesPerSec > 0 {
 		report.SpeedupX = sharded.UpdatesPerSec / single.UpdatesPerSec
 	}
+	if *fabricRules > 0 {
+		fb, err := benchFabric(*fabricRules, *fabricFlows)
+		if err != nil {
+			return err
+		}
+		report.Fabric = fb
+	}
 
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -110,6 +144,94 @@ func runBenchCommand(args []string, w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)
+}
+
+// benchFabric measures the port classifier: a blackholing-shaped rule
+// set (mostly per-source-port drops plus prefix and MAC rules), a flow
+// population of which a quarter matches, classified by (a) the retained
+// linear-scan baseline over Port.Rules(), (b) Port.Classify hashing on
+// demand, and (c) Port.ClassifyHashed with pre-hashed flows, then a
+// full flow-level egress tick on the compiled path. The rule/flow
+// shape intentionally mirrors benchRules/benchFlows in bench_test.go so
+// the JSON numbers track the go-test benchmarks.
+func benchFabric(nRules, nFlows int) (*fabricBench, error) {
+	if nFlows < 1 {
+		nFlows = 1
+	}
+	port := fabric.NewPort("victim", netpkt.MAC{0x02, 0, 0, 0, 0, 1}, 1e9)
+	buildStart := time.Now()
+	for i := 0; i < nRules; i++ {
+		m := fabric.MatchAll()
+		switch i % 8 {
+		case 6:
+			m.DstIP = netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 20, byte(i >> 8), byte(i)}), 32)
+		case 7:
+			mac := netpkt.MAC{0x02, 0x77, 0, 0, byte(i >> 8), byte(i)}
+			m.SrcMAC = &mac
+		default:
+			m.Proto = netpkt.ProtoUDP
+			m.SrcPort = int32(1000 + i)
+		}
+		if err := port.InstallRule(&fabric.Rule{ID: fmt.Sprintf("r%04d", i), Match: m, Action: fabric.ActionDrop}); err != nil {
+			return nil, fmt.Errorf("bench: install fabric rule: %w", err)
+		}
+	}
+	buildUsec := time.Since(buildStart).Seconds() * 1e6 / float64(nRules)
+
+	flows := make([]netpkt.FlowKey, nFlows)
+	hashes := make([]uint64, nFlows)
+	offers := make([]fabric.Offer, nFlows)
+	for i := range flows {
+		srcPort := uint16(40000 + i)
+		if i%4 == 0 {
+			srcPort = uint16(1000 + i)
+		}
+		flows[i] = netpkt.FlowKey{
+			SrcMAC:  netpkt.MAC{0x02, 0x10, 0, 0, 0, byte(i)},
+			Src:     netip.AddrFrom4([4]byte{198, 51, 100, byte(i)}),
+			Dst:     netip.AddrFrom4([4]byte{100, 10, 10, 10}),
+			Proto:   netpkt.ProtoUDP,
+			SrcPort: srcPort,
+			DstPort: 443,
+		}
+		hashes[i] = flows[i].Hash()
+		offers[i] = fabric.Offer{Flow: flows[i], FlowHash: hashes[i], Bytes: 1e4, Packets: 10}
+	}
+
+	rules := port.Rules()
+	res := &fabricBench{Rules: nRules, Flows: nFlows, ClassifierBuildUsec: buildUsec}
+	res.LinearNsPerOp = timePerOp(func(i int) {
+		f := flows[i%nFlows]
+		for _, r := range rules {
+			if r.Match.Matches(f) {
+				break
+			}
+		}
+	})
+	res.CompiledNsPerOp = timePerOp(func(i int) { port.Classify(flows[i%nFlows]) })
+	res.PrehashedNsPerOp = timePerOp(func(i int) { j := i % nFlows; port.ClassifyHashed(flows[j], hashes[j]) })
+	if res.CompiledNsPerOp > 0 {
+		res.CompiledSpeedupX = res.LinearNsPerOp / res.CompiledNsPerOp
+	}
+	ticksPerSec := 1e9 / timePerOp(func(int) { port.Egress(offers, 1) })
+	res.EgressTicksPerSec = ticksPerSec
+	res.EgressFlowsPerSec = ticksPerSec * float64(nFlows)
+	return res, nil
+}
+
+// timePerOp measures fn's cost in ns/op, growing the iteration count
+// until the run lasts long enough to trust.
+func timePerOp(fn func(i int)) float64 {
+	for n := 1024; ; n *= 4 {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		elapsed := time.Since(start)
+		if elapsed >= 20*time.Millisecond || n >= 1<<22 {
+			return float64(elapsed.Nanoseconds()) / float64(n)
+		}
+	}
 }
 
 // benchThroughput runs the multi-peer announce workload once and times

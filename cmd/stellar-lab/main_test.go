@@ -74,6 +74,44 @@ func TestBenchCommandJSON(t *testing.T) {
 	}
 }
 
+func TestBenchCommandFabricSection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runBenchCommand([]string{"-peers", "2", "-prefixes", "20",
+		"-fabric-rules", "64", "-fabric-flows", "32"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var r benchReport
+	if err := json.Unmarshal(buf.Bytes(), &r); err != nil {
+		t.Fatalf("bench output is not JSON: %v", err)
+	}
+	f := r.Fabric
+	if f == nil {
+		t.Fatal("fabric section missing")
+	}
+	if f.Rules != 64 || f.Flows != 32 {
+		t.Fatalf("fabric config: %+v", f)
+	}
+	if f.LinearNsPerOp <= 0 || f.CompiledNsPerOp <= 0 || f.PrehashedNsPerOp <= 0 {
+		t.Fatalf("fabric timings: %+v", f)
+	}
+	if f.CompiledSpeedupX <= 0 || f.EgressTicksPerSec <= 0 {
+		t.Fatalf("fabric derived metrics: %+v", f)
+	}
+
+	// -fabric-rules 0 skips the section.
+	buf.Reset()
+	if err := runBenchCommand([]string{"-peers", "2", "-prefixes", "20", "-fabric-rules", "0"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var r2 benchReport
+	if err := json.Unmarshal(buf.Bytes(), &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Fabric != nil {
+		t.Fatal("fabric section present despite -fabric-rules 0")
+	}
+}
+
 func TestBenchCommandOutFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	if err := runBenchCommand([]string{"-peers", "4", "-prefixes", "40", "-out", path}, io.Discard); err != nil {

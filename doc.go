@@ -9,9 +9,12 @@
 // mitigation techniques (RTBH, ACL, Flowspec, TSS) the paper compares
 // against.
 //
-// See README.md for the architecture overview and build/test
-// instructions. The benchmarks in bench_test.go regenerate every table
-// and figure of the evaluation and measure the route server's sharded
-// update pipeline against its single-lock baseline; cmd/stellar-lab
-// prints the experiments and emits throughput numbers as JSON.
+// See README.md for the build/test instructions and ARCHITECTURE.md for
+// the layer map, the discrete-time simulation model and the data flow of
+// an attack tick. The benchmarks in bench_test.go regenerate every table
+// and figure of the evaluation and measure both scaling tentpoles
+// against their retained baselines: the route server's sharded update
+// pipeline vs the single-lock design, and the fabric's compiled
+// lock-free classifier vs the linear rule scan; cmd/stellar-lab prints
+// the experiments and emits both sets of numbers as JSON.
 package stellar

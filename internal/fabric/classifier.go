@@ -1,0 +1,265 @@
+package fabric
+
+import (
+	"net/netip"
+	"sync"
+	"sync/atomic"
+
+	"stellar/internal/netpkt"
+)
+
+// This file implements the compiled flow classifier behind Port. The
+// seed design scanned every installed rule linearly under the port mutex
+// for every offered flow — the per-packet slow path Section 4.2.1 holds
+// against software Flowspec processing. Instead, InstallRule/RemoveRule
+// now compile the rule set into an immutable classifier published via
+// atomic.Pointer, so Classify/Egress/EgressPacket run lock-free while
+// rule management stays serialized on the port mutex (copy-on-write).
+//
+// The compiled form indexes every rule under its most selective
+// criterion, exactly once:
+//
+//   - exact-match hash tables keyed by (proto, dst-port) and
+//     (proto, src-port), with proto 0 buckets for any-proto port rules;
+//   - per-field binary prefix tries for DstIP and SrcIP (v4 and v6);
+//   - a SrcMAC exact-match index;
+//   - a short residual list for rules too wildcarded to index
+//     (MatchAll, proto-only).
+//
+// Lookup consults each structure the flow header can reach, re-verifies
+// candidates with Match.Matches (indexes are pre-filters, never
+// authorities), and keeps the candidate with the lowest install order —
+// preserving the first-match-priority semantics of the linear scan.
+// Candidate lists are sorted by install order so each list can stop as
+// soon as its next priority cannot beat the best match found so far.
+//
+// On top of the compiled form, each classifier generation carries a
+// flow-result memo keyed by netpkt.FlowKey.Hash: flow-level simulations
+// re-offer the same flows tick after tick, so after the first tick a
+// classification is one cache hit. The memo belongs to the generation,
+// so a rule change can never serve a stale verdict — the new classifier
+// starts with an empty memo.
+
+// candidate is one indexed rule plus its install order (lower wins).
+type candidate struct {
+	rule *Rule
+	pri  int
+}
+
+// protoPortKey is the exact-match key of the port tables. proto 0 holds
+// rules that wildcard the protocol but pin a port.
+type protoPortKey struct {
+	proto netpkt.IPProto
+	port  uint16
+}
+
+// trieNode is one bit of a binary prefix trie; rules whose prefix ends
+// at this node are candidates for any address routed through it.
+type trieNode struct {
+	child [2]*trieNode
+	cands []candidate
+}
+
+// prefixTrie holds one address family pair of tries for one match field.
+type prefixTrie struct {
+	v4, v6 *trieNode
+}
+
+func (t *prefixTrie) insert(p trieKey, bits int, c candidate) {
+	root := t.v6
+	if p.is4 {
+		root = t.v4
+	}
+	n := root
+	for i := 0; i < bits; i++ {
+		b := (p.addr[i/8] >> (7 - i%8)) & 1
+		if n.child[b] == nil {
+			n.child[b] = &trieNode{}
+		}
+		n = n.child[b]
+	}
+	n.cands = append(n.cands, c)
+}
+
+// trieKey is an address in trie form: big-endian bytes plus family. For
+// v4 the native 4-byte form occupies the front of addr, so prefix bit
+// counts index the real address bits (the 4-in-6 mapped form would put
+// 96 zero bits first and collapse every v4 prefix onto one spine).
+type trieKey struct {
+	addr [16]byte
+	is4  bool
+}
+
+const noMatch = int(^uint(0) >> 1) // max int: "no rule yet"
+
+// maxMemoEntries bounds the per-generation flow memo so adversarial
+// flow cardinality cannot grow memory without bound.
+const maxMemoEntries = 1 << 16
+
+// memoEntry records one memoized classification. The full key is kept
+// so a 64-bit hash collision degrades to a recomputation, never a wrong
+// verdict.
+type memoEntry struct {
+	key  netpkt.FlowKey
+	rule *Rule // nil: default forwarding queue
+}
+
+// classifier is an immutable compiled view of a port's rule set.
+type classifier struct {
+	rules      []*Rule // install order (the authoritative priority)
+	shapeRules []*Rule // subset with Action == ActionShape, install order
+
+	byProtoDstPort map[protoPortKey][]candidate
+	byProtoSrcPort map[protoPortKey][]candidate
+	dstTrie        prefixTrie
+	srcTrie        prefixTrie
+	bySrcMAC       map[netpkt.MAC][]candidate
+	residual       []candidate
+
+	memo    sync.Map // uint64 -> *memoEntry
+	memoLen atomic.Int64
+}
+
+// compile builds the immutable classifier for rules (in install order).
+func compile(rules []*Rule) *classifier {
+	c := &classifier{
+		rules:          rules,
+		byProtoDstPort: make(map[protoPortKey][]candidate),
+		byProtoSrcPort: make(map[protoPortKey][]candidate),
+		dstTrie:        prefixTrie{v4: &trieNode{}, v6: &trieNode{}},
+		srcTrie:        prefixTrie{v4: &trieNode{}, v6: &trieNode{}},
+		bySrcMAC:       make(map[netpkt.MAC][]candidate),
+	}
+	for pri, r := range rules {
+		if r.Action == ActionShape {
+			c.shapeRules = append(c.shapeRules, r)
+		}
+		cand := candidate{rule: r, pri: pri}
+		m := r.Match
+		switch {
+		case m.DstPort != AnyPort:
+			k := protoPortKey{proto: m.Proto, port: uint16(m.DstPort)}
+			c.byProtoDstPort[k] = append(c.byProtoDstPort[k], cand)
+		case m.SrcPort != AnyPort:
+			k := protoPortKey{proto: m.Proto, port: uint16(m.SrcPort)}
+			c.byProtoSrcPort[k] = append(c.byProtoSrcPort[k], cand)
+		case m.DstIP.IsValid():
+			c.dstTrie.insert(trieAddr(m.DstIP.Addr()), m.DstIP.Bits(), cand)
+		case m.SrcIP.IsValid():
+			c.srcTrie.insert(trieAddr(m.SrcIP.Addr()), m.SrcIP.Bits(), cand)
+		case m.SrcMAC != nil:
+			c.bySrcMAC[*m.SrcMAC] = append(c.bySrcMAC[*m.SrcMAC], cand)
+		default:
+			c.residual = append(c.residual, cand)
+		}
+	}
+	// Candidate lists are appended in install order, so they are already
+	// sorted by priority; the early-exit in considerList relies on it.
+	return c
+}
+
+func trieAddr(a netip.Addr) trieKey {
+	if a.Is4() {
+		var k trieKey
+		b4 := a.As4()
+		copy(k.addr[:], b4[:])
+		k.is4 = true
+		return k
+	}
+	return trieKey{addr: a.As16()}
+}
+
+// considerList scans one sorted candidate list, updating (best, bestPri)
+// with the first full match that beats the current best. Because the
+// list is priority-sorted it stops at the first candidate that cannot
+// win.
+func considerList(cands []candidate, f netpkt.FlowKey, best *Rule, bestPri int) (*Rule, int) {
+	for _, cd := range cands {
+		if cd.pri >= bestPri {
+			return best, bestPri
+		}
+		if cd.rule.Match.Matches(f) {
+			return cd.rule, cd.pri
+		}
+	}
+	return best, bestPri
+}
+
+// walkTrie descends the trie along addr's bits, feeding every node's
+// candidates (covering prefixes, shortest first) to considerList.
+func walkTrie(t *prefixTrie, f netpkt.FlowKey, addr netip.Addr, best *Rule, bestPri int) (*Rule, int) {
+	if !addr.IsValid() {
+		return best, bestPri
+	}
+	k := trieAddr(addr)
+	n := t.v6
+	maxBits := 128
+	if k.is4 {
+		n = t.v4
+		maxBits = 32
+	}
+	for i := 0; ; i++ {
+		if len(n.cands) > 0 {
+			best, bestPri = considerList(n.cands, f, best, bestPri)
+		}
+		if i == maxBits {
+			return best, bestPri
+		}
+		bit := (k.addr[i/8] >> (7 - i%8)) & 1
+		if n.child[bit] == nil {
+			return best, bestPri
+		}
+		n = n.child[bit]
+	}
+}
+
+// classify runs the compiled lookup: every index the flow can reach,
+// first-match (lowest install order) wins. It is read-only and safe for
+// unlimited concurrency.
+func (c *classifier) classify(f netpkt.FlowKey) *Rule {
+	var best *Rule
+	bestPri := noMatch
+	if len(c.byProtoDstPort) > 0 {
+		best, bestPri = considerList(c.byProtoDstPort[protoPortKey{f.Proto, f.DstPort}], f, best, bestPri)
+		if f.Proto != 0 {
+			best, bestPri = considerList(c.byProtoDstPort[protoPortKey{0, f.DstPort}], f, best, bestPri)
+		}
+	}
+	if len(c.byProtoSrcPort) > 0 {
+		best, bestPri = considerList(c.byProtoSrcPort[protoPortKey{f.Proto, f.SrcPort}], f, best, bestPri)
+		if f.Proto != 0 {
+			best, bestPri = considerList(c.byProtoSrcPort[protoPortKey{0, f.SrcPort}], f, best, bestPri)
+		}
+	}
+	best, bestPri = walkTrie(&c.dstTrie, f, f.Dst, best, bestPri)
+	best, bestPri = walkTrie(&c.srcTrie, f, f.Src, best, bestPri)
+	if len(c.bySrcMAC) > 0 {
+		best, bestPri = considerList(c.bySrcMAC[f.SrcMAC], f, best, bestPri)
+	}
+	best, _ = considerList(c.residual, f, best, bestPri)
+	return best
+}
+
+// classifyHashed is classify with the per-generation flow memo in
+// front. hash is the flow's netpkt.FlowKey.Hash (0: compute here).
+func (c *classifier) classifyHashed(f netpkt.FlowKey, hash uint64) *Rule {
+	if hash == 0 {
+		hash = f.Hash()
+	}
+	if v, ok := c.memo.Load(hash); ok {
+		e := v.(*memoEntry)
+		if e.key == f {
+			return e.rule
+		}
+		// 64-bit collision between distinct live flows: fall through and
+		// recompute without caching.
+		return c.classify(f)
+	}
+	r := c.classify(f)
+	if c.memoLen.Load() < maxMemoEntries {
+		if _, loaded := c.memo.LoadOrStore(hash, &memoEntry{key: f, rule: r}); !loaded {
+			c.memoLen.Add(1)
+		}
+	}
+	return r
+}

@@ -3,8 +3,10 @@ package fabric
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"stellar/internal/netpkt"
 )
@@ -125,6 +127,11 @@ func (t TickStats) TotalDeliveredBytes() float64 {
 }
 
 // Tick advances the platform by dtSeconds, delivering all offers.
+//
+// Member ports are independent egress engines, so their ticks run
+// concurrently on a worker pool sized to GOMAXPROCS and the per-port
+// results are merged afterwards. The computation per port is sequential
+// and the merge is keyed by port name, so results are deterministic.
 func (f *Fabric) Tick(offers TickOffers, dtSeconds float64) (TickStats, error) {
 	stats := TickStats{PerPort: make(map[string]TickResult, len(offers))}
 
@@ -152,20 +159,63 @@ func (f *Fabric) Tick(offers TickOffers, dtSeconds float64) (TickStats, error) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	for _, name := range names {
+	ports := make([]*Port, len(names))
+	for i, name := range names {
 		port, err := f.PortByName(name)
 		if err != nil {
 			return stats, err
 		}
-		os := offers[name]
+		ports[i] = port
+	}
+
+	results := make([]TickResult, len(names))
+	ParallelFor(len(names), func(i int) {
+		os := offers[names[i]]
 		if scale != 1.0 {
 			scaled := make([]Offer, len(os))
-			for i, o := range os {
-				scaled[i] = Offer{Flow: o.Flow, Bytes: o.Bytes * scale, Packets: o.Packets * scale}
+			for j, o := range os {
+				scaled[j] = Offer{Flow: o.Flow, Bytes: o.Bytes * scale,
+					Packets: o.Packets * scale, FlowHash: o.FlowHash}
 			}
 			os = scaled
 		}
-		stats.PerPort[name] = port.Egress(os, dtSeconds)
+		results[i] = ports[i].Egress(os, dtSeconds)
+	})
+	for i, name := range names {
+		stats.PerPort[name] = results[i]
 	}
 	return stats, nil
+}
+
+// ParallelFor runs fn(0..n-1) across a worker pool bounded by
+// GOMAXPROCS; small inputs run inline to avoid goroutine overhead. It
+// is the per-port fan-out of the tick pipeline, shared with ixp, and
+// returns only after every call completes. fn must not panic.
+func ParallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -9,6 +9,15 @@
 // what lets experiments replay multi-gigabit attacks faithfully without
 // materializing packets. A per-packet path (Classify + EgressPacket) is
 // provided for functional tests.
+//
+// Classification is line-rate in spirit: rule installs compile the
+// port's rule set into an immutable lookup structure (exact-match port
+// tables, per-field prefix tries, a source-MAC index and a short
+// residual list — see classifier.go) published through an atomic
+// pointer, so the data path runs lock-free with first-match-priority
+// semantics while rule management stays serialized. Fabric.Tick runs
+// all member ports' egress engines concurrently on a worker pool;
+// results are merged per port and remain deterministic.
 package fabric
 
 import (

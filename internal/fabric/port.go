@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"stellar/internal/netpkt"
 )
@@ -15,6 +16,11 @@ type Offer struct {
 	Flow    netpkt.FlowKey
 	Bytes   float64
 	Packets float64
+	// FlowHash optionally carries Flow.Hash() computed once by the
+	// traffic generator, so the egress hot loop classifies repeated
+	// flows from the per-classifier memo with zero re-hashing. 0 means
+	// "not computed"; the engine hashes on demand.
+	FlowHash uint64
 }
 
 // Disposition is the fate of one offer (or packet) at the egress engine.
@@ -65,6 +71,13 @@ func (t TickResult) OfferedBytes() float64 {
 }
 
 // Port is one member-facing IXP port with an egress QoS engine.
+//
+// Rule management (InstallRule/RemoveRule) is serialized on an internal
+// mutex and recompiles the rule set into an immutable classifier
+// published through an atomic pointer (see classifier.go). The data
+// path — Classify, Egress, EgressPacket — reads the current classifier
+// lock-free, so any number of goroutines can classify traffic while
+// rules churn.
 type Port struct {
 	// Name identifies the port ("AS64512" in the harness).
 	Name string
@@ -73,8 +86,9 @@ type Port struct {
 	// CapacityBps is the member port speed (e.g. 1e9 for 1 Gbps).
 	CapacityBps float64
 
-	mu    sync.Mutex
-	rules []*Rule // evaluated in order; first match wins
+	mu    sync.Mutex // serializes rule mutations only
+	rules []*Rule    // authoritative install order; copied on write
+	cls   atomic.Pointer[classifier]
 }
 
 // Errors from rule management.
@@ -85,10 +99,13 @@ var (
 
 // NewPort creates a port.
 func NewPort(name string, mac netpkt.MAC, capacityBps float64) *Port {
-	return &Port{Name: name, MAC: mac, CapacityBps: capacityBps}
+	p := &Port{Name: name, MAC: mac, CapacityBps: capacityBps}
+	p.cls.Store(compile(nil))
+	return p
 }
 
-// InstallRule appends a rule to the port's classification order.
+// InstallRule appends a rule to the port's classification order and
+// recompiles the classifier.
 func (p *Port) InstallRule(r *Rule) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -99,20 +116,31 @@ func (p *Port) InstallRule(r *Rule) error {
 	}
 	if r.Action == ActionShape {
 		// Token bucket: burst of one second at the shaping rate.
+		r.tok.Lock()
 		r.burstBits = r.ShapeRateBps
 		r.tokens = r.burstBits
+		r.tok.Unlock()
 	}
-	p.rules = append(p.rules, r)
+	rules := make([]*Rule, 0, len(p.rules)+1)
+	rules = append(rules, p.rules...)
+	rules = append(rules, r)
+	p.rules = rules
+	p.cls.Store(compile(rules))
 	return nil
 }
 
-// RemoveRule uninstalls the rule with the given ID.
+// RemoveRule uninstalls the rule with the given ID and recompiles the
+// classifier.
 func (p *Port) RemoveRule(id string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for i, r := range p.rules {
 		if r.ID == id {
-			p.rules = append(p.rules[:i], p.rules[i+1:]...)
+			rules := make([]*Rule, 0, len(p.rules)-1)
+			rules = append(rules, p.rules[:i]...)
+			rules = append(rules, p.rules[i+1:]...)
+			p.rules = rules
+			p.cls.Store(compile(rules))
 			return nil
 		}
 	}
@@ -121,9 +149,7 @@ func (p *Port) RemoveRule(id string) error {
 
 // Rule returns the installed rule with the given ID.
 func (p *Port) Rule(id string) (*Rule, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, r := range p.rules {
+	for _, r := range p.cls.Load().rules {
 		if r.ID == id {
 			return r, nil
 		}
@@ -131,46 +157,38 @@ func (p *Port) Rule(id string) (*Rule, error) {
 	return nil, ErrNoSuchRule
 }
 
-// Rules returns the installed rules in evaluation order.
+// Rules returns a defensive copy of the installed rules in evaluation
+// order. Mutating the returned slice never affects the port; the *Rule
+// pointers are shared so telemetry counters stay live.
 func (p *Port) Rules() []*Rule {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return append([]*Rule(nil), p.rules...)
+	return append([]*Rule(nil), p.cls.Load().rules...)
 }
 
 // RuleCount returns the number of installed rules.
 func (p *Port) RuleCount() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.rules)
+	return len(p.cls.Load().rules)
 }
 
 // Classify returns the first matching rule for the flow, or nil for the
-// default forwarding queue.
+// default forwarding queue. It is lock-free and safe to call
+// concurrently with rule management and egress ticks.
 func (p *Port) Classify(f netpkt.FlowKey) *Rule {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.classifyLocked(f)
+	return p.cls.Load().classifyHashed(f, 0)
 }
 
-func (p *Port) classifyLocked(f netpkt.FlowKey) *Rule {
-	for _, r := range p.rules {
-		if r.Match.Matches(f) {
-			return r
-		}
-	}
-	return nil
+// ClassifyHashed is Classify with the flow's precomputed
+// netpkt.FlowKey.Hash (0: computed on demand).
+func (p *Port) ClassifyHashed(f netpkt.FlowKey, hash uint64) *Rule {
+	return p.cls.Load().classifyHashed(f, hash)
 }
 
 // EgressPacket runs one packet through classification and the queues,
 // with shaping evaluated against the packet's own wire time. It is the
 // per-packet functional-test path; flow-level simulations use Egress.
 func (p *Port) EgressPacket(pkt *netpkt.Packet) Disposition {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	f := pkt.Flow()
 	bits := float64(pkt.WireLen) * 8
-	r := p.classifyLocked(f)
+	r := p.cls.Load().classifyHashed(f, 0)
 	if r == nil {
 		return Delivered
 	}
@@ -181,8 +199,13 @@ func (p *Port) EgressPacket(pkt *netpkt.Packet) Disposition {
 		r.counters.DroppedBytes.Add(int64(pkt.WireLen))
 		return DroppedByRule
 	case ActionShape:
-		if r.tokens >= bits {
+		r.tok.Lock()
+		ok := r.tokens >= bits
+		if ok {
 			r.tokens -= bits
+		}
+		r.tok.Unlock()
+		if ok {
 			r.counters.ForwardedBytes.Add(int64(pkt.WireLen))
 			r.counters.ShapedResidue.Add(int64(pkt.WireLen))
 			return Delivered
@@ -199,15 +222,8 @@ func (p *Port) EgressPacket(pkt *netpkt.Packet) Disposition {
 // per-packet path uses it between bursts. The flow-level Egress refills
 // implicitly.
 func (p *Port) RefillShapers(dtSeconds float64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, r := range p.rules {
-		if r.Action == ActionShape {
-			r.tokens += r.ShapeRateBps * dtSeconds
-			if r.tokens > r.burstBits {
-				r.tokens = r.burstBits
-			}
-		}
+	for _, r := range p.cls.Load().shapeRules {
+		r.refill(dtSeconds)
 	}
 }
 
@@ -216,9 +232,12 @@ func (p *Port) RefillShapers(dtSeconds float64) {
 // queue to the port capacity with proportional (fair) tail drop under
 // congestion — the behaviour a congested member port exhibits in
 // Section 2.2's attack scenario.
+//
+// The classification loop runs against one immutable classifier
+// snapshot: rules installed concurrently take effect the next tick, and
+// no lock is held while offers are processed.
 func (p *Port) Egress(offers []Offer, dtSeconds float64) TickResult {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	cls := p.cls.Load()
 
 	res := TickResult{DeliveredByFlow: make(map[netpkt.FlowKey]float64, len(offers))}
 
@@ -230,13 +249,8 @@ func (p *Port) Egress(offers []Offer, dtSeconds float64) TickResult {
 	var forwardBytes float64
 
 	// Refill shaping buckets for this tick.
-	for _, r := range p.rules {
-		if r.Action == ActionShape {
-			r.tokens += r.ShapeRateBps * dtSeconds
-			if r.tokens > r.burstBits {
-				r.tokens = r.burstBits
-			}
-		}
+	for _, r := range cls.shapeRules {
+		r.refill(dtSeconds)
 	}
 
 	// Group shape offers per rule so concurrent flows share the rule's
@@ -249,7 +263,7 @@ func (p *Port) Egress(offers []Offer, dtSeconds float64) TickResult {
 	shapeGroups := make(map[string]*shapeGroup)
 
 	for _, o := range offers {
-		r := p.classifyLocked(o.Flow)
+		r := cls.classifyHashed(o.Flow, o.FlowHash)
 		if r == nil {
 			forward = append(forward, fwd{o.Flow, o.Bytes})
 			forwardBytes += o.Bytes
@@ -287,11 +301,7 @@ func (p *Port) Egress(offers []Offer, dtSeconds float64) TickResult {
 	for _, id := range groupIDs {
 		g := shapeGroups[id]
 		bits := g.total * 8
-		passBits := bits
-		if passBits > g.rule.tokens {
-			passBits = g.rule.tokens
-		}
-		g.rule.tokens -= passBits
+		passBits := g.rule.consumeTokens(bits)
 		passFrac := 0.0
 		if bits > 0 {
 			passFrac = passBits / bits

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -46,9 +47,36 @@ type Rule struct {
 	ShapeRateBps float64
 
 	counters RuleCounters
-	// shaping token bucket state (bits)
+	// Shaping token bucket state (bits). The data path is lock-free at
+	// the port level, so the bucket carries its own small mutex; it is
+	// uncontended except when concurrent egress ticks share one shape
+	// rule.
+	tok       sync.Mutex
 	tokens    float64
 	burstBits float64
+}
+
+// refill advances the token bucket by dt seconds, clamped to the burst.
+func (r *Rule) refill(dtSeconds float64) {
+	r.tok.Lock()
+	r.tokens += r.ShapeRateBps * dtSeconds
+	if r.tokens > r.burstBits {
+		r.tokens = r.burstBits
+	}
+	r.tok.Unlock()
+}
+
+// consumeTokens takes up to wantBits from the bucket and returns the
+// amount granted.
+func (r *Rule) consumeTokens(wantBits float64) float64 {
+	r.tok.Lock()
+	grant := wantBits
+	if grant > r.tokens {
+		grant = r.tokens
+	}
+	r.tokens -= grant
+	r.tok.Unlock()
+	return grant
 }
 
 // RuleCounters is the per-rule telemetry exposed to the rule's owner:

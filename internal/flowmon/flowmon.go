@@ -154,8 +154,8 @@ type PortRank struct {
 
 // TopSrcPorts returns the k highest-volume UDP source ports across all
 // bins, plus the residual share under the sentinel port 65535 when
-// "others" is non-zero. Ties break toward the lower port for
-// determinism.
+// "others" is non-zero. The ranking is deterministic regardless of map
+// iteration order: equal-volume ports tie-break toward the lower port.
 func (c *Collector) TopSrcPorts(k int) []PortRank {
 	agg := make(map[uint16]float64)
 	var total float64
@@ -169,7 +169,10 @@ func (c *Collector) TopSrcPorts(k int) []PortRank {
 	for port, bytes := range agg {
 		ranks = append(ranks, PortRank{Port: port, Bytes: bytes})
 	}
-	sort.Slice(ranks, func(i, j int) bool {
+	// Ports are unique keys, so (bytes desc, port asc) is a total order:
+	// one stable sort yields the same ranking on every call regardless
+	// of map iteration order.
+	sort.SliceStable(ranks, func(i, j int) bool {
 		if ranks[i].Bytes != ranks[j].Bytes {
 			return ranks[i].Bytes > ranks[j].Bytes
 		}

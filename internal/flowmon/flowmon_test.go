@@ -127,6 +127,29 @@ func TestTopSrcPortsTieBreak(t *testing.T) {
 	}
 }
 
+func TestTopSrcPortsManyWayTieIsDeterministic(t *testing.T) {
+	// A wide tie exercises the stable sort across map iteration orders:
+	// every port carries identical volume, so the ranking must come out
+	// in ascending port order on every call.
+	c := NewCollector()
+	ports := []uint16{11211, 19, 389, 0, 123, 53, 7, 161}
+	for _, p := range ports {
+		c.Observe(rec(0, macA, netpkt.ProtoUDP, p, 1, 100))
+	}
+	want := []uint16{0, 7, 19, 53, 123, 161, 389, 11211}
+	for trial := 0; trial < 20; trial++ {
+		top := c.TopSrcPorts(len(ports))
+		if len(top) != len(want) {
+			t.Fatalf("trial %d: %+v", trial, top)
+		}
+		for i, p := range want {
+			if top[i].Port != p {
+				t.Fatalf("trial %d: rank %d = port %d, want %d (%+v)", trial, i, top[i].Port, p, top)
+			}
+		}
+	}
+}
+
 func TestSampling(t *testing.T) {
 	c := NewCollector()
 	c.SampleEvery = 10

@@ -1,0 +1,28 @@
+// Package hw models the IXP edge-router hardware that Stellar's filtering
+// layer runs on: TCAM filter budgets and the control-plane CPU cost of
+// configuration updates.
+//
+// The paper's scaling evaluation (Section 5.1) measures two exhaustion
+// dimensions on a production edge router with >350 member ports:
+//
+//   - F1: the total number of L3-L4 filter criteria for QoS policies is
+//     exceeded (a system-wide TCAM budget), and
+//   - F2: the maximum number of MAC filters is exceeded.
+//
+// Both are modeled as system-wide budgets expressed in units of N, the
+// 95th percentile of concurrently active RTBH rules per port observed in
+// production. The budget constants are calibrated so the feasibility
+// grids of Figure 9(a-c) reproduce: all-OK at 20% adoption, F1 beyond
+// 3N L3-L4 criteria and F2 at 10N MAC filters for 60% adoption, and the
+// paper's tighter region at 100% adoption.
+//
+// The control-plane model captures Figure 10(a): CPU usage grows linearly
+// with the rule-update rate, and the router enforces a hard 15% CPU cap
+// for configuration tasks, which yields a median sustainable rate of
+// ~4.33 updates/second.
+//
+// The counting side of this model is what the fabric's compiled
+// classifier consumes indirectly: core.QoSManager charges each installed
+// rule's Match.CriteriaCount against these budgets before the rule ever
+// reaches a port.
+package hw

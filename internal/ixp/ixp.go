@@ -10,6 +10,7 @@ package ixp
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 	"sync"
 
 	"stellar/internal/bgp"
@@ -299,31 +300,61 @@ func (r TickReport) DeliveredBps(dt float64) float64 { return r.Result.Delivered
 // processed first (they take effect this tick), then RTBH null routes
 // filter traffic from honoring members, then the fabric switches the
 // rest.
+//
+// The per-port work — null-route filtering here, then each port's
+// egress tick inside fabric.Tick — runs concurrently across member
+// ports on a GOMAXPROCS-bounded worker pool. The null-route table is
+// snapshotted once per tick so the filter does per-offer checks without
+// touching the IXP lock, and per-port results are merged by name, so
+// the outcome is deterministic.
 func (x *IXP) Tick(offers fabric.TickOffers, dt float64) (map[string]TickReport, error) {
 	x.mu.Lock()
 	x.clock += dt
 	now := x.clock
+	nulls := make(map[string][]netip.Prefix, len(x.nullRoutes))
+	for name, routes := range x.nullRoutes {
+		if len(routes) == 0 {
+			continue
+		}
+		ps := make([]netip.Prefix, 0, len(routes))
+		for p := range routes {
+			ps = append(ps, p)
+		}
+		nulls[name] = ps
+	}
 	x.mu.Unlock()
 
 	if x.Stellar != nil {
 		x.Stellar.Process(now)
 	}
 
-	reports := make(map[string]TickReport, len(offers))
-	filtered := make(fabric.TickOffers, len(offers))
-	for portName, os := range offers {
+	names := make([]string, 0, len(offers))
+	for name := range offers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	reps := make([]TickReport, len(names))
+	kept := make([][]fabric.Offer, len(names))
+	fabric.ParallelFor(len(names), func(i int) {
 		rep := TickReport{}
 		var keep []fabric.Offer
-		for _, o := range os {
+		for _, o := range offers[names[i]] {
 			rep.OfferedBytes += o.Bytes
-			if src, ok := x.byMAC[o.Flow.SrcMAC]; ok && x.NullRouted(src.Name, o.Flow.Dst) {
+			if src, ok := x.byMAC[o.Flow.SrcMAC]; ok && anyContains(nulls[src.Name], o.Flow.Dst) {
 				rep.NulledBytes += o.Bytes
 				continue
 			}
 			keep = append(keep, o)
 		}
-		filtered[portName] = keep
-		reports[portName] = rep
+		reps[i] = rep
+		kept[i] = keep
+	})
+
+	reports := make(map[string]TickReport, len(names))
+	filtered := make(fabric.TickOffers, len(names))
+	for i, name := range names {
+		filtered[name] = kept[i]
+		reports[name] = reps[i]
 	}
 	stats, err := x.Fabric.Tick(filtered, dt)
 	if err != nil {
@@ -335,6 +366,16 @@ func (x *IXP) Tick(offers fabric.TickOffers, dt float64) (map[string]TickReport,
 		reports[portName] = rep
 	}
 	return reports, nil
+}
+
+// anyContains reports whether any prefix covers dst.
+func anyContains(prefixes []netip.Prefix, dst netip.Addr) bool {
+	for _, p := range prefixes {
+		if p.Contains(dst) {
+			return true
+		}
+	}
+	return false
 }
 
 // ActivePeers counts the distinct source members whose delivered bytes

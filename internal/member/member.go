@@ -1,10 +1,3 @@
-// Package member models IXP member ASes: their identity on the peering
-// LAN (ASN, router MAC, BGP ID), their port capacity, the prefixes they
-// originate, and — crucially for Section 2.4 — their behaviour toward
-// RTBH signals. The paper finds that almost 70% of members do not act on
-// blackholing announcements, either because they reject more-specific
-// prefixes (/32s) by default or because they do not participate in RTBH;
-// that honoring ratio is an explicit parameter here.
 package member
 
 import (

@@ -1,0 +1,34 @@
+package mitigation_test
+
+import (
+	"fmt"
+	"net/netip"
+
+	"stellar/internal/bgp"
+	"stellar/internal/mitigation"
+)
+
+// ExampleFlowSpecToMatch compiles a hardware-expressible RFC 5575 flow
+// specification into a fabric match (which InstallRule then compiles
+// into the port's classifier), and shows a non-expressible spec — a
+// port range — being refused to the slow path.
+func ExampleFlowSpecToMatch() {
+	simple := &bgp.FlowSpec{Components: []bgp.FlowSpecComponent{
+		bgp.DstPrefix(netip.MustParsePrefix("100.10.10.10/32")),
+		bgp.Numeric(bgp.FSIPProto, bgp.Eq(17)),  // UDP
+		bgp.Numeric(bgp.FSSrcPort, bgp.Eq(123)), // NTP
+	}}
+	if m, ok := mitigation.FlowSpecToMatch(simple); ok {
+		fmt.Println("hardware path:", m)
+	}
+
+	ranged := &bgp.FlowSpec{Components: []bgp.FlowSpecComponent{
+		bgp.Numeric(bgp.FSSrcPort, bgp.FlowSpecMatch{GT: true, Value: 1023}),
+	}}
+	if _, ok := mitigation.FlowSpecToMatch(ranged); !ok {
+		fmt.Println("port range: needs slow-path processing")
+	}
+	// Output:
+	// hardware path: proto=UDP,dst=100.10.10.10/32,src-port=123
+	// port range: needs slow-path processing
+}

@@ -14,6 +14,12 @@ import (
 // general case (ranges, bitmasks, fragments) returns ok=false, which the
 // comparison experiments treat as "needs slow-path processing" — one of
 // the resource-sharing costs Section 4.2.1 holds against Flowspec.
+//
+// The returned Match is exactly what fabric.Port.InstallRule feeds the
+// port's compiled classifier: a pinned port lands the rule in an
+// exact-match table, a prefix component in a prefix trie, so accepted
+// Flowspec rules ride the same lock-free fast path as native Stellar
+// rules.
 func FlowSpecToMatch(fs *bgp.FlowSpec) (fabric.Match, bool) {
 	m := fabric.MatchAll()
 	for _, c := range fs.Components {

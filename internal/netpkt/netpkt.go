@@ -1,12 +1,3 @@
-// Package netpkt implements the packet model used by the emulated IXP
-// switching fabric: a small, allocation-conscious layered decoder and
-// serializer for Ethernet, ARP, IPv4, IPv6, UDP and TCP, in the spirit of
-// gopacket's DecodingLayerParser but restricted to the protocols the
-// Stellar evaluation needs.
-//
-// The fabric classifies traffic on L2-L4 header fields only (Section 4.5
-// of the paper), so packets decode headers eagerly and treat everything
-// past the transport header as opaque payload.
 package netpkt
 
 import (
@@ -318,6 +309,45 @@ func (p *Packet) Flow() FlowKey {
 
 func (k FlowKey) String() string {
 	return fmt.Sprintf("%s %s:%d -> %s:%d", k.Proto, k.Src, k.SrcPort, k.Dst, k.DstPort)
+}
+
+// Hash returns a 64-bit FNV-1a digest of the flow key. It never returns
+// 0, so callers can use the zero value as a "not yet computed" sentinel
+// (fabric.Offer.FlowHash does). Traffic generators compute it once per
+// flow and carry it alongside the key so per-tick hot loops do no
+// re-hashing.
+func (k FlowKey) Hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range k.SrcMAC {
+		h = (h ^ uint64(b)) * prime
+	}
+	h = hashAddr(h, k.Src)
+	h = hashAddr(h, k.Dst)
+	h = (h ^ uint64(k.Proto)) * prime
+	h = (h ^ (uint64(k.SrcPort) | uint64(k.DstPort)<<16)) * prime
+	if h == 0 {
+		return 1
+	}
+	return h
+}
+
+func hashAddr(h uint64, a netip.Addr) uint64 {
+	const prime = 1099511628211
+	if !a.IsValid() {
+		return (h ^ 0xff) * prime
+	}
+	b := a.As16()
+	for i := 0; i < 16; i += 8 {
+		h = (h ^ binary.LittleEndian.Uint64(b[i:])) * prime
+	}
+	if a.Is4() {
+		h = (h ^ 4) * prime
+	}
+	return h
 }
 
 // Decode parses an Ethernet frame into a Packet. The returned packet's

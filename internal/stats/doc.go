@@ -1,0 +1,11 @@
+// Package stats provides the statistical primitives used by the Stellar
+// evaluation pipeline: summary statistics, percentiles, empirical CDFs,
+// Welch's unequal-variances t-test (used for Figure 3a's significance
+// analysis), Student-t quantiles for confidence intervals, ordinary
+// least-squares linear regression (used for Figure 10a), and the
+// deterministic pseudo-random generator behind the traffic and
+// population models.
+//
+// All functions are pure and operate on float64 slices. Inputs are never
+// mutated; functions that need ordering work on copies.
+package stats

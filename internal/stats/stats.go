@@ -1,11 +1,3 @@
-// Package stats provides the statistical primitives used by the Stellar
-// evaluation pipeline: summary statistics, percentiles, empirical CDFs,
-// Welch's unequal-variances t-test (used for Figure 3a's significance
-// analysis), Student-t quantiles for confidence intervals, and ordinary
-// least-squares linear regression (used for Figure 10a).
-//
-// All functions are pure and operate on float64 slices. Inputs are never
-// mutated; functions that need ordering work on copies.
 package stats
 
 import (

@@ -84,6 +84,14 @@ type Attack struct {
 	RampTicks int
 
 	weights []float64
+	// flows and hashes cache the per-peer flow keys and their
+	// netpkt.FlowKey.Hash values so each tick's Offers emits pre-hashed
+	// offers with zero per-tick re-hashing (the fabric's egress hot loop
+	// classifies them from its flow memo). Offers revalidates each
+	// cached key against the current Target/Vector/Peers fields with a
+	// cheap struct compare, so post-construction mutation stays correct.
+	flows  []netpkt.FlowKey
+	hashes []uint64
 }
 
 // NewAttack builds an attack with deterministic per-peer weights drawn
@@ -101,7 +109,30 @@ func NewAttack(v Vector, target netip.Addr, peers []Peer, rateBps float64, start
 	for i := range a.weights {
 		a.weights[i] /= sum
 	}
+	a.precomputeFlows()
 	return a
+}
+
+// precomputeFlows fills the per-peer flow keys and hashes.
+func (a *Attack) precomputeFlows() {
+	a.flows = make([]netpkt.FlowKey, len(a.Peers))
+	a.hashes = make([]uint64, len(a.Peers))
+	for i := range a.Peers {
+		a.flows[i] = a.flowKey(i)
+		a.hashes[i] = a.flows[i].Hash()
+	}
+}
+
+// flowKey builds peer i's flow key from the current attack fields.
+func (a *Attack) flowKey(i int) netpkt.FlowKey {
+	return netpkt.FlowKey{
+		SrcMAC:  a.Peers[i].MAC,
+		Src:     a.Peers[i].SrcIP,
+		Dst:     a.Target,
+		Proto:   netpkt.ProtoUDP,
+		SrcPort: a.Vector.SrcPort,
+		DstPort: 443, // reflected toward the service port under attack
+	}
 }
 
 // ActiveAt reports whether the attack emits traffic at tick.
@@ -128,23 +159,26 @@ func (a *Attack) Offers(tick int, dtSeconds float64) []fabric.Offer {
 	}
 	totalBytes := rate * dtSeconds / 8
 	pktSize := float64(a.Vector.ResponseSize)
+	if len(a.flows) != len(a.Peers) {
+		a.precomputeFlows() // peers changed after construction
+	}
 	offers := make([]fabric.Offer, 0, len(a.Peers))
-	for i, p := range a.Peers {
+	for i := range a.Peers {
 		b := totalBytes * a.weights[i]
 		if b <= 0 {
 			continue
 		}
+		// Revalidate the cached key (struct compare, no hashing): Target,
+		// Vector or a peer may have been mutated after construction.
+		if f := a.flowKey(i); f != a.flows[i] {
+			a.flows[i] = f
+			a.hashes[i] = f.Hash()
+		}
 		offers = append(offers, fabric.Offer{
-			Flow: netpkt.FlowKey{
-				SrcMAC:  p.MAC,
-				Src:     p.SrcIP,
-				Dst:     a.Target,
-				Proto:   netpkt.ProtoUDP,
-				SrcPort: a.Vector.SrcPort,
-				DstPort: 443, // reflected toward the service port under attack
-			},
-			Bytes:   b,
-			Packets: b / pktSize,
+			Flow:     a.flows[i],
+			FlowHash: a.hashes[i],
+			Bytes:    b,
+			Packets:  b / pktSize,
 		})
 	}
 	return offers
@@ -158,6 +192,9 @@ type PortMix struct {
 
 // WebService generates the benign traffic of the victim service in
 // Figure 2(c): HTTPS-dominated TCP traffic across a handful of ports.
+// Flow keys and their hashes are cached so the per-tick path emits
+// pre-hashed offers; cached keys are revalidated against the current
+// fields each tick, so Target/Peers/Mix may be customized at any time.
 type WebService struct {
 	Target  netip.Addr
 	Peers   []Peer
@@ -167,6 +204,10 @@ type WebService struct {
 	Mix []PortMix
 
 	weights []float64
+	// flows/hashes are the precomputed (peer, mix) flow keys, flattened
+	// peer-major, mirroring Attack's pre-hashed offers.
+	flows  []netpkt.FlowKey
+	hashes []uint64
 }
 
 // DefaultWebMix is the pre-attack port mix of the service in Figure 2(c):
@@ -197,28 +238,45 @@ func NewWebService(target netip.Addr, peers []Peer, rateBps float64, rng *stats.
 	return w
 }
 
+// flowKey builds the flow of peer i's traffic to mix element j from the
+// current service fields.
+func (w *WebService) flowKey(i, j int) netpkt.FlowKey {
+	return netpkt.FlowKey{
+		SrcMAC:  w.Peers[i].MAC,
+		Src:     w.Peers[i].SrcIP,
+		Dst:     w.Target,
+		Proto:   netpkt.ProtoTCP,
+		SrcPort: 40000 + w.Mix[j].Port, // stable per-port client flow
+		DstPort: w.Mix[j].Port,
+	}
+}
+
 // Offers emits the service's offers for one tick.
 func (w *WebService) Offers(tick int, dtSeconds float64) []fabric.Offer {
 	totalBytes := w.RateBps * dtSeconds / 8
-	var offers []fabric.Offer
-	for i, p := range w.Peers {
+	if n := len(w.Peers) * len(w.Mix); len(w.flows) != n {
+		w.flows = make([]netpkt.FlowKey, n)
+		w.hashes = make([]uint64, n)
+	}
+	offers := make([]fabric.Offer, 0, len(w.flows))
+	for i := range w.Peers {
 		peerBytes := totalBytes * w.weights[i]
-		for _, m := range w.Mix {
+		for j, m := range w.Mix {
 			b := peerBytes * m.Share
 			if b <= 0 {
 				continue
 			}
+			k := i*len(w.Mix) + j
+			// Revalidate the cached key (struct compare, no hashing).
+			if f := w.flowKey(i, j); f != w.flows[k] {
+				w.flows[k] = f
+				w.hashes[k] = f.Hash()
+			}
 			offers = append(offers, fabric.Offer{
-				Flow: netpkt.FlowKey{
-					SrcMAC:  p.MAC,
-					Src:     p.SrcIP,
-					Dst:     w.Target,
-					Proto:   netpkt.ProtoTCP,
-					SrcPort: 40000 + m.Port, // stable per-port client flow
-					DstPort: m.Port,
-				},
-				Bytes:   b,
-				Packets: b / 900,
+				Flow:     w.flows[k],
+				FlowHash: w.hashes[k],
+				Bytes:    b,
+				Packets:  b / 900,
 			})
 		}
 	}

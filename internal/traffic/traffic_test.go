@@ -245,3 +245,46 @@ func BenchmarkAttackOffers(b *testing.B) {
 		a.Offers(100, 1)
 	}
 }
+
+func TestOffersPreHashedAndMutationSafe(t *testing.T) {
+	rng := stats.NewRand(5)
+	peers := MakePeers(4)
+	a := NewAttack(VectorNTP, victim, peers, 1e9, 0, 100, rng)
+	for _, o := range a.Offers(10, 1) {
+		if o.FlowHash != o.Flow.Hash() {
+			t.Fatalf("attack offer hash mismatch for %v", o.Flow)
+		}
+		if o.Flow.Dst != victim || o.Flow.SrcPort != VectorNTP.SrcPort {
+			t.Fatalf("attack flow: %v", o.Flow)
+		}
+	}
+	// Post-construction mutation must invalidate the cached keys.
+	other := netip.MustParseAddr("203.0.113.99")
+	a.Target = other
+	a.Vector = VectorDNS
+	for _, o := range a.Offers(11, 1) {
+		if o.Flow.Dst != other || o.Flow.SrcPort != VectorDNS.SrcPort {
+			t.Fatalf("mutated attack still emits stale flow: %v", o.Flow)
+		}
+		if o.FlowHash != o.Flow.Hash() {
+			t.Fatalf("mutated attack hash mismatch for %v", o.Flow)
+		}
+	}
+
+	w := NewWebService(victim, peers, 4e8, rng)
+	for _, o := range w.Offers(0, 1) {
+		if o.FlowHash != o.Flow.Hash() {
+			t.Fatalf("web offer hash mismatch for %v", o.Flow)
+		}
+	}
+	w.Target = other
+	w.Mix = []PortMix{{Port: 8443, Share: 1}}
+	for _, o := range w.Offers(1, 1) {
+		if o.Flow.Dst != other || o.Flow.DstPort != 8443 {
+			t.Fatalf("mutated web service still emits stale flow: %v", o.Flow)
+		}
+		if o.FlowHash != o.Flow.Hash() {
+			t.Fatalf("mutated web hash mismatch for %v", o.Flow)
+		}
+	}
+}
