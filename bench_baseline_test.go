@@ -16,6 +16,9 @@ import (
 	"sync"
 
 	"stellar/internal/bgp"
+	"stellar/internal/fabric"
+	"stellar/internal/flowmon"
+	"stellar/internal/ixp"
 	"stellar/internal/routeserver"
 )
 
@@ -174,4 +177,60 @@ func (rs *seedRouteServer) exportAfterChange(prefix netip.Prefix, oldBest *seedP
 		out = append(out, routeserver.PeerUpdate{Peer: name, Update: u})
 	}
 	return out
+}
+
+// ---------------------------------------------------------------------
+// Scenario-pipeline baseline: a frozen replica of the pre-sharding
+// monitoring pipeline (the PR-2-era ixp.Scenario.Run), kept for
+// BenchmarkScenarioPipelineBaseline. One victim per serial pass — N
+// victims mean N sequential single-victim loops — with fresh offer
+// slices every tick, the per-tick DeliveredByFlow map materialized on
+// every port tick, every delivered flow pushed one record at a time
+// through the retained map-based collector, and the per-tick active-peer
+// count recomputed from the delivered-flow map. The live engine
+// (ixp.Scenario.RunAll) replaced this with one parallel multi-victim
+// fabric pass whose egress workers stream records into per-worker
+// collector shards.
+
+// seedScenarioVictim is one victim of the baseline scenario loop.
+type seedScenarioVictim struct {
+	port    string
+	sources []ixp.Source
+}
+
+// seedScenarioRun replays the retained single-victim pipeline for every
+// victim in sequence and returns the summed delivered bytes (a checksum
+// the benchmark compares against the live engine).
+func seedScenarioRun(x *ixp.IXP, victims []seedScenarioVictim, ticks int, dt float64) (float64, error) {
+	const peerMinBps = 1e3
+	var deliveredSum float64
+	for _, v := range victims {
+		mon := flowmon.NewMapCollector()
+		samples := make([]ixp.Sample, 0, ticks)
+		for tick := 0; tick < ticks; tick++ {
+			var offers []fabric.Offer
+			for _, src := range v.sources {
+				offers = append(offers, src.Offers(tick, dt)...)
+			}
+			reports, err := x.Tick(fabric.TickOffers{v.port: offers}, dt)
+			if err != nil {
+				return 0, err
+			}
+			rep := reports[v.port]
+			for flow, bytes := range rep.Result.DeliveredByFlow {
+				mon.Observe(flowmon.Record{Bin: tick, Key: flow, Bytes: bytes})
+			}
+			samples = append(samples, ixp.Sample{
+				Tick:         tick,
+				Time:         float64(tick) * dt,
+				OfferedBps:   rep.OfferedBytes * 8 / dt,
+				DeliveredBps: rep.Result.DeliveredBytes * 8 / dt,
+				ActivePeers:  x.ActivePeers(rep.Result, peerMinBps*dt/8),
+			})
+			deliveredSum += rep.Result.DeliveredBytes
+		}
+		_ = samples
+		_ = mon
+	}
+	return deliveredSum, nil
 }

@@ -9,6 +9,7 @@ package stellar_test
 import (
 	"fmt"
 	"net/netip"
+	"runtime"
 	"sync/atomic"
 	"testing"
 
@@ -732,5 +733,147 @@ func BenchmarkRIBParallel(b *testing.B) {
 				}
 			})
 		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Scenario-pipeline benchmarks (the sharded flow-monitoring tentpole).
+//
+// The workload is the paper's booter shape at multi-victim scale: every
+// victim port carries an NTP amplification attack plus benign web
+// traffic from a shared peer pool. "Baseline" is the retained
+// pre-sharding pipeline (bench_baseline_test.go): N sequential
+// single-victim loops, fresh offer slices per tick, a materialized
+// DeliveredByFlow map per port tick, one map-based collector record per
+// delivered flow and a map-walk active-peer count per tick.
+// "ScenarioPipeline" is the live multi-victim engine: one parallel
+// fabric pass per tick streaming delivered flows into per-worker
+// collector shards, reused offer buffers and zero allocations per
+// record on the observe path. Both run at GOMAXPROCS=4 (the acceptance
+// configuration; the bar is pipeline >= 5x baseline).
+
+const (
+	scenarioBenchVictims = 4
+	scenarioBenchPeers   = 48
+	scenarioBenchTicks   = 40
+)
+
+// scenarioBenchSetup wires the shared IXP and per-victim sources for
+// both the benchmarks and the pipeline-vs-baseline cross-check test.
+func scenarioBenchSetup(tb testing.TB) (*ixp.IXP, []*member.Member, [][]ixp.Source) {
+	tb.Helper()
+	members := member.MakePopulation(member.PopulationConfig{
+		N: scenarioBenchVictims + scenarioBenchPeers, HonoringFraction: 0.3,
+		PortCapacityBps: 1e9, Seed: 9,
+	})
+	x, err := ixp.Build(ixp.Config{
+		ASN:              6695,
+		BlackholeNextHop: netip.MustParseAddr("80.81.193.66"),
+		Members:          members,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	peers := ixp.PeersOf(members[scenarioBenchVictims:])
+	sources := make([][]ixp.Source, scenarioBenchVictims)
+	for v := 0; v < scenarioBenchVictims; v++ {
+		rng := stats.NewRand(uint64(31 + v))
+		target := members[v].Prefixes[0].Addr().Next()
+		attack := traffic.NewAttack(traffic.VectorNTP, target, peers, 2e9, 0, 1<<30, rng)
+		attack.RampTicks = 0
+		web := traffic.NewWebService(target, peers[:12], 2e8, rng)
+		sources[v] = []ixp.Source{attack, web}
+	}
+	return x, members, sources
+}
+
+// BenchmarkScenarioPipeline measures the live multi-victim engine:
+// end-to-end scenario ticks per second (each tick serves every victim).
+func BenchmarkScenarioPipeline(b *testing.B) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	x, members, sources := scenarioBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var delivered float64
+	for i := 0; i < b.N; i++ {
+		victims := make([]ixp.Victim, scenarioBenchVictims)
+		for v := range victims {
+			victims[v] = ixp.Victim{Port: members[v].Name, Sources: sources[v]}
+		}
+		sc := &ixp.Scenario{IXP: x, Ticks: scenarioBenchTicks, Dt: 1, Victims: victims}
+		series, err := sc.RunAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		delivered = 0
+		for _, s := range series {
+			for _, smp := range s.Samples {
+				delivered += smp.DeliveredBps / 8
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*scenarioBenchTicks)/b.Elapsed().Seconds(), "ticks/s")
+	b.ReportMetric(delivered, "delivered-bytes")
+}
+
+// BenchmarkScenarioPipelineBaseline runs the identical workload through
+// the frozen pre-sharding replica (seedScenarioRun).
+func BenchmarkScenarioPipelineBaseline(b *testing.B) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	x, members, sources := scenarioBenchSetup(b)
+	victims := make([]seedScenarioVictim, scenarioBenchVictims)
+	for v := range victims {
+		victims[v] = seedScenarioVictim{port: members[v].Name, sources: sources[v]}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var delivered float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		delivered, err = seedScenarioRun(x, victims, scenarioBenchTicks, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*scenarioBenchTicks)/b.Elapsed().Seconds(), "ticks/s")
+	b.ReportMetric(delivered, "delivered-bytes")
+}
+
+// TestScenarioPipelineMatchesBaseline cross-checks the two engines on
+// the bench workload: identical delivered-byte totals, so the speedup
+// is measured on equal work.
+func TestScenarioPipelineMatchesBaseline(t *testing.T) {
+	x1, members1, sources1 := scenarioBenchSetup(t)
+	victims := make([]ixp.Victim, scenarioBenchVictims)
+	for v := range victims {
+		victims[v] = ixp.Victim{Port: members1[v].Name, Sources: sources1[v]}
+	}
+	sc := &ixp.Scenario{IXP: x1, Ticks: 10, Dt: 1, Victims: victims}
+	series, err := sc.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var livSum float64
+	for _, s := range series {
+		for _, smp := range s.Samples {
+			livSum += smp.DeliveredBps / 8
+		}
+	}
+
+	x2, members2, sources2 := scenarioBenchSetup(t)
+	seedVictims := make([]seedScenarioVictim, scenarioBenchVictims)
+	for v := range seedVictims {
+		seedVictims[v] = seedScenarioVictim{port: members2[v].Name, sources: sources2[v]}
+	}
+	seedSum, err := seedScenarioRun(x2, seedVictims, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := livSum - seedSum; diff > 1e-6*seedSum || diff < -1e-6*seedSum {
+		t.Fatalf("pipeline delivered %v bytes, baseline %v", livSum, seedSum)
 	}
 }

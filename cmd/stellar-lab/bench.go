@@ -1,10 +1,11 @@
 package main
 
-// The bench subcommand measures route-server update throughput and the
-// fabric data-plane classifier, and emits the numbers as JSON, so CI can
-// archive a machine-readable perf trajectory (BENCH_routeserver.json)
-// next to the human-readable `go test -bench` output. The JSON schema is
-// documented in README.md ("Benchmark JSON schema").
+// The bench subcommand measures route-server update throughput, the
+// fabric data-plane classifier and the end-to-end scenario pipeline,
+// and emits the numbers as JSON, so CI can archive a machine-readable
+// perf trajectory (BENCH_routeserver.json) next to the human-readable
+// `go test -bench` output. The JSON schema is documented in README.md
+// ("Benchmark JSON schema").
 //
 // The control-plane half drives the same concurrent multi-peer workload
 // as bench_test.go: every peer announces batches of blackhole /32s from
@@ -14,7 +15,16 @@ package main
 // parallel pipeline) — so every archived report carries its own baseline.
 // The data-plane half (the "fabric" section) compares the retained
 // linear-scan classification baseline against the compiled classifier on
-// one port carrying -fabric-rules rules.
+// one port carrying -fabric-rules rules. The "scenario" section runs the
+// multi-victim attack scenario end to end — the live engine (parallel
+// fabric pass, delivered flows streamed into sharded collectors) versus
+// the retained serial single-victim pipeline (per-tick DeliveredByFlow
+// maps, map-based collector) — at GOMAXPROCS=4, the acceptance
+// configuration.
+//
+// -cpuprofile / -memprofile write pprof profiles of the bench run;
+// -check exits non-zero when any section falls below its stated
+// regression bar (see README.md), which is how CI gates regressions.
 
 import (
 	"encoding/json"
@@ -24,14 +34,20 @@ import (
 	"net/netip"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"stellar/internal/bgp"
 	"stellar/internal/fabric"
+	"stellar/internal/flowmon"
+	"stellar/internal/ixp"
+	"stellar/internal/member"
 	"stellar/internal/netpkt"
 	"stellar/internal/rib"
 	"stellar/internal/routeserver"
+	"stellar/internal/stats"
+	"stellar/internal/traffic"
 )
 
 type benchConfig struct {
@@ -52,15 +68,32 @@ type benchResult struct {
 }
 
 type benchReport struct {
-	Benchmark  string        `json:"benchmark"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	CPUs       int           `json:"cpus"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Config     benchConfig   `json:"config"`
-	Results    []benchResult `json:"results"`
-	SpeedupX   float64       `json:"sharded_speedup_x"`
-	Fabric     *fabricBench  `json:"fabric,omitempty"`
+	Benchmark  string         `json:"benchmark"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	CPUs       int            `json:"cpus"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Config     benchConfig    `json:"config"`
+	Results    []benchResult  `json:"results"`
+	SpeedupX   float64        `json:"sharded_speedup_x"`
+	Fabric     *fabricBench   `json:"fabric,omitempty"`
+	Scenario   *scenarioBench `json:"scenario,omitempty"`
+}
+
+// scenarioBench is the end-to-end half of the report: the multi-victim
+// scenario pipeline (live engine) versus the retained serial
+// single-victim pipeline, both at GOMAXPROCS=4. A "tick" serves every
+// victim; records are delivered-flow observations entering the monitor.
+type scenarioBench struct {
+	Victims             int     `json:"victims"`
+	PeersPerVictim      int     `json:"peers_per_victim"`
+	Ticks               int     `json:"ticks"`
+	GOMAXPROCS          int     `json:"gomaxprocs"`
+	FlowsPerTick        int     `json:"flows_per_tick"`
+	BaselineTicksPerSec float64 `json:"baseline_ticks_per_sec"`
+	PipelineTicksPerSec float64 `json:"pipeline_ticks_per_sec"`
+	SpeedupX            float64 `json:"speedup_x"`
+	ObserveNsPerRecord  float64 `json:"observe_ns_per_record"`
 }
 
 // fabricBench is the data-plane half of the report: classification cost
@@ -87,9 +120,29 @@ func runBenchCommand(args []string, w io.Writer) error {
 	shards := fs.Int("shards", 0, "RIB shards for the sharded run (0 = default)")
 	fabricRules := fs.Int("fabric-rules", 1024, "installed rules for the fabric classifier bench (0 = skip)")
 	fabricFlows := fs.Int("fabric-flows", 512, "distinct flows offered in the fabric classifier bench")
+	scenarioVictims := fs.Int("scenario-victims", 4, "victim ports in the scenario pipeline bench (0 = skip)")
+	scenarioPeers := fs.Int("scenario-peers", 48, "attack peers per victim in the scenario pipeline bench")
+	scenarioTicks := fs.Int("scenario-ticks", 120, "simulated ticks per scenario pipeline run")
+	check := fs.Bool("check", false, "exit non-zero when any section falls below its stated regression bar")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the bench run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile at the end of the bench run to this file")
 	out := fs.String("out", "", "write the JSON report to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 	if *peers < 1 || *prefixes < 1 || *updateSize < 1 {
 		return fmt.Errorf("bench: -peers, -prefixes and -update-size must be >= 1")
@@ -127,6 +180,28 @@ func runBenchCommand(args []string, w io.Writer) error {
 		}
 		report.Fabric = fb
 	}
+	if *scenarioVictims > 0 {
+		sb, err := benchScenario(*scenarioVictims, *scenarioPeers, *scenarioTicks)
+		if err != nil {
+			return err
+		}
+		report.Scenario = sb
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
 
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -139,11 +214,204 @@ func runBenchCommand(args []string, w io.Writer) error {
 			f.Close()
 			return err
 		}
-		return f.Close()
+		if err := f.Close(); err != nil {
+			return err
+		}
+	} else {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(report)
+	if *check {
+		return checkBars(&report)
+	}
+	return nil
+}
+
+// Regression bars for `bench -check`, documented in README.md. The
+// bars are deliberately below the typical measurements (sharded ~1.5x+,
+// compiled classifier ~75x, scenario ~5x+ at GOMAXPROCS=4) so CI fails
+// on real regressions, not run-to-run noise.
+const (
+	barShardedSpeedupX  = 0.8
+	barFabricSpeedupX   = 5.0
+	barScenarioSpeedupX = 3.0
+)
+
+// checkBars fails the run when a measured section sits below its bar.
+func checkBars(r *benchReport) error {
+	var failures []string
+	if r.SpeedupX > 0 && r.SpeedupX < barShardedSpeedupX {
+		failures = append(failures, fmt.Sprintf(
+			"routeserver: sharded_speedup_x %.2f < %.2f", r.SpeedupX, barShardedSpeedupX))
+	}
+	if r.Fabric != nil && r.Fabric.CompiledSpeedupX < barFabricSpeedupX {
+		failures = append(failures, fmt.Sprintf(
+			"fabric: compiled_speedup_x %.2f < %.2f", r.Fabric.CompiledSpeedupX, barFabricSpeedupX))
+	}
+	if r.Scenario != nil && r.Scenario.SpeedupX < barScenarioSpeedupX {
+		failures = append(failures, fmt.Sprintf(
+			"scenario: speedup_x %.2f < %.2f", r.Scenario.SpeedupX, barScenarioSpeedupX))
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench: regression bars violated: %v", failures)
+	}
+	return nil
+}
+
+// benchScenario measures the end-to-end scenario pipeline: victims
+// member ports each under an NTP amplification attack from a shared
+// peer pool plus benign web traffic, run once through the retained
+// serial single-victim pipeline (per-tick DeliveredByFlow maps, one
+// map-collector record per delivered flow, map-walk peer counts) and
+// once through the live multi-victim engine (parallel fabric pass,
+// records streamed into sharded collectors). Both run at GOMAXPROCS=4
+// — the acceptance configuration — and must deliver identical bytes.
+func benchScenario(victims, peersPer, ticks int) (*scenarioBench, error) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	build := func() (*ixp.IXP, []*member.Member, [][]ixp.Source, error) {
+		members := member.MakePopulation(member.PopulationConfig{
+			N: victims + peersPer, HonoringFraction: 0.3,
+			PortCapacityBps: 1e9, Seed: 9,
+		})
+		x, err := ixp.Build(ixp.Config{
+			ASN:              6695,
+			BlackholeNextHop: netip.MustParseAddr("80.81.193.66"),
+			Members:          members,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		peers := ixp.PeersOf(members[victims:])
+		webPeers := len(peers) / 4
+		if webPeers < 1 {
+			webPeers = 1
+		}
+		sources := make([][]ixp.Source, victims)
+		for v := 0; v < victims; v++ {
+			rng := stats.NewRand(uint64(31 + v))
+			target := members[v].Prefixes[0].Addr().Next()
+			attack := traffic.NewAttack(traffic.VectorNTP, target, peers, 2e9, 0, 1<<30, rng)
+			attack.RampTicks = 0
+			web := traffic.NewWebService(target, peers[:webPeers], 2e8, rng)
+			sources[v] = []ixp.Source{attack, web}
+		}
+		return x, members, sources, nil
+	}
+
+	res := &scenarioBench{
+		Victims: victims, PeersPerVictim: peersPer, Ticks: ticks,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	// Baseline: the retained pre-sharding pipeline, one victim at a time.
+	// Returns (seconds, delivered bytes).
+	const peerMinBps = 1e3
+	runBaseline := func(x *ixp.IXP, members []*member.Member, sources [][]ixp.Source, nTicks int) (float64, float64, error) {
+		var delivered float64
+		start := time.Now()
+		for v := 0; v < victims; v++ {
+			mon := flowmon.NewMapCollector()
+			for tick := 0; tick < nTicks; tick++ {
+				var offers []fabric.Offer
+				for _, src := range sources[v] {
+					offers = append(offers, src.Offers(tick, 1)...)
+				}
+				if v == 0 && tick == 0 && res.FlowsPerTick == 0 {
+					res.FlowsPerTick = len(offers) * victims
+				}
+				reports, err := x.Tick(fabric.TickOffers{members[v].Name: offers}, 1)
+				if err != nil {
+					return 0, 0, err
+				}
+				rep := reports[members[v].Name]
+				for flow, bytes := range rep.Result.DeliveredByFlow {
+					mon.Observe(flowmon.Record{Bin: tick, Key: flow, Bytes: bytes})
+				}
+				_ = x.ActivePeers(rep.Result, peerMinBps/8)
+				delivered += rep.Result.DeliveredBytes
+			}
+		}
+		return time.Since(start).Seconds(), delivered, nil
+	}
+
+	// Live engine: one multi-victim run. Returns (seconds, delivered).
+	runPipeline := func(x *ixp.IXP, members []*member.Member, sources [][]ixp.Source, nTicks int) (float64, float64, error) {
+		vs := make([]ixp.Victim, victims)
+		for v := range vs {
+			vs[v] = ixp.Victim{Port: members[v].Name, Sources: sources[v]}
+		}
+		sc := &ixp.Scenario{IXP: x, Ticks: nTicks, Dt: 1, Victims: vs}
+		start := time.Now()
+		series, err := sc.RunAll()
+		if err != nil {
+			return 0, 0, err
+		}
+		secs := time.Since(start).Seconds()
+		var delivered float64
+		for _, s := range series {
+			for _, smp := range s.Samples {
+				delivered += smp.DeliveredBps / 8
+			}
+		}
+		return secs, delivered, nil
+	}
+
+	// Each engine gets a warmup pass (runtime, pools and allocator reach
+	// steady state) and is then timed over the full tick count; short
+	// timed runs are otherwise dominated by cold-start effects.
+	warmTicks := ticks / 4
+	if warmTicks < 20 {
+		warmTicks = 20
+	}
+	xb, membersB, sourcesB, err := build()
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := runBaseline(xb, membersB, sourcesB, warmTicks); err != nil {
+		return nil, err
+	}
+	baseSecs, baseDelivered, err := runBaseline(xb, membersB, sourcesB, ticks)
+	if err != nil {
+		return nil, err
+	}
+	res.BaselineTicksPerSec = float64(ticks) / baseSecs
+
+	xp, membersP, sourcesP, err := build()
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := runPipeline(xp, membersP, sourcesP, warmTicks); err != nil {
+		return nil, err
+	}
+	pipeSecs, pipeDelivered, err := runPipeline(xp, membersP, sourcesP, ticks)
+	if err != nil {
+		return nil, err
+	}
+	if diff := pipeDelivered - baseDelivered; diff > 1e-6*baseDelivered || diff < -1e-6*baseDelivered {
+		return nil, fmt.Errorf("bench: scenario engines diverged: pipeline delivered %v bytes, baseline %v",
+			pipeDelivered, baseDelivered)
+	}
+	res.PipelineTicksPerSec = float64(ticks) / pipeSecs
+	if res.BaselineTicksPerSec > 0 {
+		res.SpeedupX = res.PipelineTicksPerSec / res.BaselineTicksPerSec
+	}
+
+	// Steady-state observe cost per record on one shard.
+	mon := flowmon.NewCollectorShards(1)
+	sh := mon.Shard(0)
+	key := netpkt.FlowKey{
+		SrcMAC: netpkt.MAC{0x02, 0x10, 0, 0, 0, 1},
+		Src:    netip.AddrFrom4([4]byte{198, 51, 100, 1}),
+		Dst:    netip.AddrFrom4([4]byte{100, 10, 10, 10}),
+		Proto:  netpkt.ProtoUDP, SrcPort: 123, DstPort: 443,
+	}
+	res.ObserveNsPerRecord = timePerOp(func(i int) { sh.ObserveFlow(i/1000, key, 100) })
+	return res, nil
 }
 
 // benchFabric measures the port classifier: a blackholing-shaped rule

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"stellar/internal/core"
+	"stellar/internal/flowmon"
 	"stellar/internal/ixp"
 	"stellar/internal/netpkt"
 	"stellar/internal/stats"
@@ -37,6 +38,10 @@ type Fig10cResult struct {
 	PeersShaped  float64
 	PeersFinal   float64
 	ShapeLatency float64 // signal-to-config delay of the first change
+	// TopPorts is the victim monitor's UDP source-port ranking across
+	// the run; during the telemetry (shaping) phase the NTP signature
+	// stays visible, which is Advanced Blackholing's point.
+	TopPorts []flowmon.PortRank
 }
 
 // Fig10c reproduces Figure 10(c): the booter attack mitigated with
@@ -64,25 +69,29 @@ func Fig10c(cfg AttackRunConfig) (Fig10cResult, error) {
 	shapeTick := cfg.AttackStart + 200
 	dropTick := shapeTick + 200
 	sc := &ixp.Scenario{
-		IXP: x, VictimPort: victim.Name, Ticks: cfg.Ticks, Dt: 1,
-		Sources: []ixp.Source{attack},
-		Events: []ixp.Event{
-			{Tick: shapeTick, Name: "shape UDP/123 to 200 Mbps (IXP:2:123)",
-				Do: func(ix *ixp.IXP) error {
-					return ix.Announce(victim.Name, host, nil,
-						[]core.RuleSpec{core.ShapeUDPSrcPort(123, 200e6)})
-				}},
-			{Tick: dropTick, Name: "drop all UDP",
-				Do: func(ix *ixp.IXP) error {
-					return ix.Announce(victim.Name, host, nil,
-						[]core.RuleSpec{core.DropProto(netpkt.ProtoUDP)})
-				}},
-		},
+		IXP: x, Ticks: cfg.Ticks, Dt: 1,
+		Victims: []ixp.Victim{{
+			Port:    victim.Name,
+			Sources: []ixp.Source{attack},
+			Events: []ixp.Event{
+				{Tick: shapeTick, Name: "shape UDP/123 to 200 Mbps (IXP:2:123)",
+					Do: func(ix *ixp.IXP) error {
+						return ix.Announce(victim.Name, host, nil,
+							[]core.RuleSpec{core.ShapeUDPSrcPort(123, 200e6)})
+					}},
+				{Tick: dropTick, Name: "drop all UDP",
+					Do: func(ix *ixp.IXP) error {
+						return ix.Announce(victim.Name, host, nil,
+							[]core.RuleSpec{core.DropProto(netpkt.ProtoUDP)})
+					}},
+			},
+		}},
 	}
-	samples, err := sc.Run()
+	series, err := sc.RunAll()
 	if err != nil {
 		return Fig10cResult{}, err
 	}
+	samples := series[0].Samples
 	res := Fig10cResult{
 		Cfg: cfg, Samples: samples, ShapeTick: shapeTick, DropTick: dropTick,
 		PeakBps:     ixp.MeanDeliveredBps(samples, cfg.AttackStart+30, shapeTick),
@@ -91,6 +100,7 @@ func Fig10c(cfg AttackRunConfig) (Fig10cResult, error) {
 		PeersPeak:   ixp.MeanActivePeers(samples, cfg.AttackStart+30, shapeTick),
 		PeersShaped: ixp.MeanActivePeers(samples, shapeTick+20, dropTick),
 		PeersFinal:  ixp.MeanActivePeers(samples, dropTick+20, cfg.AttackEnd),
+		TopPorts:    series[0].Monitor.TopSrcPorts(3),
 	}
 	if lats := x.Stellar.Latencies(); len(lats) > 0 {
 		res.ShapeLatency = lats[0]
@@ -109,5 +119,6 @@ func (r Fig10cResult) Format() string {
 	fmt.Fprintf(&b, "dropped (t=%d, all UDP):  %.0f Mbps from %.0f peers\n",
 		r.DropTick, r.FinalBps/1e6, r.PeersFinal)
 	fmt.Fprintf(&b, "signal-to-configuration latency of first change: %.2f s\n", r.ShapeLatency)
+	b.WriteString(formatTopPorts(r.TopPorts))
 	return b.String()
 }

@@ -5,7 +5,8 @@ import (
 	"net/netip"
 	"strings"
 
-	"stellar/internal/netpkt"
+	"stellar/internal/fabric"
+	"stellar/internal/flowmon"
 	"stellar/internal/stats"
 	"stellar/internal/traffic"
 )
@@ -44,6 +45,14 @@ type Fig2cResult struct {
 // and during a memcached amplification attack, showing how the attack
 // port (UDP source 11211) displaces the web service's traffic share —
 // the collateral-damage setting RTBH cannot express.
+//
+// The bin-by-bin mix runs through the flow-monitoring pipeline: every
+// offer streams into a flowmon.Collector as an IPFIX-style record, and
+// the figure's labels derive from the collector's per-bin share
+// accessors. The attack is pure UDP source-port 11211 toward TCP 443's
+// destination port, so the web service's 443 share is the destination-
+// port-443 share minus the attack's UDP share; the remaining mix ports
+// (80, 8080, 1935) carry only TCP and read off directly.
 func Fig2c(cfg Fig2cConfig) Fig2cResult {
 	rng := stats.NewRand(cfg.Seed)
 	target := netip.MustParseAddr("100.10.10.10")
@@ -54,33 +63,39 @@ func Fig2c(cfg Fig2cConfig) Fig2cResult {
 		cfg.AttackStartBin, cfg.Bins, rng)
 	attack.RampTicks = 2
 
+	mon := flowmon.NewCollector()
+	var offers []fabric.Offer
+	var recs []flowmon.Record
+	for bin := 0; bin < cfg.Bins; bin++ {
+		offers = web.AppendOffers(offers[:0], bin, 300) // 5-minute bins
+		offers = attack.AppendOffers(offers, bin, 300)
+		recs = recs[:0]
+		for _, o := range offers {
+			recs = append(recs, flowmon.Record{Bin: bin, Key: o.Flow, Bytes: o.Bytes, Packets: o.Packets})
+		}
+		mon.ObserveBatch(recs)
+	}
+
 	res := Fig2cResult{Cfg: cfg, Labels: []string{"11211", "others", "8080", "1935", "443", "80"}}
 	for bin := 0; bin < cfg.Bins; bin++ {
-		byLabel := make(map[string]float64)
-		var total float64
-		observe := func(flow netpkt.FlowKey, bytes float64) {
-			label := "others"
-			if flow.Proto == netpkt.ProtoUDP && flow.SrcPort == 11211 {
-				label = "11211"
-			} else if flow.Proto == netpkt.ProtoTCP {
-				switch flow.DstPort {
-				case 443, 80, 8080, 1935:
-					label = fmt.Sprintf("%d", flow.DstPort)
-				}
+		shares := make(map[string]float64)
+		if mon.TotalBytes(bin) > 0 {
+			dst := mon.DstPortShares(bin)
+			attackShare := mon.SrcPortShares(bin)[11211]
+			shares["11211"] = attackShare
+			named := attackShare
+			for _, port := range []uint16{80, 8080, 1935} {
+				shares[fmt.Sprintf("%d", port)] = dst[port]
+				named += dst[port]
 			}
-			byLabel[label] += bytes
-			total += bytes
-		}
-		for _, o := range web.Offers(bin, 300) { // 5-minute bins
-			observe(o.Flow, o.Bytes)
-		}
-		for _, o := range attack.Offers(bin, 300) {
-			observe(o.Flow, o.Bytes)
-		}
-		shares := make(map[string]float64, len(byLabel))
-		if total > 0 {
-			for label, b := range byLabel {
-				shares[label] = b / total
+			tcp443 := dst[443] - attackShare
+			if tcp443 < 0 {
+				tcp443 = 0
+			}
+			shares["443"] = tcp443
+			named += tcp443
+			if rest := 1 - named; rest > 0 {
+				shares["others"] = rest
 			}
 		}
 		res.Shares = append(res.Shares, shares)

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"stellar/internal/bgp"
+	"stellar/internal/flowmon"
 	"stellar/internal/ixp"
 	"stellar/internal/member"
 	"stellar/internal/stats"
@@ -55,6 +56,10 @@ type Fig3cResult struct {
 	// PeersBefore / PeersAfter are mean active peer counts.
 	PeersBefore float64
 	PeersAfter  float64
+	// TopPorts is the victim monitor's UDP source-port ranking across
+	// the run — the Figure 3(a)-style evidence that the delivered attack
+	// is NTP (port 123) reflection.
+	TopPorts []flowmon.PortRank
 }
 
 // buildAttackIXP builds the experimental AS setting: a member
@@ -99,26 +104,31 @@ func Fig3c(cfg AttackRunConfig) (Fig3cResult, error) {
 
 	rtbhTick := cfg.AttackStart + 280
 	sc := &ixp.Scenario{
-		IXP: x, VictimPort: victim.Name, Ticks: cfg.Ticks, Dt: 1,
-		Sources: []ixp.Source{attack},
-		Events: []ixp.Event{{
-			Tick: rtbhTick, Name: "signal RTBH /32",
-			Do: func(ix *ixp.IXP) error {
-				return ix.Announce(victim.Name, host,
-					[]bgp.Community{bgp.CommunityBlackhole}, nil)
-			},
+		IXP: x, Ticks: cfg.Ticks, Dt: 1,
+		Victims: []ixp.Victim{{
+			Port:    victim.Name,
+			Sources: []ixp.Source{attack},
+			Events: []ixp.Event{{
+				Tick: rtbhTick, Name: "signal RTBH /32",
+				Do: func(ix *ixp.IXP) error {
+					return ix.Announce(victim.Name, host,
+						[]bgp.Community{bgp.CommunityBlackhole}, nil)
+				},
+			}},
 		}},
 	}
-	samples, err := sc.Run()
+	series, err := sc.RunAll()
 	if err != nil {
 		return Fig3cResult{}, err
 	}
+	samples := series[0].Samples
 	res := Fig3cResult{
 		Cfg: cfg, Samples: samples, RTBHTick: rtbhTick,
 		PeakBps:     ixp.MeanDeliveredBps(samples, cfg.AttackStart+30, rtbhTick),
 		ResidualBps: ixp.MeanDeliveredBps(samples, rtbhTick+20, cfg.AttackEnd),
 		PeersBefore: ixp.MeanActivePeers(samples, cfg.AttackStart+30, rtbhTick),
 		PeersAfter:  ixp.MeanActivePeers(samples, rtbhTick+20, cfg.AttackEnd),
+		TopPorts:    series[0].Monitor.TopSrcPorts(3),
 	}
 	return res, nil
 }
@@ -132,6 +142,28 @@ func (r Fig3cResult) Format() string {
 	fmt.Fprintf(&b, "after RTBH (t=%d):   %.0f Mbps from %.0f peers (peer reduction %.0f%%)\n",
 		r.RTBHTick, r.ResidualBps/1e6, r.PeersAfter,
 		100*(1-r.PeersAfter/r.PeersBefore))
+	b.WriteString(formatTopPorts(r.TopPorts))
+	return b.String()
+}
+
+// formatTopPorts renders a monitor's UDP source-port ranking.
+func formatTopPorts(tops []flowmon.PortRank) string {
+	if len(tops) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("delivered UDP source ports: ")
+	for i, p := range tops {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		name := fmt.Sprintf("%d", p.Port)
+		if p.Port == 65535 {
+			name = "others"
+		}
+		fmt.Fprintf(&b, "%s %.1f%%", name, p.Share*100)
+	}
+	b.WriteString("\n")
 	return b.String()
 }
 

@@ -243,6 +243,11 @@ func (c *classifier) classify(f netpkt.FlowKey) *Rule {
 // classifyHashed is classify with the per-generation flow memo in
 // front. hash is the flow's netpkt.FlowKey.Hash (0: compute here).
 func (c *classifier) classifyHashed(f netpkt.FlowKey, hash uint64) *Rule {
+	if len(c.rules) == 0 {
+		// Rule-free port (the common case across a large member
+		// population): nothing can match, skip the memo entirely.
+		return nil
+	}
 	if hash == 0 {
 		hash = f.Hash()
 	}

@@ -126,6 +126,14 @@ func (t TickStats) TotalDeliveredBytes() float64 {
 	return s
 }
 
+// TickSink supplies the per-(worker, port) FlowVisitor of a streaming
+// tick: TickStream calls it once per port from the worker that egresses
+// the port, and streams that port's delivered flows into the returned
+// visitor (nil skips the port). Implementations must be safe to call
+// from concurrent workers; worker is in [0, GOMAXPROCS), so per-worker
+// state (e.g. a flowmon shard per worker) is contention-free.
+type TickSink func(worker int, port string) FlowVisitor
+
 // Tick advances the platform by dtSeconds, delivering all offers.
 //
 // Member ports are independent egress engines, so their ticks run
@@ -133,6 +141,16 @@ func (t TickStats) TotalDeliveredBytes() float64 {
 // results are merged afterwards. The computation per port is sequential
 // and the merge is keyed by port name, so results are deterministic.
 func (f *Fabric) Tick(offers TickOffers, dtSeconds float64) (TickStats, error) {
+	return f.TickStream(offers, dtSeconds, nil)
+}
+
+// TickStream is Tick with the monitoring pipeline attached: when sink
+// is non-nil, every port's delivered flows stream into the sink's
+// per-worker visitors during the tick and the per-tick
+// TickResult.DeliveredByFlow maps are NOT materialized (nil in the
+// results). All records of one port flow through exactly one worker in
+// offer order, so downstream accumulation stays deterministic.
+func (f *Fabric) TickStream(offers TickOffers, dtSeconds float64, sink TickSink) (TickStats, error) {
 	stats := TickStats{PerPort: make(map[string]TickResult, len(offers))}
 
 	var offered float64
@@ -169,7 +187,7 @@ func (f *Fabric) Tick(offers TickOffers, dtSeconds float64) (TickStats, error) {
 	}
 
 	results := make([]TickResult, len(names))
-	ParallelFor(len(names), func(i int) {
+	ParallelForWorkers(len(names), func(worker, i int) {
 		os := offers[names[i]]
 		if scale != 1.0 {
 			scaled := make([]Offer, len(os))
@@ -179,7 +197,11 @@ func (f *Fabric) Tick(offers TickOffers, dtSeconds float64) (TickStats, error) {
 			}
 			os = scaled
 		}
-		results[i] = ports[i].Egress(os, dtSeconds)
+		if sink != nil {
+			results[i] = ports[i].EgressStream(os, dtSeconds, sink(worker, names[i]))
+		} else {
+			results[i] = ports[i].Egress(os, dtSeconds)
+		}
 	})
 	for i, name := range names {
 		stats.PerPort[name] = results[i]
@@ -192,13 +214,22 @@ func (f *Fabric) Tick(offers TickOffers, dtSeconds float64) (TickStats, error) {
 // is the per-port fan-out of the tick pipeline, shared with ixp, and
 // returns only after every call completes. fn must not panic.
 func ParallelFor(n int, fn func(i int)) {
+	ParallelForWorkers(n, func(_, i int) { fn(i) })
+}
+
+// ParallelForWorkers is ParallelFor with the worker index exposed:
+// fn(worker, i) runs with worker in [0, GOMAXPROCS), and each i is
+// handled by exactly one worker. Callers use the worker index to bind
+// per-worker state — e.g. one flow-monitor shard per worker — without
+// any cross-worker synchronization.
+func ParallelForWorkers(n int, fn func(worker, i int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -206,16 +237,16 @@ func ParallelFor(n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

@@ -62,8 +62,17 @@ type TickResult struct {
 	CongestionDroppedBytes float64
 	// DeliveredByFlow maps each offered flow to its delivered bytes,
 	// letting callers observe per-peer and per-port traffic shares.
+	// Egress always materializes it; EgressStream leaves it nil and
+	// streams the per-flow deliveries into a FlowVisitor instead.
 	DeliveredByFlow map[netpkt.FlowKey]float64
 }
+
+// FlowVisitor receives one delivered flow during an egress tick:
+// the flow key, its precomputed FlowKey.Hash (0 when the offer carried
+// none) and the bytes that made it out the port. It is the streaming
+// alternative to materializing TickResult.DeliveredByFlow; the flow
+// monitor's shards sit behind it.
+type FlowVisitor func(flow netpkt.FlowKey, flowHash uint64, deliveredBytes float64)
 
 // OfferedBytes returns the total bytes presented this tick.
 func (t TickResult) OfferedBytes() float64 {
@@ -237,15 +246,38 @@ func (p *Port) RefillShapers(dtSeconds float64) {
 // snapshot: rules installed concurrently take effect the next tick, and
 // no lock is held while offers are processed.
 func (p *Port) Egress(offers []Offer, dtSeconds float64) TickResult {
+	return p.egress(offers, dtSeconds, nil, true)
+}
+
+// EgressStream is Egress with the per-flow deliveries streamed into
+// visit (which may be nil) instead of materialized as the
+// TickResult.DeliveredByFlow map — the zero-allocation monitoring path
+// of the scenario pipeline. The byte totals in the returned TickResult
+// are identical to Egress's.
+func (p *Port) EgressStream(offers []Offer, dtSeconds float64, visit FlowVisitor) TickResult {
+	return p.egress(offers, dtSeconds, visit, false)
+}
+
+type fwd struct {
+	flow  netpkt.FlowKey
+	hash  uint64
+	bytes float64
+}
+
+// fwdPool recycles the per-tick forward-queue scratch across egress
+// calls, so a steady-state tick allocates no per-port buffers.
+var fwdPool = sync.Pool{New: func() any { return new([]fwd) }}
+
+func (p *Port) egress(offers []Offer, dtSeconds float64, visit FlowVisitor, collect bool) TickResult {
 	cls := p.cls.Load()
 
-	res := TickResult{DeliveredByFlow: make(map[netpkt.FlowKey]float64, len(offers))}
-
-	type fwd struct {
-		flow  netpkt.FlowKey
-		bytes float64
+	res := TickResult{}
+	if collect {
+		res.DeliveredByFlow = make(map[netpkt.FlowKey]float64, len(offers))
 	}
-	var forward []fwd
+
+	scratch := fwdPool.Get().(*[]fwd)
+	forward := (*scratch)[:0]
 	var forwardBytes float64
 
 	// Refill shaping buckets for this tick.
@@ -254,18 +286,19 @@ func (p *Port) Egress(offers []Offer, dtSeconds float64) TickResult {
 	}
 
 	// Group shape offers per rule so concurrent flows share the rule's
-	// rate limit proportionally (they share one shaping queue).
+	// rate limit proportionally (they share one shaping queue). The map
+	// is created lazily: ports without shape matches skip it entirely.
 	type shapeGroup struct {
 		rule   *Rule
 		offers []fwd
 		total  float64
 	}
-	shapeGroups := make(map[string]*shapeGroup)
+	var shapeGroups map[string]*shapeGroup
 
 	for _, o := range offers {
 		r := cls.classifyHashed(o.Flow, o.FlowHash)
 		if r == nil {
-			forward = append(forward, fwd{o.Flow, o.Bytes})
+			forward = append(forward, fwd{o.Flow, o.FlowHash, o.Bytes})
 			forwardBytes += o.Bytes
 			continue
 		}
@@ -276,16 +309,19 @@ func (p *Port) Egress(offers []Offer, dtSeconds float64) TickResult {
 			r.counters.DroppedBytes.Add(int64(o.Bytes))
 			res.RuleDroppedBytes += o.Bytes
 		case ActionShape:
+			if shapeGroups == nil {
+				shapeGroups = make(map[string]*shapeGroup)
+			}
 			g := shapeGroups[r.ID]
 			if g == nil {
 				g = &shapeGroup{rule: r}
 				shapeGroups[r.ID] = g
 			}
-			g.offers = append(g.offers, fwd{o.Flow, o.Bytes})
+			g.offers = append(g.offers, fwd{o.Flow, o.FlowHash, o.Bytes})
 			g.total += o.Bytes
 		default: // explicit forward rule
 			r.counters.ForwardedBytes.Add(int64(o.Bytes))
-			forward = append(forward, fwd{o.Flow, o.Bytes})
+			forward = append(forward, fwd{o.Flow, o.FlowHash, o.Bytes})
 			forwardBytes += o.Bytes
 		}
 	}
@@ -314,7 +350,7 @@ func (p *Port) Egress(offers []Offer, dtSeconds float64) TickResult {
 			g.rule.counters.DroppedBytes.Add(int64(droppedHere))
 			res.ShaperDroppedBytes += droppedHere
 			if passed > 0 {
-				forward = append(forward, fwd{o.flow, passed})
+				forward = append(forward, fwd{o.flow, o.hash, passed})
 				forwardBytes += passed
 			}
 		}
@@ -332,7 +368,14 @@ func (p *Port) Egress(offers []Offer, dtSeconds float64) TickResult {
 		delivered := f.bytes * deliverFrac
 		res.DeliveredBytes += delivered
 		res.CongestionDroppedBytes += f.bytes - delivered
-		res.DeliveredByFlow[f.flow] += delivered
+		if collect {
+			res.DeliveredByFlow[f.flow] += delivered
+		}
+		if visit != nil {
+			visit(f.flow, f.hash, delivered)
+		}
 	}
+	*scratch = forward
+	fwdPool.Put(scratch)
 	return res
 }

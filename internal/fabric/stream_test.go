@@ -1,0 +1,174 @@
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"stellar/internal/netpkt"
+)
+
+// streamOffers builds a mixed offer set: benign forwarded flows, flows
+// hitting a drop rule and flows through a shaping rule, with enough
+// volume to congest the port — every egress queue contributes.
+func streamOffers(n int) []Offer {
+	offers := make([]Offer, n)
+	for i := range offers {
+		var f netpkt.FlowKey
+		switch i % 3 {
+		case 0:
+			f = tcpFlow(macPeerA, srcIPA, 443)
+			f.SrcPort = uint16(50000 + i)
+		case 1:
+			f = udpFlow(macPeerA, srcIPA, 123) // drop rule target
+			f.Src = srcIPB
+			f.SrcPort = 123
+			f.DstPort = uint16(1000 + i)
+		default:
+			f = udpFlow(macPeerB, srcIPB, 53) // shape rule target
+			f.DstPort = uint16(2000 + i)
+		}
+		offers[i] = Offer{Flow: f, FlowHash: f.Hash(), Bytes: 2e6, Packets: 2000}
+	}
+	return offers
+}
+
+func streamRules(t *testing.T, p *Port) {
+	t.Helper()
+	drop := MatchAll()
+	drop.Proto = netpkt.ProtoUDP
+	drop.SrcPort = 123
+	if err := p.InstallRule(&Rule{ID: "drop-ntp", Match: drop, Action: ActionDrop}); err != nil {
+		t.Fatal(err)
+	}
+	shape := MatchAll()
+	shape.Proto = netpkt.ProtoUDP
+	shape.SrcPort = 53
+	if err := p.InstallRule(&Rule{ID: "shape-dns", Match: shape, Action: ActionShape, ShapeRateBps: 1e7}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEgressStreamMatchesEgress: the streamed per-flow deliveries must
+// aggregate to exactly the DeliveredByFlow map of the materializing
+// path, and the byte totals must agree.
+func TestEgressStreamMatchesEgress(t *testing.T) {
+	mapPort := newVictimPort()
+	streamRules(t, mapPort)
+	streamPort := newVictimPort()
+	streamRules(t, streamPort)
+
+	offers := streamOffers(90)
+	want := mapPort.Egress(offers, 1)
+
+	streamed := make(map[netpkt.FlowKey]float64)
+	got := streamPort.EgressStream(offers, 1, func(f netpkt.FlowKey, hash uint64, bytes float64) {
+		if hash != f.Hash() {
+			t.Fatalf("visitor hash %d != FlowKey.Hash %d", hash, f.Hash())
+		}
+		streamed[f] += bytes
+	})
+
+	if got.DeliveredByFlow != nil {
+		t.Fatal("EgressStream materialized DeliveredByFlow")
+	}
+	if got.DeliveredBytes != want.DeliveredBytes ||
+		got.RuleDroppedBytes != want.RuleDroppedBytes ||
+		got.ShaperDroppedBytes != want.ShaperDroppedBytes ||
+		got.CongestionDroppedBytes != want.CongestionDroppedBytes {
+		t.Fatalf("totals diverge: stream %+v, map %+v", got, want)
+	}
+	if len(streamed) != len(want.DeliveredByFlow) {
+		t.Fatalf("streamed %d flows, map has %d", len(streamed), len(want.DeliveredByFlow))
+	}
+	for f, b := range want.DeliveredByFlow {
+		if g := streamed[f]; math.Abs(g-b) > 1e-9 {
+			t.Fatalf("flow %v: streamed %v, map %v", f, g, b)
+		}
+	}
+}
+
+// TestEgressStreamNilVisitor: a nil visitor just skips monitoring; the
+// totals still come out and no map is built.
+func TestEgressStreamNilVisitor(t *testing.T) {
+	p := newVictimPort()
+	offers := streamOffers(30)
+	res := p.EgressStream(offers, 1, nil)
+	if res.DeliveredByFlow != nil {
+		t.Fatal("nil-visitor stream materialized DeliveredByFlow")
+	}
+	if res.DeliveredBytes <= 0 {
+		t.Fatalf("no delivery: %+v", res)
+	}
+}
+
+// TestTickStreamPerPortVisitors: each port's flows reach exactly its
+// own visitor, worker ids stay in range, and per-port streamed bytes
+// equal the port's DeliveredBytes.
+func TestTickStreamPerPortVisitors(t *testing.T) {
+	const ports = 16
+	f := New()
+	offers := make(TickOffers, ports)
+	for p := 0; p < ports; p++ {
+		name := fmt.Sprintf("AS%d", 64512+p)
+		mac := netpkt.MAC{0x02, 0x20, 0, 0, 0, byte(p)}
+		if err := f.AddPort(NewPort(name, mac, 1e9)); err != nil {
+			t.Fatal(err)
+		}
+		os := make([]Offer, 8)
+		for i := range os {
+			flow := tcpFlow(macPeerA, srcIPA, uint16(8000+i))
+			flow.SrcMAC = netpkt.MAC{0x02, 0x30, 0, 0, byte(p), byte(i)}
+			os[i] = Offer{Flow: flow, FlowHash: flow.Hash(), Bytes: 1e4, Packets: 10}
+		}
+		offers[name] = os
+	}
+
+	maxWorkers := runtime.GOMAXPROCS(0)
+	var mu sync.Mutex
+	perPort := make(map[string]float64)
+	sink := func(worker int, port string) FlowVisitor {
+		if worker < 0 || worker >= maxWorkers {
+			t.Errorf("worker %d out of range [0,%d)", worker, maxWorkers)
+		}
+		return func(flow netpkt.FlowKey, _ uint64, bytes float64) {
+			mu.Lock()
+			perPort[port] += bytes
+			mu.Unlock()
+		}
+	}
+	stats, err := f.TickStream(offers, 1, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perPort) != ports {
+		t.Fatalf("visitors saw %d ports, want %d", len(perPort), ports)
+	}
+	for name, res := range stats.PerPort {
+		if res.DeliveredByFlow != nil {
+			t.Fatalf("port %s: TickStream materialized DeliveredByFlow", name)
+		}
+		if math.Abs(perPort[name]-res.DeliveredBytes) > 1e-9 {
+			t.Fatalf("port %s: streamed %v, delivered %v", name, perPort[name], res.DeliveredBytes)
+		}
+	}
+}
+
+// TestTickStreamNilSinkKeepsMaps: Tick (nil sink) must keep the legacy
+// materialized maps for existing consumers.
+func TestTickStreamNilSinkKeepsMaps(t *testing.T) {
+	f := New()
+	p := newVictimPort()
+	if err := f.AddPort(p); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := f.Tick(TickOffers{"victim": streamOffers(6)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PerPort["victim"].DeliveredByFlow == nil {
+		t.Fatal("Tick dropped DeliveredByFlow")
+	}
+}

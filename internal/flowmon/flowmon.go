@@ -4,10 +4,28 @@
 // (Figure 2c), UDP source-port histograms across blackholing events
 // (Figure 3a), protocol mixes (Section 2.3) and peer counts (Figures 3c
 // and 10c).
+//
+// Two implementations share one accessor surface:
+//
+//   - Collector is the production pipeline: per-worker Shard
+//     accumulators built on compact open-addressed counter tables and a
+//     bounded ring of in-flight time bins, merged into the long-term
+//     per-bin store when a bin rotates out or an accessor reads. The
+//     steady-state observe path performs no allocation per record and
+//     takes no lock per record (one lock per batch), so the fabric's
+//     parallel egress workers stream delivered flows straight into
+//     their own shards.
+//   - MapCollector is the retained map-per-record baseline (the
+//     pre-sharding design); a randomized equivalence test pins the two
+//     to identical accessor results, and the benchmarks measure the
+//     production pipeline against it.
 package flowmon
 
 import (
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"stellar/internal/netpkt"
 )
@@ -30,37 +48,37 @@ type binAgg struct {
 	total     float64
 }
 
-// Collector aggregates records. It is not safe for concurrent use; the
-// simulation loop owns it.
-type Collector struct {
+func newBinAgg() *binAgg {
+	return &binAgg{
+		bySrcPort: make(map[uint16]float64),
+		byDstPort: make(map[uint16]float64),
+		byProto:   make(map[netpkt.IPProto]float64),
+		peers:     make(map[netpkt.MAC]float64),
+	}
+}
+
+// store is the merged per-bin aggregate state; both collector
+// implementations compute every accessor from it, so their results are
+// identical by construction.
+type store struct {
 	bins map[int]*binAgg
-	// SampleEvery subsamples records (IPFIX samples 1-in-N packets in
-	// production); 1 observes everything.
-	SampleEvery int
-	counter     int
 }
 
-// NewCollector returns an empty collector observing every record.
-func NewCollector() *Collector {
-	return &Collector{bins: make(map[int]*binAgg), SampleEvery: 1}
-}
+func newStore() store { return store{bins: make(map[int]*binAgg)} }
 
-// Observe adds one record.
-func (c *Collector) Observe(r Record) {
-	c.counter++
-	if c.SampleEvery > 1 && c.counter%c.SampleEvery != 0 {
-		return
-	}
-	b := c.bins[r.Bin]
+func (st *store) agg(bin int) *binAgg {
+	b := st.bins[bin]
 	if b == nil {
-		b = &binAgg{
-			bySrcPort: make(map[uint16]float64),
-			byDstPort: make(map[uint16]float64),
-			byProto:   make(map[netpkt.IPProto]float64),
-			peers:     make(map[netpkt.MAC]float64),
-		}
-		c.bins[r.Bin] = b
+		b = newBinAgg()
+		st.bins[bin] = b
 	}
+	return b
+}
+
+// observe folds one record into the store — the map-per-record baseline
+// path, and the per-record shape the sharded pipeline must reproduce.
+func (st *store) observe(r *Record) {
+	b := st.agg(r.Bin)
 	b.total += r.Bytes
 	b.byProto[r.Key.Proto] += r.Bytes
 	b.byDstPort[r.Key.DstPort] += r.Bytes
@@ -70,28 +88,24 @@ func (c *Collector) Observe(r Record) {
 	b.peers[r.Key.SrcMAC] += r.Bytes
 }
 
-// Bins returns the observed bin indices, sorted.
-func (c *Collector) Bins() []int {
-	out := make([]int, 0, len(c.bins))
-	for b := range c.bins {
+func (st *store) binsSorted() []int {
+	out := make([]int, 0, len(st.bins))
+	for b := range st.bins {
 		out = append(out, b)
 	}
 	sort.Ints(out)
 	return out
 }
 
-// TotalBytes returns the bytes observed in bin.
-func (c *Collector) TotalBytes(bin int) float64 {
-	if b := c.bins[bin]; b != nil {
+func (st *store) totalBytes(bin int) float64 {
+	if b := st.bins[bin]; b != nil {
 		return b.total
 	}
 	return 0
 }
 
-// DstPortShares returns each destination port's share of the bin's
-// bytes — the Figure 2(c) view ("traffic share IXP member [%]").
-func (c *Collector) DstPortShares(bin int) map[uint16]float64 {
-	b := c.bins[bin]
+func (st *store) dstPortShares(bin int) map[uint16]float64 {
+	b := st.bins[bin]
 	out := make(map[uint16]float64)
 	if b == nil || b.total == 0 {
 		return out
@@ -102,10 +116,8 @@ func (c *Collector) DstPortShares(bin int) map[uint16]float64 {
 	return out
 }
 
-// SrcPortShares returns each UDP source port's share of the bin's bytes
-// — the Figure 3(a) view.
-func (c *Collector) SrcPortShares(bin int) map[uint16]float64 {
-	b := c.bins[bin]
+func (st *store) srcPortShares(bin int) map[uint16]float64 {
+	b := st.bins[bin]
 	out := make(map[uint16]float64)
 	if b == nil || b.total == 0 {
 		return out
@@ -116,9 +128,8 @@ func (c *Collector) SrcPortShares(bin int) map[uint16]float64 {
 	return out
 }
 
-// ProtoShares returns the protocol byte shares of the bin.
-func (c *Collector) ProtoShares(bin int) map[netpkt.IPProto]float64 {
-	b := c.bins[bin]
+func (st *store) protoShares(bin int) map[netpkt.IPProto]float64 {
+	b := st.bins[bin]
 	out := make(map[netpkt.IPProto]float64)
 	if b == nil || b.total == 0 {
 		return out
@@ -129,16 +140,28 @@ func (c *Collector) ProtoShares(bin int) map[netpkt.IPProto]float64 {
 	return out
 }
 
-// PeerCount returns the number of distinct source members whose bytes in
-// the bin exceed minBytes — the "#peers" series of Figures 3(c)/10(c).
-func (c *Collector) PeerCount(bin int, minBytes float64) int {
-	b := c.bins[bin]
+func (st *store) peerCount(bin int, minBytes float64) int {
+	b := st.bins[bin]
 	if b == nil {
 		return 0
 	}
 	n := 0
 	for _, bytes := range b.peers {
 		if bytes > minBytes {
+			n++
+		}
+	}
+	return n
+}
+
+func (st *store) peerCountFunc(bin int, minBytes float64, keep func(netpkt.MAC) bool) int {
+	b := st.bins[bin]
+	if b == nil {
+		return 0
+	}
+	n := 0
+	for mac, bytes := range b.peers {
+		if bytes > minBytes && keep(mac) {
 			n++
 		}
 	}
@@ -152,14 +175,10 @@ type PortRank struct {
 	Share float64
 }
 
-// TopSrcPorts returns the k highest-volume UDP source ports across all
-// bins, plus the residual share under the sentinel port 65535 when
-// "others" is non-zero. The ranking is deterministic regardless of map
-// iteration order: equal-volume ports tie-break toward the lower port.
-func (c *Collector) TopSrcPorts(k int) []PortRank {
+func (st *store) topSrcPorts(k int) []PortRank {
 	agg := make(map[uint16]float64)
 	var total float64
-	for _, b := range c.bins {
+	for _, b := range st.bins {
 		for port, bytes := range b.bySrcPort {
 			agg[port] += bytes
 		}
@@ -198,13 +217,178 @@ func (c *Collector) TopSrcPorts(k int) []PortRank {
 	return ranks
 }
 
+func (st *store) series() (bins []int, bytes []float64) {
+	bins = st.binsSorted()
+	bytes = make([]float64, len(bins))
+	for i, b := range bins {
+		bytes[i] = st.bins[b].total
+	}
+	return bins, bytes
+}
+
+// Collector aggregates records on per-worker shards and merges them
+// into a long-term per-bin store when bins rotate out of the shard
+// rings or when an accessor reads. It is safe for concurrent use:
+// any number of goroutines may call Observe/ObserveBatch (or write to
+// distinct Shards) while others read the accessors.
+type Collector struct {
+	// SampleEvery subsamples records (IPFIX samples 1-in-N packets in
+	// production); 1 observes everything. Each shard keeps its own
+	// 1-in-N counter, so with a single observation stream the sampled
+	// subsequence matches MapCollector exactly. Set it before the first
+	// observation; it must not be changed while observers run.
+	SampleEvery int
+
+	shards []*Shard
+	rr     atomic.Uint32 // round-robin batch placement
+
+	mu sync.Mutex // guards st; always acquired after a shard lock
+	st store
+}
+
+// NewCollector returns an empty collector observing every record, with
+// one shard per GOMAXPROCS worker.
+func NewCollector() *Collector { return NewCollectorShards(runtime.GOMAXPROCS(0)) }
+
+// NewCollectorShards returns an empty collector with n shards (n < 1 is
+// treated as 1).
+func NewCollectorShards(n int) *Collector {
+	if n < 1 {
+		n = 1
+	}
+	c := &Collector{SampleEvery: 1, st: newStore()}
+	c.shards = make([]*Shard, n)
+	for i := range c.shards {
+		c.shards[i] = &Shard{c: c}
+	}
+	return c
+}
+
+// Shards returns the number of shards.
+func (c *Collector) Shards() int { return len(c.shards) }
+
+// Shard returns worker i's accumulator; i wraps modulo the shard count,
+// so any worker index is valid.
+func (c *Collector) Shard(i int) *Shard {
+	if i < 0 {
+		i = -i
+	}
+	return c.shards[i%len(c.shards)]
+}
+
+// Observe adds one record. Serial callers get MapCollector-identical
+// sampling semantics (all records flow through shard 0's counter).
+func (c *Collector) Observe(r Record) { c.shards[0].Observe(r) }
+
+// ObserveBatch adds a batch of records on one shard (chosen round-robin
+// across calls), taking one lock per batch rather than per record. It
+// is safe to call from any number of goroutines.
+func (c *Collector) ObserveBatch(recs []Record) {
+	c.shards[int(c.rr.Add(1)-1)%len(c.shards)].ObserveBatch(recs)
+}
+
+// merge drains every shard's in-flight bins into the long-term store.
+// Lock order is always shard.mu before c.mu — the same order the
+// shards' own ring-rotation flush uses.
+func (c *Collector) merge() {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for i := range s.slots {
+			if s.slots[i].used {
+				c.flushSlot(&s.slots[i])
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// flushSlot folds one shard bin into the long-term store and resets it.
+// Callers hold the owning shard's lock.
+func (c *Collector) flushSlot(b *shardBin) {
+	c.mu.Lock()
+	c.st.addFrom(b)
+	c.mu.Unlock()
+	b.reset()
+}
+
+// Bins returns the observed bin indices, sorted.
+func (c *Collector) Bins() []int {
+	c.merge()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.binsSorted()
+}
+
+// TotalBytes returns the bytes observed in bin.
+func (c *Collector) TotalBytes(bin int) float64 {
+	c.merge()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.totalBytes(bin)
+}
+
+// DstPortShares returns each destination port's share of the bin's
+// bytes — the Figure 2(c) view ("traffic share IXP member [%]").
+func (c *Collector) DstPortShares(bin int) map[uint16]float64 {
+	c.merge()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.dstPortShares(bin)
+}
+
+// SrcPortShares returns each UDP source port's share of the bin's bytes
+// — the Figure 3(a) view.
+func (c *Collector) SrcPortShares(bin int) map[uint16]float64 {
+	c.merge()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.srcPortShares(bin)
+}
+
+// ProtoShares returns the protocol byte shares of the bin.
+func (c *Collector) ProtoShares(bin int) map[netpkt.IPProto]float64 {
+	c.merge()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.protoShares(bin)
+}
+
+// PeerCount returns the number of distinct source members whose bytes in
+// the bin exceed minBytes — the "#peers" series of Figures 3(c)/10(c).
+func (c *Collector) PeerCount(bin int, minBytes float64) int {
+	c.merge()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.peerCount(bin, minBytes)
+}
+
+// PeerCountFunc is PeerCount restricted to the source MACs keep accepts
+// — e.g. the scenario engine counts only MACs registered to IXP members,
+// matching the pre-streaming ActivePeers semantics. keep must not call
+// back into the collector.
+func (c *Collector) PeerCountFunc(bin int, minBytes float64, keep func(netpkt.MAC) bool) int {
+	c.merge()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.peerCountFunc(bin, minBytes, keep)
+}
+
+// TopSrcPorts returns the k highest-volume UDP source ports across all
+// bins, plus the residual share under the sentinel port 65535 when
+// "others" is non-zero. The ranking is deterministic regardless of map
+// iteration order: equal-volume ports tie-break toward the lower port.
+func (c *Collector) TopSrcPorts(k int) []PortRank {
+	c.merge()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.topSrcPorts(k)
+}
+
 // Series returns the per-bin total bytes as (bins, values) aligned
 // slices — the traffic time series of Figures 3(c) and 10(c).
 func (c *Collector) Series() (bins []int, bytes []float64) {
-	bins = c.Bins()
-	bytes = make([]float64, len(bins))
-	for i, b := range bins {
-		bytes[i] = c.bins[b].total
-	}
-	return bins, bytes
+	c.merge()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.series()
 }

@@ -175,12 +175,49 @@ func TestAccumulationAcrossObserve(t *testing.T) {
 	}
 }
 
+// BenchmarkObserve measures the steady-state observe path: the bin
+// advances once per simulated tick (1000 records), as it does in the
+// scenario pipeline. The sharded collector must report 0 allocs/op.
 func BenchmarkObserve(b *testing.B) {
 	c := NewCollector()
+	sh := c.Shard(0)
 	r := rec(0, macA, netpkt.ProtoUDP, 123, 443, 100)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r.Bin = i % 600
+		sh.ObserveFlow(i/1000, r.Key, r.Bytes)
+	}
+}
+
+// BenchmarkObserveMapBaseline is the same workload on the retained
+// map-per-record baseline.
+func BenchmarkObserveMapBaseline(b *testing.B) {
+	c := NewMapCollector()
+	r := rec(0, macA, netpkt.ProtoUDP, 123, 443, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Bin = i / 1000
 		c.Observe(r)
+	}
+}
+
+// BenchmarkObserveBatch measures batched ingestion of a mixed-flow tick
+// (one lock per batch, many distinct keys).
+func BenchmarkObserveBatch(b *testing.B) {
+	c := NewCollector()
+	recs := make([]Record, 256)
+	for i := range recs {
+		mac := macA
+		mac[5] = byte(i)
+		recs[i] = rec(0, mac, netpkt.ProtoUDP, uint16(1000+i%32), 443, 100)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range recs {
+			recs[j].Bin = i / 4
+		}
+		c.ObserveBatch(recs)
 	}
 }

@@ -308,6 +308,14 @@ func (r TickReport) DeliveredBps(dt float64) float64 { return r.Result.Delivered
 // touching the IXP lock, and per-port results are merged by name, so
 // the outcome is deterministic.
 func (x *IXP) Tick(offers fabric.TickOffers, dt float64) (map[string]TickReport, error) {
+	return x.TickStream(offers, dt, nil)
+}
+
+// TickStream is Tick with the flow-monitoring pipeline attached: when
+// sink is non-nil, each port's delivered flows stream into the sink's
+// per-worker visitors during the tick (see fabric.TickStream) and the
+// per-port TickResult.DeliveredByFlow maps are not materialized.
+func (x *IXP) TickStream(offers fabric.TickOffers, dt float64, sink fabric.TickSink) (map[string]TickReport, error) {
 	x.mu.Lock()
 	x.clock += dt
 	now := x.clock
@@ -335,20 +343,48 @@ func (x *IXP) Tick(offers fabric.TickOffers, dt float64) (map[string]TickReport,
 	sort.Strings(names)
 	reps := make([]TickReport, len(names))
 	kept := make([][]fabric.Offer, len(names))
-	fabric.ParallelFor(len(names), func(i int) {
+	filterPort := func(i int) {
 		rep := TickReport{}
-		var keep []fabric.Offer
-		for _, o := range offers[names[i]] {
+		os := offers[names[i]]
+		// First pass: account the offered load and detect null-routed
+		// offers. The port's offer slice is only copied when something
+		// actually dies here, so the steady state (no RTBH hit on this
+		// port) does zero per-tick slice allocation.
+		nulled := false
+		for _, o := range os {
 			rep.OfferedBytes += o.Bytes
+			if len(nulls) == 0 {
+				continue
+			}
 			if src, ok := x.byMAC[o.Flow.SrcMAC]; ok && anyContains(nulls[src.Name], o.Flow.Dst) {
 				rep.NulledBytes += o.Bytes
+				nulled = true
+			}
+		}
+		if !nulled {
+			reps[i] = rep
+			kept[i] = os
+			return
+		}
+		keep := make([]fabric.Offer, 0, len(os))
+		for _, o := range os {
+			if src, ok := x.byMAC[o.Flow.SrcMAC]; ok && anyContains(nulls[src.Name], o.Flow.Dst) {
 				continue
 			}
 			keep = append(keep, o)
 		}
 		reps[i] = rep
 		kept[i] = keep
-	})
+	}
+	if len(nulls) == 0 {
+		// No null routes installed: the filter degenerates to a byte sum,
+		// not worth a worker-pool fan-out.
+		for i := range names {
+			filterPort(i)
+		}
+	} else {
+		fabric.ParallelFor(len(names), filterPort)
+	}
 
 	reports := make(map[string]TickReport, len(names))
 	filtered := make(fabric.TickOffers, len(names))
@@ -356,7 +392,7 @@ func (x *IXP) Tick(offers fabric.TickOffers, dt float64) (map[string]TickReport,
 		filtered[name] = kept[i]
 		reports[name] = reps[i]
 	}
-	stats, err := x.Fabric.Tick(filtered, dt)
+	stats, err := x.Fabric.TickStream(filtered, dt, sink)
 	if err != nil {
 		return nil, err
 	}
@@ -379,7 +415,10 @@ func anyContains(prefixes []netip.Prefix, dst netip.Addr) bool {
 }
 
 // ActivePeers counts the distinct source members whose delivered bytes
-// at the port exceeded minBytes in the given tick result.
+// at the port exceeded minBytes in the given tick result. It needs the
+// materialized DeliveredByFlow map, so it only works on Tick results
+// (TickStream leaves the map nil; use the flow monitor's PeerCount, as
+// Scenario.Run does).
 func (x *IXP) ActivePeers(res fabric.TickResult, minBytes float64) int {
 	perMember := make(map[string]float64)
 	for flow, bytes := range res.DeliveredByFlow {

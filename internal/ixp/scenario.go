@@ -7,11 +7,20 @@ import (
 
 	"stellar/internal/fabric"
 	"stellar/internal/flowmon"
+	"stellar/internal/netpkt"
 )
 
 // Source produces flow-level offers per tick (attacks, benign services).
 type Source interface {
 	Offers(tick int, dtSeconds float64) []fabric.Offer
+}
+
+// OfferAppender is an optional Source refinement: sources that can
+// append their per-tick offers into a caller-owned buffer. The scenario
+// engine reuses one buffer per victim across ticks, so appending
+// sources cost no per-tick slice allocation in steady state.
+type OfferAppender interface {
+	AppendOffers(dst []fabric.Offer, tick int, dtSeconds float64) []fabric.Offer
 }
 
 // Event runs an action at the beginning of a tick — announcing a
@@ -22,8 +31,8 @@ type Event struct {
 	Do   func(*IXP) error
 }
 
-// Sample is one tick of the scenario's victim-port time series — the
-// measurements plotted in Figures 3(c) and 10(c).
+// Sample is one tick of a victim port's time series — the measurements
+// plotted in Figures 3(c) and 10(c).
 type Sample struct {
 	Tick                 int
 	Time                 float64
@@ -36,75 +45,244 @@ type Sample struct {
 	ActivePeers          int
 }
 
-// Scenario drives an IXP through a timed experiment against one victim
-// port.
-type Scenario struct {
-	IXP        *IXP
-	VictimPort string
-	Ticks      int
-	Dt         float64
-	Sources    []Source
-	Events     []Event
-	// PeerMinBps is the delivered-rate threshold for counting a peer as
-	// active (defaults to 1 kbps).
+// Victim is one monitored victim port of a multi-victim scenario: its
+// own traffic sources, timed events and measurement pipeline.
+type Victim struct {
+	// Port names the victim's fabric port.
+	Port string
+	// Sources feed this victim's port each tick.
+	Sources []Source
+	// Events fire at the start of their tick (see Scenario.Run for the
+	// cross-victim ordering guarantee).
+	Events []Event
+	// Monitor receives every flow delivered at the port as an
+	// IPFIX-style record (bin = tick), streamed from the egress workers
+	// into per-worker shards. Run creates one when nil. ActivePeers in
+	// this victim's samples is the monitor's per-tick peer count
+	// restricted to registered member MACs, so a monitor with
+	// SampleEvery > 1 counts peers over the sampled records only.
+	Monitor *flowmon.Collector
+	// PeerMinBps overrides the scenario-wide active-peer threshold for
+	// this victim (0 inherits Scenario.PeerMinBps).
 	PeerMinBps float64
-	// Monitor receives every delivered flow as an IPFIX-style record
-	// (bin = tick). Run creates one when nil; it is the measurement
-	// pipeline behind the per-port and per-peer series.
+}
+
+// VictimSeries is one victim's result: its per-tick samples and the
+// monitor that collected its delivered flows.
+type VictimSeries struct {
+	Port    string
+	Samples []Sample
 	Monitor *flowmon.Collector
 }
 
-// Run executes the scenario and returns the per-tick samples.
+// Scenario drives an IXP through a timed experiment against one or more
+// victim ports concurrently. All victims advance in lockstep on the
+// shared fabric tick: per tick, every due event fires, then all victims'
+// offers egress in one parallel fabric pass whose delivered flows
+// stream straight into each victim's monitor shards.
+//
+// Either populate Victims (the multi-victim form) or the legacy
+// single-victim fields (VictimPort/Sources/Events/Monitor) — not both.
+type Scenario struct {
+	IXP   *IXP
+	Ticks int
+	Dt    float64
+	// PeerMinBps is the delivered-rate threshold for counting a peer as
+	// active (defaults to 1 kbps).
+	PeerMinBps float64
+
+	// Victims are the monitored victim ports. Scenario-level Events
+	// apply to the whole IXP and order before per-victim events within
+	// the same tick.
+	Victims []Victim
+	Events  []Event
+
+	// Legacy single-victim fields; Run mirrors them onto a one-element
+	// Victims list and exposes the created collector via Monitor.
+	VictimPort string
+	Sources    []Source
+	Monitor    *flowmon.Collector
+}
+
+// Run executes the scenario and returns the first victim's per-tick
+// samples — the single-victim view every figure driver uses. On an
+// event error it returns the samples of the ticks completed before the
+// failing event, alongside the error. Multi-victim callers use RunAll.
 func (s *Scenario) Run() ([]Sample, error) {
+	series, err := s.RunAll()
+	if len(series) == 0 {
+		return nil, err
+	}
+	s.Monitor = series[0].Monitor
+	return series[0].Samples, err
+}
+
+// timedEvent is one event with its global application order: events of
+// the same tick apply in (scenario events, victim 0 events, victim 1
+// events, ...) order, each group in insertion order — deterministic
+// even when the same tick appears multiple times, out of order, across
+// lists.
+type timedEvent struct {
+	Event
+	seq int
+}
+
+// RunAll executes the scenario and returns one series per victim, in
+// Victims order. On an event error it returns the series of all ticks
+// completed before the failing event (partial samples), alongside the
+// error.
+func (s *Scenario) RunAll() ([]VictimSeries, error) {
 	if s.Dt == 0 {
 		s.Dt = 1
 	}
 	if s.PeerMinBps == 0 {
 		s.PeerMinBps = 1e3
 	}
-	if _, err := s.IXP.Fabric.PortByName(s.VictimPort); err != nil {
-		return nil, fmt.Errorf("ixp: victim port: %w", err)
+	victims := append([]Victim(nil), s.Victims...)
+	var globalEvents []Event
+	if len(victims) == 0 {
+		if s.VictimPort == "" {
+			return nil, fmt.Errorf("ixp: scenario has no victim (set Victims or VictimPort)")
+		}
+		victims = []Victim{{Port: s.VictimPort, Sources: s.Sources, Events: s.Events, Monitor: s.Monitor}}
+	} else {
+		if s.VictimPort != "" || len(s.Sources) > 0 || s.Monitor != nil {
+			return nil, fmt.Errorf("ixp: scenario mixes Victims with legacy single-victim fields")
+		}
+		globalEvents = s.Events
 	}
-	if s.Monitor == nil {
-		s.Monitor = flowmon.NewCollector()
-	}
-	events := append([]Event(nil), s.Events...)
-	sort.SliceStable(events, func(i, j int) bool { return events[i].Tick < events[j].Tick })
 
-	samples := make([]Sample, 0, s.Ticks)
+	seen := make(map[string]bool, len(victims))
+	for i := range victims {
+		v := &victims[i]
+		if _, err := s.IXP.Fabric.PortByName(v.Port); err != nil {
+			return nil, fmt.Errorf("ixp: victim port: %w", err)
+		}
+		if seen[v.Port] {
+			return nil, fmt.Errorf("ixp: duplicate victim port %s", v.Port)
+		}
+		seen[v.Port] = true
+		if v.Monitor == nil {
+			v.Monitor = flowmon.NewCollector()
+		}
+		if v.PeerMinBps == 0 {
+			v.PeerMinBps = s.PeerMinBps
+		}
+	}
+
+	// Merge the event lists into one deterministically ordered timeline.
+	var events []timedEvent
+	for _, e := range globalEvents {
+		events = append(events, timedEvent{Event: e, seq: len(events)})
+	}
+	for i := range victims {
+		for _, e := range victims[i].Events {
+			events = append(events, timedEvent{Event: e, seq: len(events)})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Tick != events[j].Tick {
+			return events[i].Tick < events[j].Tick
+		}
+		return events[i].seq < events[j].seq
+	})
+
+	series := make([]VictimSeries, len(victims))
+	for i := range victims {
+		series[i] = VictimSeries{
+			Port:    victims[i].Port,
+			Samples: make([]Sample, 0, s.Ticks),
+			Monitor: victims[i].Monitor,
+		}
+	}
+
+	// Per-victim offer buffers and the offers map are reused across
+	// ticks; sources implementing OfferAppender emit straight into the
+	// buffers, so the steady-state tick allocates no fresh slices.
+	bufs := make([][]fabric.Offer, len(victims))
+	offers := make(fabric.TickOffers, len(victims))
+
+	// The per-(victim, worker) visitors are built once and reused every
+	// tick: each closure binds one monitor shard and reads the current
+	// tick through curTick. Workers only read curTick while the main
+	// goroutine is blocked inside TickStream, and a (victim, worker)
+	// cache slot is only touched by one worker per tick, so the cache is
+	// race-free across the tick barrier.
+	curTick := new(int)
+	visitorCache := make([][]fabric.FlowVisitor, len(victims))
+	victimIndex := make(map[string]int, len(victims))
+	for i := range victims {
+		visitorCache[i] = make([]fabric.FlowVisitor, victims[i].Monitor.Shards())
+		victimIndex[victims[i].Port] = i
+	}
+	mkVisitor := func(vi, worker int) fabric.FlowVisitor {
+		sh := victims[vi].Monitor.Shard(worker)
+		return func(flow netpkt.FlowKey, _ uint64, bytes float64) {
+			sh.ObserveFlow(*curTick, flow, bytes)
+		}
+	}
+	sink := func(worker int, port string) fabric.FlowVisitor {
+		vi, ok := victimIndex[port]
+		if !ok {
+			return nil
+		}
+		row := visitorCache[vi]
+		slot := worker % len(row) // Shard wraps the same way
+		if row[slot] == nil {
+			row[slot] = mkVisitor(vi, worker)
+		}
+		return row[slot]
+	}
+
+	// Active peers count only MACs registered to IXP members, exactly as
+	// the pre-streaming map-based ActivePeers did; stray source MACs in
+	// the monitor do not inflate the series.
+	isMember := func(mac netpkt.MAC) bool {
+		_, ok := s.IXP.byMAC[mac]
+		return ok
+	}
+
 	ei := 0
 	for tick := 0; tick < s.Ticks; tick++ {
+		*curTick = tick
 		for ei < len(events) && events[ei].Tick == tick {
 			if err := events[ei].Do(s.IXP); err != nil {
-				return samples, fmt.Errorf("ixp: event %q at tick %d: %w", events[ei].Name, tick, err)
+				return series, fmt.Errorf("ixp: event %q at tick %d: %w", events[ei].Name, tick, err)
 			}
 			ei++
 		}
-		var offers []fabric.Offer
-		for _, src := range s.Sources {
-			offers = append(offers, src.Offers(tick, s.Dt)...)
+		for i := range victims {
+			buf := bufs[i][:0]
+			for _, src := range victims[i].Sources {
+				if ap, ok := src.(OfferAppender); ok {
+					buf = ap.AppendOffers(buf, tick, s.Dt)
+				} else {
+					buf = append(buf, src.Offers(tick, s.Dt)...)
+				}
+			}
+			bufs[i] = buf
+			offers[victims[i].Port] = buf
 		}
-		reports, err := s.IXP.Tick(fabric.TickOffers{s.VictimPort: offers}, s.Dt)
+		reports, err := s.IXP.TickStream(offers, s.Dt, sink)
 		if err != nil {
-			return samples, err
+			return series, err
 		}
-		rep := reports[s.VictimPort]
-		for flow, bytes := range rep.Result.DeliveredByFlow {
-			s.Monitor.Observe(flowmon.Record{Bin: tick, Key: flow, Bytes: bytes})
+		for i := range victims {
+			rep := reports[victims[i].Port]
+			series[i].Samples = append(series[i].Samples, Sample{
+				Tick:                 tick,
+				Time:                 float64(tick) * s.Dt,
+				OfferedBps:           rep.OfferedBytes * 8 / s.Dt,
+				DeliveredBps:         rep.Result.DeliveredBytes * 8 / s.Dt,
+				NulledBps:            rep.NulledBytes * 8 / s.Dt,
+				RuleDroppedBps:       rep.Result.RuleDroppedBytes * 8 / s.Dt,
+				ShaperDroppedBps:     rep.Result.ShaperDroppedBytes * 8 / s.Dt,
+				CongestionDroppedBps: rep.Result.CongestionDroppedBytes * 8 / s.Dt,
+				ActivePeers:          victims[i].Monitor.PeerCountFunc(tick, victims[i].PeerMinBps*s.Dt/8, isMember),
+			})
 		}
-		samples = append(samples, Sample{
-			Tick:                 tick,
-			Time:                 float64(tick) * s.Dt,
-			OfferedBps:           rep.OfferedBytes * 8 / s.Dt,
-			DeliveredBps:         rep.Result.DeliveredBytes * 8 / s.Dt,
-			NulledBps:            rep.NulledBytes * 8 / s.Dt,
-			RuleDroppedBps:       rep.Result.RuleDroppedBytes * 8 / s.Dt,
-			ShaperDroppedBps:     rep.Result.ShaperDroppedBytes * 8 / s.Dt,
-			CongestionDroppedBps: rep.Result.CongestionDroppedBytes * 8 / s.Dt,
-			ActivePeers:          s.IXP.ActivePeers(rep.Result, s.PeerMinBps*s.Dt/8),
-		})
 	}
-	return samples, nil
+	return series, nil
 }
 
 // MeanDeliveredBps averages delivered rate over [from, to) ticks.

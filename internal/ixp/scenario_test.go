@@ -1,0 +1,264 @@
+package ixp
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"stellar/internal/bgp"
+	"stellar/internal/fabric"
+	"stellar/internal/netpkt"
+	"stellar/internal/stats"
+	"stellar/internal/traffic"
+)
+
+// TestScenarioMultiVictimMatchesSingleRuns pins the multi-victim engine
+// to N independent single-victim runs: with uncoupled ports (no
+// platform cap, no cross-victim rules) the per-victim series must be
+// identical either way.
+func TestScenarioMultiVictimMatchesSingleRuns(t *testing.T) {
+	const nVictims = 3
+	build := func() (*IXP, []Victim) {
+		x, members := buildTestIXP(t, 24, 0.0, false)
+		victims := make([]Victim, nVictims)
+		for v := 0; v < nVictims; v++ {
+			rng := stats.NewRand(uint64(100 + v))
+			target := victimAddr(members[v])
+			peers := PeersOf(members[nVictims:])
+			attack := traffic.NewAttack(traffic.VectorNTP, target, peers,
+				float64(v+1)*4e8, 2+v, 25, rng)
+			web := traffic.NewWebService(target, peers[:4], 1e8, rng)
+			victims[v] = Victim{Port: members[v].Name, Sources: []Source{attack, web}}
+		}
+		return x, victims
+	}
+
+	x, victims := build()
+	multi := &Scenario{IXP: x, Ticks: 30, Dt: 1, Victims: victims}
+	multiSeries, err := multi.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multiSeries) != nVictims {
+		t.Fatalf("series: %d", len(multiSeries))
+	}
+
+	for v := 0; v < nVictims; v++ {
+		x2, victims2 := build()
+		single := &Scenario{IXP: x2, Ticks: 30, Dt: 1, Victims: victims2[v : v+1]}
+		singleSeries, err := single.RunAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := multiSeries[v].Samples, singleSeries[0].Samples
+		if len(got) != len(want) {
+			t.Fatalf("victim %d: %d vs %d samples", v, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("victim %d tick %d: multi %+v != single %+v", v, i, got[i], want[i])
+			}
+		}
+		// The monitors agree too.
+		gm, wm := multiSeries[v].Monitor, singleSeries[0].Monitor
+		_, gBytes := gm.Series()
+		_, wBytes := wm.Series()
+		if fmt.Sprint(gBytes) != fmt.Sprint(wBytes) {
+			t.Fatalf("victim %d: monitor series diverged", v)
+		}
+	}
+}
+
+// TestScenarioEventOrderDeterministic pins the satellite fix: events of
+// the same tick apply in insertion order — scenario-level events first,
+// then per-victim events in victim order — even when the tick values
+// are added out of order and duplicated across lists.
+func TestScenarioEventOrderDeterministic(t *testing.T) {
+	x, members := buildTestIXP(t, 4, 0.0, false)
+	var order []string
+	mark := func(name string) Event {
+		return Event{Tick: 2, Name: name, Do: func(*IXP) error {
+			order = append(order, name)
+			return nil
+		}}
+	}
+	early := Event{Tick: 1, Name: "early", Do: func(*IXP) error {
+		order = append(order, "early")
+		return nil
+	}}
+	sc := &Scenario{
+		IXP: x, Ticks: 4, Dt: 1,
+		Events: []Event{mark("global-b"), early, mark("global-a")},
+		Victims: []Victim{
+			{Port: members[0].Name, Events: []Event{mark("v0-b"), mark("v0-a")}},
+			{Port: members[1].Name, Events: []Event{mark("v1")}},
+		},
+	}
+	if _, err := sc.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"early", "global-b", "global-a", "v0-b", "v0-a", "v1"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("event order: %v, want %v", order, want)
+	}
+}
+
+// TestScenarioLegacyEventDuplicateTicks covers the single-victim form:
+// duplicated same-tick events added out of order still apply in
+// insertion order.
+func TestScenarioLegacyEventDuplicateTicks(t *testing.T) {
+	x, members := buildTestIXP(t, 3, 0.0, false)
+	var order []string
+	ev := func(tick int, name string) Event {
+		return Event{Tick: tick, Name: name, Do: func(*IXP) error {
+			order = append(order, name)
+			return nil
+		}}
+	}
+	sc := &Scenario{
+		IXP: x, VictimPort: members[0].Name, Ticks: 6, Dt: 1,
+		Events: []Event{ev(5, "b"), ev(3, "x"), ev(5, "a"), ev(3, "y")},
+	}
+	if _, err := sc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"x", "y", "b", "a"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("event order: %v, want %v", order, want)
+	}
+}
+
+// TestScenarioPartialSamplesOnEventError pins the documented contract:
+// an event error surfaces alongside the samples of every tick completed
+// before the failing event.
+func TestScenarioPartialSamplesOnEventError(t *testing.T) {
+	x, members := buildTestIXP(t, 4, 0.0, false)
+	sc := &Scenario{
+		IXP: x, VictimPort: members[0].Name, Ticks: 10, Dt: 1,
+		Events: []Event{{Tick: 4, Name: "boom", Do: func(ix *IXP) error {
+			return ix.Announce("ghost", members[0].Prefixes[0], nil, nil)
+		}}},
+	}
+	samples, err := sc.Run()
+	if err == nil {
+		t.Fatal("event error swallowed")
+	}
+	if len(samples) != 4 {
+		t.Fatalf("partial samples: %d, want 4 (ticks before the failing event)", len(samples))
+	}
+}
+
+// TestScenarioValidation covers the victim-list error paths.
+func TestScenarioValidation(t *testing.T) {
+	x, members := buildTestIXP(t, 3, 0.0, false)
+	if _, err := (&Scenario{IXP: x, Ticks: 1}).RunAll(); err == nil {
+		t.Fatal("no-victim scenario accepted")
+	}
+	dup := &Scenario{IXP: x, Ticks: 1, Victims: []Victim{
+		{Port: members[0].Name}, {Port: members[0].Name},
+	}}
+	if _, err := dup.RunAll(); err == nil {
+		t.Fatal("duplicate victim port accepted")
+	}
+	ghost := &Scenario{IXP: x, Ticks: 1, Victims: []Victim{{Port: "ghost"}}}
+	if _, err := ghost.RunAll(); err == nil {
+		t.Fatal("unknown victim port accepted")
+	}
+	mixed := &Scenario{IXP: x, Ticks: 1, VictimPort: members[0].Name,
+		Victims: []Victim{{Port: members[1].Name}}}
+	if _, err := mixed.RunAll(); err == nil {
+		t.Fatal("mixed legacy + Victims accepted")
+	}
+}
+
+// TestScenarioMultiVictimMitigation runs two victims where only one
+// gets a blackhole: RTBH must null the honoring peers' traffic at that
+// victim while the other victim's series is untouched.
+func TestScenarioMultiVictimMitigation(t *testing.T) {
+	x, members := buildTestIXP(t, 12, 1.0, false) // everyone honors RTBH
+	va, vb := members[0], members[1]
+	peers := PeersOf(members[2:])
+	rngA, rngB := stats.NewRand(1), stats.NewRand(2)
+	targetA, targetB := victimAddr(va), victimAddr(vb)
+	attackA := traffic.NewAttack(traffic.VectorNTP, targetA, peers, 5e8, 0, 40, rngA)
+	attackA.RampTicks = 0
+	attackB := traffic.NewAttack(traffic.VectorNTP, targetB, peers, 5e8, 0, 40, rngB)
+	attackB.RampTicks = 0
+
+	if err := x.Announce(va.Name, va.Prefixes[0], nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	host := netip.PrefixFrom(targetA, 32)
+	sc := &Scenario{
+		IXP: x, Ticks: 20, Dt: 1,
+		Victims: []Victim{
+			{Port: va.Name, Sources: []Source{attackA}, Events: []Event{{
+				Tick: 10, Name: "blackhole A",
+				Do: func(ix *IXP) error {
+					return ix.Announce(va.Name, host, []bgp.Community{bgp.CommunityBlackhole}, nil)
+				},
+			}}},
+			{Port: vb.Name, Sources: []Source{attackB}},
+		},
+	}
+	series, err := sc.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := series[0].Samples, series[1].Samples
+	if a[5].DeliveredBps == 0 || a[15].DeliveredBps != 0 {
+		t.Fatalf("victim A: pre %v post %v (blackhole must kill all honoring traffic)",
+			a[5].DeliveredBps, a[15].DeliveredBps)
+	}
+	if b[15].DeliveredBps == 0 {
+		t.Fatal("victim B's traffic must be unaffected by A's blackhole")
+	}
+	if series[0].Monitor.PeerCount(15, 0) != 0 {
+		t.Fatal("victim A's monitor saw flows after the blackhole")
+	}
+	if tops := series[1].Monitor.TopSrcPorts(1); len(tops) == 0 || tops[0].Port != 123 {
+		t.Fatalf("victim B's monitor top ports: %+v", tops)
+	}
+}
+
+// nonMemberSource emits flows from a MAC no member owns, alongside a
+// real member's flows.
+type nonMemberSource struct {
+	member traffic.Peer
+	target netip.Addr
+}
+
+func (s nonMemberSource) Offers(tick int, dt float64) []fabric.Offer {
+	ghostMAC := netpkt.MustParseMAC("02:ee:ee:ee:ee:01")
+	return []fabric.Offer{
+		{Flow: netpkt.FlowKey{SrcMAC: s.member.MAC, Src: s.member.SrcIP, Dst: s.target,
+			Proto: netpkt.ProtoUDP, SrcPort: 123, DstPort: 443}, Bytes: 1e6, Packets: 1000},
+		{Flow: netpkt.FlowKey{SrcMAC: ghostMAC, Src: netip.MustParseAddr("203.0.113.9"), Dst: s.target,
+			Proto: netpkt.ProtoUDP, SrcPort: 123, DstPort: 443}, Bytes: 1e6, Packets: 1000},
+	}
+}
+
+// TestScenarioActivePeersCountsOnlyMembers pins the pre-streaming
+// ActivePeers semantics: delivered flows from MACs that are not
+// registered members reach the monitor (it is the measurement pipeline)
+// but do not inflate the active-peer series.
+func TestScenarioActivePeersCountsOnlyMembers(t *testing.T) {
+	x, members := buildTestIXP(t, 4, 0.0, false)
+	victim := members[0]
+	src := PeersOf(members[1:2])[0]
+	sc := &Scenario{
+		IXP: x, VictimPort: victim.Name, Ticks: 3, Dt: 1,
+		Sources: []Source{nonMemberSource{member: src, target: victimAddr(victim)}},
+	}
+	samples, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := samples[1].ActivePeers; got != 1 {
+		t.Fatalf("ActivePeers = %d, want 1 (ghost MAC must not count)", got)
+	}
+	// The monitor itself still sees both source MACs.
+	if got := sc.Monitor.PeerCount(1, 0); got != 2 {
+		t.Fatalf("monitor PeerCount = %d, want 2", got)
+	}
+}

@@ -43,12 +43,20 @@ func Vectors() []Vector {
 	return []Vector{VectorPortZero, VectorNTP, VectorLDAP, VectorMemcached, VectorDNS, VectorChargen}
 }
 
+// vectorsByName indexes the known vectors for O(1) lookup.
+var vectorsByName = func() map[string]Vector {
+	vs := Vectors()
+	m := make(map[string]Vector, len(vs))
+	for _, v := range vs {
+		m[v.Name] = v
+	}
+	return m
+}()
+
 // VectorByName returns the named vector.
 func VectorByName(name string) (Vector, error) {
-	for _, v := range Vectors() {
-		if v.Name == name {
-			return v, nil
-		}
+	if v, ok := vectorsByName[name]; ok {
+		return v, nil
 	}
 	return Vector{}, fmt.Errorf("traffic: unknown vector %q", name)
 }
@@ -153,25 +161,35 @@ func (a *Attack) rateAt(tick int) float64 {
 
 // Offers emits the attack's flow-level offers for one tick of dtSeconds.
 func (a *Attack) Offers(tick int, dtSeconds float64) []fabric.Offer {
+	return a.AppendOffers(nil, tick, dtSeconds)
+}
+
+// AppendOffers appends the tick's offers to dst and returns it —
+// the buffer-reusing form the scenario engine drives (ixp.OfferAppender).
+func (a *Attack) AppendOffers(dst []fabric.Offer, tick int, dtSeconds float64) []fabric.Offer {
 	rate := a.rateAt(tick)
 	if rate == 0 {
-		return nil
+		return dst
 	}
 	totalBytes := rate * dtSeconds / 8
 	pktSize := float64(a.Vector.ResponseSize)
 	if len(a.flows) != len(a.Peers) {
 		a.precomputeFlows() // peers changed after construction
 	}
-	offers := make([]fabric.Offer, 0, len(a.Peers))
+	offers := dst
 	for i := range a.Peers {
 		b := totalBytes * a.weights[i]
 		if b <= 0 {
 			continue
 		}
-		// Revalidate the cached key (struct compare, no hashing): Target,
-		// Vector or a peer may have been mutated after construction.
-		if f := a.flowKey(i); f != a.flows[i] {
-			a.flows[i] = f
+		// Revalidate the cached key (field compare, no hashing): Target,
+		// Vector or a peer may have been mutated after construction. The
+		// comparison checks the mutable fields in place rather than
+		// building a throwaway key.
+		if f := &a.flows[i]; f.SrcMAC != a.Peers[i].MAC || f.Src != a.Peers[i].SrcIP ||
+			f.Dst != a.Target || f.SrcPort != a.Vector.SrcPort ||
+			f.Proto != netpkt.ProtoUDP || f.DstPort != 443 {
+			*f = a.flowKey(i)
 			a.hashes[i] = f.Hash()
 		}
 		offers = append(offers, fabric.Offer{
@@ -253,12 +271,18 @@ func (w *WebService) flowKey(i, j int) netpkt.FlowKey {
 
 // Offers emits the service's offers for one tick.
 func (w *WebService) Offers(tick int, dtSeconds float64) []fabric.Offer {
+	return w.AppendOffers(nil, tick, dtSeconds)
+}
+
+// AppendOffers appends the tick's offers to dst and returns it —
+// the buffer-reusing form the scenario engine drives (ixp.OfferAppender).
+func (w *WebService) AppendOffers(dst []fabric.Offer, tick int, dtSeconds float64) []fabric.Offer {
 	totalBytes := w.RateBps * dtSeconds / 8
 	if n := len(w.Peers) * len(w.Mix); len(w.flows) != n {
 		w.flows = make([]netpkt.FlowKey, n)
 		w.hashes = make([]uint64, n)
 	}
-	offers := make([]fabric.Offer, 0, len(w.flows))
+	offers := dst
 	for i := range w.Peers {
 		peerBytes := totalBytes * w.weights[i]
 		for j, m := range w.Mix {
@@ -267,9 +291,11 @@ func (w *WebService) Offers(tick int, dtSeconds float64) []fabric.Offer {
 				continue
 			}
 			k := i*len(w.Mix) + j
-			// Revalidate the cached key (struct compare, no hashing).
-			if f := w.flowKey(i, j); f != w.flows[k] {
-				w.flows[k] = f
+			// Revalidate the cached key (field compare, no hashing).
+			if f := &w.flows[k]; f.SrcMAC != w.Peers[i].MAC || f.Src != w.Peers[i].SrcIP ||
+				f.Dst != w.Target || f.DstPort != m.Port ||
+				f.Proto != netpkt.ProtoTCP || f.SrcPort != 40000+m.Port {
+				*f = w.flowKey(i, j)
 				w.hashes[k] = f.Hash()
 			}
 			offers = append(offers, fabric.Offer{

@@ -31,6 +31,60 @@ func TestVectors(t *testing.T) {
 	}
 }
 
+// TestVectorByNameIndex pins the map-backed lookup: every known vector
+// resolves to itself and unknown names name the offender in the error.
+func TestVectorByNameIndex(t *testing.T) {
+	for _, want := range Vectors() {
+		got, err := VectorByName(want.Name)
+		if err != nil {
+			t.Fatalf("VectorByName(%q): %v", want.Name, err)
+		}
+		if got != want {
+			t.Fatalf("VectorByName(%q) = %+v, want %+v", want.Name, got, want)
+		}
+	}
+	_, err := VectorByName("no-such-vector")
+	if err == nil {
+		t.Fatal("unknown vector accepted")
+	}
+	if got := err.Error(); got != `traffic: unknown vector "no-such-vector"` {
+		t.Fatalf("error text: %q", got)
+	}
+}
+
+// TestAppendOffersReusesBuffer pins the scenario engine's zero-per-tick
+// allocation contract: appending into a warmed buffer emits offers
+// identical to Offers without growing the slice.
+func TestAppendOffersReusesBuffer(t *testing.T) {
+	rng := stats.NewRand(5)
+	peers := MakePeers(16)
+	attack := NewAttack(VectorNTP, victim, peers, 1e9, 0, 100, rng)
+	attack.RampTicks = 0
+	web := NewWebService(victim, peers[:4], 1e8, rng)
+
+	// Warm the buffer to capacity once.
+	buf := attack.AppendOffers(nil, 1, 1)
+	buf = web.AppendOffers(buf, 1, 1)
+	capWarm := cap(buf)
+
+	for tick := 2; tick < 6; tick++ {
+		buf = attack.AppendOffers(buf[:0], tick, 1)
+		buf = web.AppendOffers(buf, tick, 1)
+		if cap(buf) != capWarm {
+			t.Fatalf("tick %d: buffer regrew (%d -> %d)", tick, capWarm, cap(buf))
+		}
+		want := append(attack.Offers(tick, 1), web.Offers(tick, 1)...)
+		if len(buf) != len(want) {
+			t.Fatalf("tick %d: %d offers, want %d", tick, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("tick %d offer %d: %+v != %+v", tick, i, buf[i], want[i])
+			}
+		}
+	}
+}
+
 func TestMakePeers(t *testing.T) {
 	peers := MakePeers(650)
 	if len(peers) != 650 {
