@@ -275,8 +275,8 @@ func BenchmarkAblationAddPath(b *testing.B) {
 			// Best-path-only feed: the RS would suppress the non-best
 			// announcement; the second rule never reaches the controller.
 		}
-		x.Stellar.Process(x.Clock() + 10)
-		return x.Stellar.AppliedChanges()
+		x.Mitigations.Process(x.Clock() + 10)
+		return x.Mitigations.AppliedChanges()
 	}
 	var with, without int
 	for i := 0; i < b.N; i++ {

@@ -34,6 +34,7 @@ import (
 	"stellar/internal/fabric"
 	"stellar/internal/hw"
 	"stellar/internal/irr"
+	"stellar/internal/mitctl"
 	"stellar/internal/netpkt"
 	"stellar/internal/routeserver"
 )
@@ -76,18 +77,22 @@ type daemon struct {
 	bgpID   netip.Addr
 	openIRR bool
 
-	rs      *routeserver.RouteServer
-	policy  *irr.Policy
-	stellar *core.Stellar
-	qosMgr  *core.QoSManager
-	fab     *fabric.Fabric
-	router  *hw.EdgeRouter
+	rs        *routeserver.RouteServer
+	policy    *irr.Policy
+	ctl       *mitctl.Controller
+	community *mitctl.CommunityChannel
+	qosMgr    *core.QoSManager
+	fab       *fabric.Fabric
+	router    *hw.EdgeRouter
 
-	mu        sync.Mutex
-	peers     map[string]*bgpsession.Session // name -> session
-	nextPort  int
-	portIndex map[string]int
-	clock     float64
+	mu         sync.Mutex
+	peers      map[string]*bgpsession.Session // name -> session
+	peerASN    map[string]uint32
+	peerMAC    map[string]netpkt.MAC
+	nextPort   int
+	portIndex  map[string]int
+	clock      float64
+	loggedErrs int
 }
 
 func newDaemon(asn uint32, bgpID, blackholeNH string, openIRR bool, irrEntries []string) (*daemon, error) {
@@ -104,6 +109,8 @@ func newDaemon(asn uint32, bgpID, blackholeNH string, openIRR bool, irrEntries [
 		policy:    irr.NewPolicy(),
 		fab:       fabric.New(),
 		peers:     make(map[string]*bgpsession.Session),
+		peerASN:   make(map[string]uint32),
+		peerMAC:   make(map[string]netpkt.MAC),
 		portIndex: make(map[string]int),
 	}
 	for _, e := range irrEntries {
@@ -126,19 +133,67 @@ func newDaemon(asn uint32, bgpID, blackholeNH string, openIRR bool, irrEntries [
 	})
 	d.router = hw.NewEdgeRouter(hw.DefaultEdgeRouterLimits(1024, hw.RTBHUnitN))
 	d.qosMgr = core.NewQoSManager(d.fab, d.router, nil)
-	d.stellar = core.New(core.Config{Manager: d.qosMgr})
+	d.ctl = mitctl.New(mitctl.Config{
+		Manager: d.qosMgr,
+		Validator: &mitctl.IRRValidator{
+			Registry: d.policy.IRR,
+			ASNOf: func(name string) (uint32, bool) {
+				d.mu.Lock()
+				defer d.mu.Unlock()
+				asn, ok := d.peerASN[name]
+				return asn, ok
+			},
+		},
+		MemberMAC: func(name string) (netpkt.MAC, bool) {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			mac, ok := d.peerMAC[name]
+			return mac, ok
+		},
+	})
+	d.community = mitctl.NewCommunityChannel(d.ctl)
+	// The mitigation lifecycle is observable: log every transition.
+	d.ctl.Subscribe(func(ev mitctl.Event) {
+		m := ev.Mitigation
+		switch ev.Type {
+		case mitctl.EventRejected:
+			log.Printf("ixpd: mitigation %s %s (owner %s): %s", m.ID, ev.Type, m.Requester, m.LastError)
+		default:
+			log.Printf("ixpd: mitigation %s %s (owner %s, %v toward %s)",
+				m.ID, ev.Type, m.Requester, m.Action, m.Target)
+		}
+	})
+	d.rs.SetMitigationSource(func() []routeserver.MitigationRow {
+		d.mu.Lock()
+		now := d.clock
+		d.mu.Unlock()
+		return mitctl.MitigationRows(d.ctl, now)
+	})
 	d.rs.Subscribe(func(ev routeserver.ControllerEvent) {
 		d.mu.Lock()
 		d.clock += 0.001 // event-driven virtual clock
 		now := d.clock
 		d.mu.Unlock()
-		d.stellar.HandleEvent(ev, now)
-		n := d.stellar.Process(now + 1)
+		d.community.HandleEvent(ev, now)
+		n := d.ctl.Process(now + 1)
 		if n > 0 {
-			log.Printf("ixpd: stellar applied %d configuration change(s)", n)
+			log.Printf("ixpd: applied %d configuration change(s)", n)
 		}
-		for _, e := range d.stellar.Errors() {
-			log.Printf("ixpd: stellar apply error: %s: %v", e.Change, e.Err)
+		// Log only errors that appeared since the last event, not the
+		// whole accumulated history every time.
+		total := d.ctl.ErrorCount()
+		d.mu.Lock()
+		fresh := total - d.loggedErrs
+		d.loggedErrs = total
+		d.mu.Unlock()
+		if fresh > 0 {
+			errs := d.ctl.Errors()
+			if fresh > len(errs) {
+				fresh = len(errs) // older ones aged out of the window
+			}
+			for _, e := range errs[len(errs)-fresh:] {
+				log.Printf("ixpd: apply error: %s: %v", e.Change, e.Err)
+			}
 		}
 	})
 	return d, nil
@@ -197,8 +252,10 @@ func (d *daemon) register(name string, asn uint32, bgpID netip.Addr, sess *bgpse
 		}
 		d.portIndex[name] = d.nextPort
 		d.qosMgr.SetPortIndex(name, d.nextPort)
+		d.peerMAC[name] = mac
 		d.nextPort++
 	}
+	d.peerASN[name] = asn
 	d.peers[name] = sess
 }
 

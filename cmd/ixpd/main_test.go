@@ -100,8 +100,8 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatal("no export received")
 	}
 
-	// Advanced Blackholing: the daemon's Stellar installed a drop rule
-	// on the victim's fabric port.
+	// Advanced Blackholing: the daemon's mitigation controller installed
+	// a drop rule on the victim's fabric port.
 	port, err := d.fab.PortByName("AS64512")
 	if err != nil {
 		t.Fatal(err)
@@ -111,7 +111,10 @@ func TestDaemonEndToEnd(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	if port.RuleCount() != 1 {
-		t.Fatalf("rules: %d (stellar errors: %v)", port.RuleCount(), d.stellar.Errors())
+		t.Fatalf("rules: %d (controller errors: %v)", port.RuleCount(), d.ctl.Errors())
+	}
+	if got := len(d.ctl.Active()); got != 1 {
+		t.Fatalf("live mitigations: %d", got)
 	}
 
 	// Session teardown withdraws the member's routes and rules.

@@ -39,10 +39,14 @@ import (
 	"time"
 
 	"stellar/internal/bgp"
+	"stellar/internal/core"
 	"stellar/internal/fabric"
 	"stellar/internal/flowmon"
+	"stellar/internal/hw"
+	"stellar/internal/irr"
 	"stellar/internal/ixp"
 	"stellar/internal/member"
+	"stellar/internal/mitctl"
 	"stellar/internal/netpkt"
 	"stellar/internal/rib"
 	"stellar/internal/routeserver"
@@ -78,6 +82,24 @@ type benchReport struct {
 	SpeedupX   float64        `json:"sharded_speedup_x"`
 	Fabric     *fabricBench   `json:"fabric,omitempty"`
 	Scenario   *scenarioBench `json:"scenario,omitempty"`
+	Mitctl     *mitctlBench   `json:"mitctl,omitempty"`
+}
+
+// mitctlBench is the mitigation-control-plane half of the report: the
+// full declarative lifecycle (Request → validate → queue → install,
+// measured as controller installs/s and its inverse,
+// lifecycle_ns_per_install — the amortized wall-clock cost per
+// installed change, not a per-request latency) against the floor of
+// raw manager Apply calls on an identical rule population. overhead_x
+// is direct/controller; the regression bar demands the lifecycle stays
+// within barMitctlMinRatio of the raw floor.
+type mitctlBench struct {
+	Members                  int     `json:"members"`
+	Requests                 int     `json:"requests"`
+	DirectInstallsPerSec     float64 `json:"direct_installs_per_sec"`
+	ControllerInstallsPerSec float64 `json:"controller_installs_per_sec"`
+	LifecycleNsPerInstall    float64 `json:"lifecycle_ns_per_install"`
+	OverheadX                float64 `json:"overhead_x"`
 }
 
 // scenarioBench is the end-to-end half of the report: the multi-victim
@@ -123,6 +145,8 @@ func runBenchCommand(args []string, w io.Writer) error {
 	scenarioVictims := fs.Int("scenario-victims", 4, "victim ports in the scenario pipeline bench (0 = skip)")
 	scenarioPeers := fs.Int("scenario-peers", 48, "attack peers per victim in the scenario pipeline bench")
 	scenarioTicks := fs.Int("scenario-ticks", 120, "simulated ticks per scenario pipeline run")
+	mitctlRequests := fs.Int("mitctl-requests", 4096, "mitigation requests in the mitctl lifecycle bench (0 = skip)")
+	mitctlMembers := fs.Int("mitctl-members", 64, "member ports in the mitctl lifecycle bench")
 	check := fs.Bool("check", false, "exit non-zero when any section falls below its stated regression bar")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the bench run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile at the end of the bench run to this file")
@@ -187,6 +211,13 @@ func runBenchCommand(args []string, w io.Writer) error {
 		}
 		report.Scenario = sb
 	}
+	if *mitctlRequests > 0 {
+		mb, err := benchMitctl(*mitctlMembers, *mitctlRequests)
+		if err != nil {
+			return err
+		}
+		report.Mitctl = mb
+	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -238,6 +269,10 @@ const (
 	barShardedSpeedupX  = 0.8
 	barFabricSpeedupX   = 5.0
 	barScenarioSpeedupX = 3.0
+	// barMitctlMinRatio: the declarative lifecycle (validate, queue,
+	// versioned store, events) must sustain at least this fraction of
+	// the raw manager-Apply install rate (typically ~0.4-0.8x).
+	barMitctlMinRatio = 0.10
 )
 
 // checkBars fails the run when a measured section sits below its bar.
@@ -254,6 +289,11 @@ func checkBars(r *benchReport) error {
 	if r.Scenario != nil && r.Scenario.SpeedupX < barScenarioSpeedupX {
 		failures = append(failures, fmt.Sprintf(
 			"scenario: speedup_x %.2f < %.2f", r.Scenario.SpeedupX, barScenarioSpeedupX))
+	}
+	if r.Mitctl != nil && r.Mitctl.ControllerInstallsPerSec < barMitctlMinRatio*r.Mitctl.DirectInstallsPerSec {
+		failures = append(failures, fmt.Sprintf(
+			"mitctl: controller_installs_per_sec %.0f < %.2f x direct (%.0f)",
+			r.Mitctl.ControllerInstallsPerSec, barMitctlMinRatio, r.Mitctl.DirectInstallsPerSec))
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("bench: regression bars violated: %v", failures)
@@ -484,6 +524,112 @@ func benchFabric(nRules, nFlows int) (*fabricBench, error) {
 	ticksPerSec := 1e9 / timePerOp(func(int) { port.Egress(offers, 1) })
 	res.EgressTicksPerSec = ticksPerSec
 	res.EgressFlowsPerSec = ticksPerSec * float64(nFlows)
+	return res, nil
+}
+
+// benchMitctl measures the mitigation lifecycle: `requests` distinct
+// drop mitigations spread over `members` ports, first installed through
+// raw manager Apply calls (the floor: admission control + classifier
+// compile only), then through the full controller path — content-derived
+// IDs, IRR validation, change-queue pacing, versioned store, event
+// stream. Both runs install the same rule population; the controller
+// run must keep at least barMitctlMinRatio of the raw rate.
+func benchMitctl(members, requests int) (*mitctlBench, error) {
+	if members < 1 {
+		members = 1
+	}
+	memberName := func(i int) string { return fmt.Sprintf("AS%d", 64512+i) }
+	memberMAC := func(i int) netpkt.MAC { return netpkt.MAC{0x02, 0x44, 0, 0, byte(i >> 8), byte(i)} }
+	memberNet := func(i int) netip.Prefix {
+		return netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24)
+	}
+	lim := hw.DefaultEdgeRouterLimits(members, hw.RTBHUnitN)
+	lim.L34CriteriaTotal = 4*requests + 64
+	lim.MACFiltersTotal = requests + 64
+	lim.QoSPoliciesPerPort = requests/members + 64
+	build := func() (*fabric.Fabric, *core.QoSManager) {
+		fab := fabric.New()
+		portIndex := make(map[string]int, members)
+		for i := 0; i < members; i++ {
+			if err := fab.AddPort(fabric.NewPort(memberName(i), memberMAC(i), 1e10)); err != nil {
+				panic(err)
+			}
+			portIndex[memberName(i)] = i
+		}
+		return fab, core.NewQoSManager(fab, hw.NewEdgeRouter(lim), portIndex)
+	}
+	match := func(i int) fabric.Match {
+		m := fabric.MatchAll()
+		m.Proto = netpkt.ProtoUDP
+		m.SrcPort = int32(1000 + i/members)
+		m.DstIP = netip.PrefixFrom(memberNet(i%members).Addr().Next(), 32)
+		return m
+	}
+
+	res := &mitctlBench{Members: members, Requests: requests}
+
+	// Floor: straight Apply calls, no lifecycle.
+	_, directMgr := build()
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		if err := directMgr.Apply(core.ConfigChange{
+			Op: core.OpInstall, Member: memberName(i % members),
+			RuleID: fmt.Sprintf("direct:%d", i),
+			Match:  match(i), Action: fabric.ActionDrop,
+		}); err != nil {
+			return nil, fmt.Errorf("bench: direct install: %w", err)
+		}
+	}
+	res.DirectInstallsPerSec = float64(requests) / time.Since(start).Seconds()
+
+	// Full lifecycle: Request + Process batches (unthrottled queue, so
+	// the measurement is controller overhead, not pacing).
+	reg := irr.NewRegistry()
+	asns := make(map[string]uint32, members)
+	for i := 0; i < members; i++ {
+		reg.Register(uint32(64512+i), memberNet(i))
+		asns[memberName(i)] = uint32(64512 + i)
+	}
+	_, ctlMgr := build()
+	ctl := mitctl.New(mitctl.Config{
+		Manager:    ctlMgr,
+		QueueRate:  1e12,
+		QueueBurst: requests + 1,
+		Validator: &mitctl.IRRValidator{Registry: reg, ASNOf: func(name string) (uint32, bool) {
+			asn, ok := asns[name]
+			return asn, ok
+		}},
+	})
+	now := 0.0
+	start = time.Now()
+	for i := 0; i < requests; i++ {
+		m := i % members
+		spec := mitctl.Spec{
+			Requester: memberName(m),
+			Target:    netip.PrefixFrom(memberNet(m).Addr().Next(), 32),
+			Match:     match(i),
+			Action:    fabric.ActionDrop,
+		}
+		if _, err := ctl.Request(spec, now); err != nil {
+			return nil, fmt.Errorf("bench: mitctl request: %w", err)
+		}
+		if i%64 == 63 {
+			now++
+			ctl.Process(now)
+		}
+	}
+	now++
+	ctl.Process(now)
+	elapsed := time.Since(start).Seconds()
+	if got := ctl.AppliedChanges(); got != requests {
+		return nil, fmt.Errorf("bench: mitctl applied %d of %d changes (errors: %d)",
+			got, requests, len(ctl.Errors()))
+	}
+	res.ControllerInstallsPerSec = float64(requests) / elapsed
+	res.LifecycleNsPerInstall = elapsed * 1e9 / float64(requests)
+	if res.ControllerInstallsPerSec > 0 {
+		res.OverheadX = res.DirectInstallsPerSec / res.ControllerInstallsPerSec
+	}
 	return res, nil
 }
 

@@ -55,7 +55,7 @@ func main() {
 	tmpl := fabric.MatchAll()
 	tmpl.Proto = netpkt.ProtoUDP
 	tmpl.SrcPort = 11211
-	ruleID := x.Stellar.Portal().Define(victim.Name, tmpl, fabric.ActionDrop, 0)
+	ruleID := x.Mitigations.Portal().Define(victim.Name, tmpl, fabric.ActionDrop, 0)
 	fmt.Printf("\nportal: registered custom rule #%d for %s (drop UDP src 11211)\n\n", ruleID, victim.Name)
 
 	rng := stats.NewRand(9)

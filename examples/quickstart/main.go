@@ -76,6 +76,10 @@ func main() {
 	fmt.Println("\nAfter signaling IXP:2:123 (drop UDP/123 toward the /32):")
 	tick(3)
 
-	fmt.Printf("\nStellar applied %d configuration change(s); controller RIB holds %d path(s).\n",
-		x.Stellar.AppliedChanges(), x.Stellar.RIBLen())
+	fmt.Printf("\nStellar applied %d configuration change(s); the signaling channel tracks %d path(s).\n",
+		x.Mitigations.AppliedChanges(), x.Community.RIBLen())
+
+	// The mitigation is a first-class lifecycle object: the looking
+	// glass lists it with its owner and cumulative effect.
+	fmt.Print(x.RS.GlassMitigations())
 }

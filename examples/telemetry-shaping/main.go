@@ -16,6 +16,7 @@ import (
 	"stellar/internal/fabric"
 	"stellar/internal/ixp"
 	"stellar/internal/member"
+	"stellar/internal/mitctl"
 	"stellar/internal/stats"
 	"stellar/internal/traffic"
 )
@@ -48,11 +49,17 @@ func main() {
 	web := traffic.NewWebService(target, peers[:4], 3e8, rng)
 
 	// Shape UDP/123 to 200 Mbps from the start: attack traffic becomes a
-	// bounded telemetry sample.
+	// bounded telemetry sample. The announcement compiles into one
+	// lifecycle-managed mitigation whose ID we can address directly.
 	shapeSpec := core.ShapeUDPSrcPort(123, 200e6)
 	if err := x.Announce(victim.Name, host, nil, []core.RuleSpec{shapeSpec}); err != nil {
 		log.Fatal(err)
 	}
+	spec, err := mitctl.SpecFromSignal(victim.Name, host, shapeSpec, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mitID := mitctl.DeriveID(spec)
 
 	var lastMatched int64
 	quietTicks := 0
@@ -63,10 +70,11 @@ func main() {
 			log.Fatal(err)
 		}
 
-		// Telemetry: Stellar's member-facing counter API (Section 3.1).
-		cs, err := x.Stellar.Telemetry(victim.Name, host, shapeSpec)
+		// Telemetry: the controller's per-mitigation counter roll-up
+		// (Section 3.1) — live while installed, final after removal.
+		cs, err := x.Mitigations.Usage(mitID)
 		if err != nil {
-			continue // rule not installed yet (queued) or already removed
+			continue // not requested yet
 		}
 		deltaMbps := float64(cs.MatchedBytes-lastMatched) * 8 / 1e6
 		lastMatched = cs.MatchedBytes
@@ -92,6 +100,9 @@ func main() {
 	}
 	if !withdrawn {
 		log.Fatal("telemetry loop never detected the attack end")
+	}
+	if m, ok := x.Mitigations.Get(mitID); ok {
+		fmt.Printf("final lifecycle state: %s\n", m.State)
 	}
 	fmt.Println("done: rule removed based on telemetry, not guesswork")
 }

@@ -18,6 +18,13 @@ import (
 // blackholing routes, derives abstract configuration changes from RIB
 // snapshot diffs, rate-limits them through the token-bucket change
 // queue, and applies them via a NetworkManager.
+//
+// Deprecated: Stellar predates the unified mitigation control plane.
+// New code should use mitctl.Controller (lifecycle-managed mitigations
+// with TTL, ownership and per-mitigation telemetry) fed by
+// mitctl.NewCommunityChannel for the BGP signaling leg; ixp.Build wires
+// that stack. Stellar is retained as the reference implementation of
+// the original RIB-diffing controller and for its tests.
 type Stellar struct {
 	portal *Portal
 	queue  *ChangeQueue

@@ -102,7 +102,7 @@ func Fig10c(cfg AttackRunConfig) (Fig10cResult, error) {
 		PeersFinal:  ixp.MeanActivePeers(samples, dropTick+20, cfg.AttackEnd),
 		TopPorts:    series[0].Monitor.TopSrcPorts(3),
 	}
-	if lats := x.Stellar.Latencies(); len(lats) > 0 {
+	if lats := x.Mitigations.Latencies(); len(lats) > 0 {
 		res.ShapeLatency = lats[0]
 	}
 	return res, nil

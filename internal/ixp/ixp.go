@@ -19,6 +19,7 @@ import (
 	"stellar/internal/hw"
 	"stellar/internal/irr"
 	"stellar/internal/member"
+	"stellar/internal/mitctl"
 	"stellar/internal/netpkt"
 	"stellar/internal/routeserver"
 	"stellar/internal/traffic"
@@ -32,12 +33,20 @@ type Config struct {
 	BlackholeNextHop netip.Addr
 	// Members joins the given members to the fabric and route server.
 	Members []*member.Member
-	// EnableStellar wires a Stellar controller with a QoS manager.
+	// EnableStellar wires the mitigation control plane (a mitctl
+	// controller over a QoS manager, fed by the route server).
 	EnableStellar bool
-	// QueueRate and QueueBurst configure Stellar's change queue
+	// QueueRate and QueueBurst configure the controller's change queue
 	// (defaults: 4.33/s, burst 20).
 	QueueRate  float64
 	QueueBurst int
+	// MitigationTTL is the default lifetime applied to community- and
+	// API-signaled mitigations that carry none (0: never expire —
+	// withdrawal stays explicit, matching plain BGP semantics).
+	MitigationTTL float64
+	// MaxMitigationsPerMember bounds a member's live mitigations at the
+	// controller (0: only the hardware budget applies).
+	MaxMitigationsPerMember int
 	// HWUnitN is the hardware budget unit (defaults hw.RTBHUnitN).
 	HWUnitN int
 	// PlatformCapacityBps optionally constrains the switching core.
@@ -46,12 +55,19 @@ type Config struct {
 
 // IXP is a fully wired exchange point.
 type IXP struct {
-	Cfg     Config
-	RS      *routeserver.RouteServer
-	Fabric  *fabric.Fabric
-	Router  *hw.EdgeRouter
-	Stellar *core.Stellar
-	Policy  *irr.Policy
+	Cfg    Config
+	RS     *routeserver.RouteServer
+	Fabric *fabric.Fabric
+	Router *hw.EdgeRouter
+	Policy *irr.Policy
+	// Mitigations is the unified mitigation lifecycle controller; every
+	// signaling channel (BGP communities via Community, FlowSpec specs,
+	// the portal, and the direct RequestMitigation API) compiles into
+	// it. Nil unless Config.EnableStellar.
+	Mitigations *mitctl.Controller
+	// Community is the BGP extended-community signaling adapter feeding
+	// Mitigations from the route server's southbound feed.
+	Community *mitctl.CommunityChannel
 
 	mu      sync.Mutex
 	clock   float64
@@ -111,15 +127,66 @@ func Build(cfg Config) (*IXP, error) {
 
 	if cfg.EnableStellar {
 		mgr := core.NewQoSManager(x.Fabric, x.Router, portIndex)
-		x.Stellar = core.New(core.Config{
-			Manager: mgr,
-			Queue:   core.NewChangeQueue(cfg.QueueRate, cfg.QueueBurst),
+		x.Mitigations = mitctl.New(mitctl.Config{
+			Manager:    mgr,
+			QueueRate:  cfg.QueueRate,
+			QueueBurst: cfg.QueueBurst,
+			Validator: &mitctl.IRRValidator{
+				Registry: x.Policy.IRR,
+				ASNOf: func(name string) (uint32, bool) {
+					m, ok := x.members[name]
+					if !ok {
+						return 0, false
+					}
+					return m.ASN, true
+				},
+			},
+			MemberMAC: func(name string) (netpkt.MAC, bool) {
+				m, ok := x.members[name]
+				if !ok {
+					return netpkt.MAC{}, false
+				}
+				return m.MAC, true
+			},
+			MaxActivePerMember: cfg.MaxMitigationsPerMember,
+			DefaultTTL:         cfg.MitigationTTL,
 		})
+		x.Community = mitctl.NewCommunityChannel(x.Mitigations)
 		x.RS.Subscribe(func(ev routeserver.ControllerEvent) {
-			x.Stellar.HandleEvent(ev, x.Clock())
+			x.Community.HandleEvent(ev, x.Clock())
 		})
+		x.RS.SetMitigationSource(x.mitigationRows)
 	}
 	return x, nil
+}
+
+// mitigationRows feeds the route server's looking glass with the
+// controller's live mitigations, their remaining TTL and cumulative
+// data-plane effect.
+func (x *IXP) mitigationRows() []routeserver.MitigationRow {
+	if x.Mitigations == nil {
+		return nil
+	}
+	return mitctl.MitigationRows(x.Mitigations, x.Clock())
+}
+
+// RequestMitigation is the direct (API/portal) signaling channel: the
+// spec enters the lifecycle at the current simulation time and its
+// rules take effect when the next tick processes the change queue —
+// exactly like a BGP-signaled request.
+func (x *IXP) RequestMitigation(spec mitctl.Spec) (mitctl.Mitigation, error) {
+	if x.Mitigations == nil {
+		return mitctl.Mitigation{}, fmt.Errorf("ixp: mitigation control plane not enabled")
+	}
+	return x.Mitigations.Request(spec, x.Clock())
+}
+
+// WithdrawMitigation retracts a mitigation by ID, enforcing ownership.
+func (x *IXP) WithdrawMitigation(id, requester string) error {
+	if x.Mitigations == nil {
+		return fmt.Errorf("ixp: mitigation control plane not enabled")
+	}
+	return x.Mitigations.Withdraw(id, requester, x.Clock())
 }
 
 // Clock returns the current simulation time in seconds.
@@ -160,6 +227,13 @@ func PeersOf(members []*member.Member) []traffic.Peer {
 // Announce sends a BGP announcement from a member to the route server:
 // prefix, communities, and Advanced Blackholing rule signals. It applies
 // the resulting exports to the member population (RTBH honoring).
+//
+// The specs parameter is the legacy rule-signaling façade: each spec is
+// encoded as an Advanced Blackholing extended community and compiled
+// into the mitigation lifecycle by the community channel, exactly as if
+// the member had built the announcement itself. New code that does not
+// need the BGP leg should declare a mitctl.Spec and call
+// RequestMitigation; both paths produce identical installed state.
 func (x *IXP) Announce(memberName string, prefix netip.Prefix, communities []bgp.Community, specs []core.RuleSpec) error {
 	m, err := x.Member(memberName)
 	if err != nil {
@@ -332,8 +406,10 @@ func (x *IXP) TickStream(offers fabric.TickOffers, dt float64, sink fabric.TickS
 	}
 	x.mu.Unlock()
 
-	if x.Stellar != nil {
-		x.Stellar.Process(now)
+	if x.Mitigations != nil {
+		// Pending configuration changes apply and due TTLs expire before
+		// traffic egresses: the controller's clock is the tick loop.
+		x.Mitigations.Process(now)
 	}
 
 	names := make([]string, 0, len(offers))

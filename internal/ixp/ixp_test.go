@@ -1,14 +1,17 @@
 package ixp
 
 import (
+	"fmt"
 	"math"
 	"net/netip"
+	"strings"
 	"testing"
 
 	"stellar/internal/bgp"
 	"stellar/internal/core"
 	"stellar/internal/fabric"
 	"stellar/internal/member"
+	"stellar/internal/mitctl"
 	"stellar/internal/netpkt"
 	"stellar/internal/stats"
 	"stellar/internal/traffic"
@@ -52,8 +55,8 @@ func TestBuildWiring(t *testing.T) {
 	if got := len(x.Fabric.Ports()); got != 20 {
 		t.Fatalf("ports: %d", got)
 	}
-	if x.Stellar == nil {
-		t.Fatal("stellar not wired")
+	if x.Mitigations == nil || x.Community == nil {
+		t.Fatal("mitigation control plane not wired")
 	}
 	if _, err := x.Member(members[0].Name); err != nil {
 		t.Fatal(err)
@@ -193,7 +196,7 @@ func TestStellarEndToEndMitigation(t *testing.T) {
 	}
 	post := reports[victim.Name]
 	if post.Result.RuleDroppedBytes <= 0 {
-		t.Fatalf("rule did not drop: %+v (stellar errs %v)", post.Result, x.Stellar.Errors())
+		t.Fatalf("rule did not drop: %+v (controller errs %v)", post.Result, x.Mitigations.Errors())
 	}
 	// Web traffic delivered in full: 4e8 bps = 5e7 bytes.
 	if post.Result.DeliveredBytes < 4.9e7 || post.Result.DeliveredBytes > 5.1e7 {
@@ -338,7 +341,7 @@ func TestIPv6BlackholingEndToEnd(t *testing.T) {
 	}
 	rep := reports[victim.Name]
 	if rep.Result.RuleDroppedBytes != 1e6 {
-		t.Fatalf("v6 rule drop: %v (stellar errs: %v)", rep.Result.RuleDroppedBytes, x.Stellar.Errors())
+		t.Fatalf("v6 rule drop: %v (controller errs: %v)", rep.Result.RuleDroppedBytes, x.Mitigations.Errors())
 	}
 	if rep.Result.DeliveredBytes != 5e5 {
 		t.Fatalf("v6 benign delivered: %v", rep.Result.DeliveredBytes)
@@ -385,8 +388,142 @@ func TestMemberSessionLossCleansRules(t *testing.T) {
 	if port.RuleCount() != 0 {
 		t.Fatalf("rules after session loss: %d", port.RuleCount())
 	}
-	if x.Stellar.RIBLen() != 0 {
-		t.Fatal("controller RIB not cleared")
+	if x.Community.RIBLen() != 0 {
+		t.Fatal("signaling-channel RIB not cleared")
+	}
+	if got := len(x.Mitigations.Active()); got != 0 {
+		t.Fatalf("live mitigations after session loss: %d", got)
+	}
+}
+
+// portState renders a port's installed rules content-wise (IDs
+// excluded), for cross-path equivalence comparisons.
+func portState(t *testing.T, x *IXP, member string) string {
+	t.Helper()
+	port, err := x.Fabric.PortByName(member)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []string
+	for _, r := range port.Rules() {
+		rows = append(rows, fmt.Sprintf("%s -> %v@%g", r.Match, r.Action, r.ShapeRateBps))
+	}
+	return strings.Join(rows, "\n")
+}
+
+// TestAnnounceFacadeEquivalence pins the deprecated Announce(specs)
+// façade against the declarative API: signaling a rule spec through a
+// BGP announcement and requesting the equivalent mitctl.Spec directly
+// must produce identical installed state, identical mitigation IDs and
+// identical tick behavior.
+func TestAnnounceFacadeEquivalence(t *testing.T) {
+	buildOne := func() (*IXP, []*member.Member) { return buildTestIXP(t, 8, 0.0, true) }
+	runTicks := func(x *IXP, victim *member.Member) fabric.TickResult {
+		rng := stats.NewRand(7)
+		attack := traffic.NewAttack(traffic.VectorNTP, victimAddr(victim), PeersOf([]*member.Member{victim}), 1e9, 0, 100, rng)
+		attack.RampTicks = 0
+		offers := attack.Offers(1, 1)
+		reports, err := x.Tick(fabric.TickOffers{victim.Name: offers}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reports[victim.Name].Result
+	}
+
+	// Path A: the legacy BGP façade.
+	xa, membersA := buildOne()
+	victimA := membersA[0]
+	hostA := netip.PrefixFrom(victimAddr(victimA), 32)
+	if err := xa.Announce(victimA.Name, hostA, nil, []core.RuleSpec{core.DropUDPSrcPort(123)}); err != nil {
+		t.Fatal(err)
+	}
+	resA := runTicks(xa, victimA)
+
+	// Path B: the declarative API with the compiled spec.
+	xb, membersB := buildOne()
+	victimB := membersB[0]
+	hostB := netip.PrefixFrom(victimAddr(victimB), 32)
+	spec, err := mitctl.SpecFromSignal(victimB.Name, hostB, core.DropUDPSrcPort(123), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Channel = mitctl.ChannelAPI // provenance differs; identity must not
+	if _, err := xb.RequestMitigation(spec); err != nil {
+		t.Fatal(err)
+	}
+	resB := runTicks(xb, victimB)
+
+	if sa, sb := portState(t, xa, victimA.Name), portState(t, xb, victimB.Name); sa != sb || sa == "" {
+		t.Fatalf("installed state diverges:\nfacade:\n%s\napi:\n%s", sa, sb)
+	}
+	idsA, idsB := xa.Mitigations.Active(), xb.Mitigations.Active()
+	if len(idsA) != 1 || len(idsB) != 1 || idsA[0].ID != idsB[0].ID {
+		t.Fatalf("mitigation IDs diverge: %+v vs %+v", idsA, idsB)
+	}
+	if idsA[0].Channel == idsB[0].Channel {
+		t.Fatalf("channels should differ (provenance): %v vs %v", idsA[0].Channel, idsB[0].Channel)
+	}
+	if resA.RuleDroppedBytes != resB.RuleDroppedBytes || resA.DeliveredBytes != resB.DeliveredBytes {
+		t.Fatalf("tick results diverge: %+v vs %+v", resA, resB)
+	}
+	if resA.RuleDroppedBytes == 0 {
+		t.Fatal("mitigation had no effect")
+	}
+
+	// Cross-path withdrawal: the API can withdraw what BGP requested.
+	if err := xa.WithdrawMitigation(idsA[0].ID, victimA.Name); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xa.Tick(fabric.TickOffers{}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := portState(t, xa, victimA.Name); got != "" {
+		t.Fatalf("rules after cross-path withdraw:\n%s", got)
+	}
+}
+
+// TestMitigationTTLFromTickLoop verifies the TTL clock is driven by the
+// simulation tick loop end to end: a TTL'd API request installs, lives
+// for its lifetime, and is removed by a later tick with no explicit
+// withdrawal.
+func TestMitigationTTLFromTickLoop(t *testing.T) {
+	x, members := buildTestIXP(t, 4, 0.0, true)
+	victim := members[0]
+	host := netip.PrefixFrom(victimAddr(victim), 32)
+	spec, err := mitctl.SpecFromSignal(victim.Name, host, core.DropUDPSrcPort(123), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.TTL = 3
+	m, err := x.RequestMitigation(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := func() {
+		if _, err := x.Tick(fabric.TickOffers{}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tick() // t=1: installed
+	port, _ := x.Fabric.PortByName(victim.Name)
+	if port.RuleCount() != 1 {
+		t.Fatalf("rules at t=1: %d", port.RuleCount())
+	}
+	// The looking glass lists it with its remaining TTL.
+	glass := x.RS.GlassMitigations()
+	if !strings.Contains(glass, m.ID) || !strings.Contains(glass, "owner "+victim.Name) {
+		t.Fatalf("looking glass:\n%s", glass)
+	}
+	tick() // t=2
+	if got, _ := x.Mitigations.Get(m.ID); got.State != mitctl.StateActive {
+		t.Fatalf("state at t=2: %v", got.State)
+	}
+	tick() // t=3: TTL deadline — expiry and removal ride this tick
+	if got, _ := x.Mitigations.Get(m.ID); got.State != mitctl.StateExpired {
+		t.Fatalf("state at t=3: %v", got.State)
+	}
+	if port.RuleCount() != 0 {
+		t.Fatalf("rules at t=3: %d", port.RuleCount())
 	}
 }
 

@@ -1,0 +1,819 @@
+package mitctl
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"stellar/internal/core"
+	"stellar/internal/fabric"
+	"stellar/internal/netpkt"
+)
+
+// State is a mitigation's lifecycle position.
+type State uint8
+
+// Lifecycle states. Pending and Active are live; the rest are final.
+const (
+	// StatePending: validated and queued; the change queue has not yet
+	// released its installs (signal-to-configuration delay, Figure 10b).
+	StatePending State = iota
+	// StateActive: at least one fabric rule is installed.
+	StateActive
+	// StateExpired: the TTL clock ran out; removals are queued/applied.
+	StateExpired
+	// StateWithdrawn: the requester withdrew it.
+	StateWithdrawn
+	// StateRejected: validation, admission control or every rule install
+	// failed; nothing remains installed.
+	StateRejected
+)
+
+func (s State) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateActive:
+		return "active"
+	case StateExpired:
+		return "expired"
+	case StateWithdrawn:
+		return "withdrawn"
+	case StateRejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Final reports whether the state is terminal.
+func (s State) Final() bool { return s != StatePending && s != StateActive }
+
+// Mitigation is one spec plus its lifecycle state — what Snapshot, Get
+// and the event stream expose.
+type Mitigation struct {
+	Spec
+	State State
+	// RequestedAt / InstalledAt are simulation timestamps (seconds).
+	RequestedAt float64
+	InstalledAt float64
+	// ExpiresAt is the TTL deadline; 0 means the mitigation never
+	// expires. Refreshing re-arms it.
+	ExpiresAt float64
+	// RuleIDs are the fabric rule tags the mitigation installs; each
+	// tag carries the mitigation ID so per-rule telemetry counters roll
+	// up per mitigation.
+	RuleIDs []string
+	// LastError records the most recent validation or install failure.
+	LastError string
+	// Version is the store version of the mitigation's last transition.
+	Version uint64
+}
+
+// TTLRemaining returns the seconds left before expiry at time now, or
+// -1 when the mitigation never expires.
+func (m Mitigation) TTLRemaining(now float64) float64 {
+	if m.ExpiresAt == 0 {
+		return -1
+	}
+	if r := m.ExpiresAt - now; r > 0 {
+		return r
+	}
+	return 0
+}
+
+// EventType labels a lifecycle transition on the event stream.
+type EventType uint8
+
+// Event types, in lifecycle order.
+const (
+	EventRequested EventType = iota
+	EventValidated
+	EventInstalled
+	EventRefreshed
+	EventExpired
+	EventWithdrawn
+	EventRejected
+)
+
+func (t EventType) String() string {
+	switch t {
+	case EventRequested:
+		return "requested"
+	case EventValidated:
+		return "validated"
+	case EventInstalled:
+		return "installed"
+	case EventRefreshed:
+		return "refreshed"
+	case EventExpired:
+		return "expired"
+	case EventWithdrawn:
+		return "withdrawn"
+	case EventRejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("EventType(%d)", uint8(t))
+	}
+}
+
+// Event is one lifecycle transition delivered to subscribers.
+type Event struct {
+	Type EventType
+	Time float64
+	// Mitigation is a copy of the state after the transition.
+	Mitigation Mitigation
+}
+
+// Usage is a mitigation's aggregated data-plane telemetry: the sum of
+// its fabric rules' counters, including rules already removed (their
+// final counters are folded in at removal). This is the "measure" end
+// of the request→install→measure loop.
+type Usage struct {
+	MatchedPackets int64
+	MatchedBytes   int64
+	DroppedBytes   int64
+	ForwardedBytes int64
+	ShapedResidue  int64
+}
+
+func (u *Usage) add(c fabric.CounterSnapshot) {
+	u.MatchedPackets += c.MatchedPackets
+	u.MatchedBytes += c.MatchedBytes
+	u.DroppedBytes += c.DroppedBytes
+	u.ForwardedBytes += c.ForwardedBytes
+	u.ShapedResidue += c.ShapedResidue
+}
+
+// Snapshot is a consistent view of the store: every mitigation (sorted
+// by ID) plus the version counter that produced it. The version bumps
+// on every transition, so pollers can cheaply detect change.
+type Snapshot struct {
+	Version     uint64
+	Mitigations []Mitigation
+}
+
+// Errors returned by Request and Withdraw.
+var (
+	// ErrValidation wraps IRR/ownership validation failures.
+	ErrValidation = errors.New("mitctl: validation failed")
+	// ErrAdmission: the requester exceeded its live-mitigation budget.
+	ErrAdmission = errors.New("mitctl: admission control rejected request")
+	// ErrSpecMismatch: the ID is live with a different spec; withdraw
+	// it first (mitigation specs are immutable while live).
+	ErrSpecMismatch = errors.New("mitctl: mitigation exists with a different spec")
+	// ErrUnknownMitigation: no mitigation with that ID.
+	ErrUnknownMitigation = errors.New("mitctl: unknown mitigation")
+	// ErrNotOwner: only the requesting member may withdraw.
+	ErrNotOwner = errors.New("mitctl: not the mitigation owner")
+)
+
+// Config assembles a Controller.
+type Config struct {
+	// Manager applies compiled configuration changes to the data plane
+	// under hardware admission control (core.QoSManager, core.SDNManager).
+	Manager core.NetworkManager
+	// QueueRate / QueueBurst parameterize the token-bucket change queue
+	// between the controller and the manager (defaults: the production
+	// 4.33 changes/s, burst 20 — Figure 10a).
+	QueueRate  float64
+	QueueBurst int
+	// Validator checks prefix ownership on Request; nil accepts all.
+	Validator Validator
+	// Portal resolves customer-defined rule templates (SelCustom
+	// signals, the portal channel); nil creates an empty portal.
+	Portal *core.Portal
+	// MemberMAC resolves a peer name to its fabric MAC for per-peer
+	// scope; nil rejects ScopePerPeer requests.
+	MemberMAC func(string) (netpkt.MAC, bool)
+	// MaxActivePerMember bounds a member's live mitigations (0: no
+	// controller-level bound; the hardware budget still applies).
+	MaxActivePerMember int
+	// DefaultTTL is applied to specs with TTL 0 (0: never expire).
+	DefaultTTL float64
+}
+
+// rule install status, tracked per fabric rule tag across generations.
+type ruleStatus uint8
+
+const (
+	ruleQueued ruleStatus = iota + 1
+	ruleInstalled
+	ruleFailed
+)
+
+// mit is the controller's internal record: the public view plus install
+// bookkeeping.
+type mit struct {
+	Mitigation
+	key             string
+	pendingInstalls int
+	okInstalls      int
+	// accrued holds the final counters of rules already removed.
+	accrued Usage
+}
+
+// queuedOp is one paced configuration change bound to its mitigation
+// generation, so a re-requested ID never confuses an older generation's
+// in-flight changes with the new one's.
+type queuedOp struct {
+	change     core.ConfigChange
+	m          *mit
+	enqueuedAt float64
+}
+
+// Controller owns the mitigation lifecycle: it validates requests,
+// compiles them into tagged fabric rules, paces installs and removals
+// through a token-bucket change queue, drives TTL expiry from the tick
+// loop, and maintains the versioned store and event stream.
+//
+// All methods are safe for concurrent use. Process must be called with
+// a monotonically non-decreasing clock (the simulation tick loop).
+type Controller struct {
+	cfg Config
+
+	// processMu serializes Process end to end (drain + apply), so
+	// concurrent Process calls cannot reorder an install after its
+	// remove.
+	processMu sync.Mutex
+
+	mu      sync.Mutex
+	mits    map[string]*mit
+	rules   map[string]ruleStatus
+	queue   []queuedOp
+	tokens  float64
+	lastRef float64
+	maxDep  int
+	version uint64
+	subs    []func(Event)
+
+	latencies []float64
+	applied   int
+	applyErrs []core.ApplyError
+	errTotal  int
+}
+
+// Retention bounds for long-running deployments: telemetry slices keep
+// a recent window (oldest half dropped on overflow) instead of growing
+// for the controller's lifetime; rule-status entries are deleted once
+// their removal resolves.
+const (
+	maxRetainedLatencies = 1 << 16
+	maxRetainedErrors    = 4096
+)
+
+func (c *Controller) noteLatencyLocked(l float64) {
+	c.latencies = append(c.latencies, l)
+	if len(c.latencies) > maxRetainedLatencies {
+		c.latencies = append(c.latencies[:0:0], c.latencies[len(c.latencies)-maxRetainedLatencies/2:]...)
+	}
+}
+
+func (c *Controller) noteApplyErrLocked(e core.ApplyError) {
+	c.errTotal++
+	c.applyErrs = append(c.applyErrs, e)
+	if len(c.applyErrs) > maxRetainedErrors {
+		c.applyErrs = append(c.applyErrs[:0:0], c.applyErrs[len(c.applyErrs)-maxRetainedErrors/2:]...)
+	}
+}
+
+// New creates a Controller.
+func New(cfg Config) *Controller {
+	if cfg.QueueRate == 0 {
+		cfg.QueueRate = 4.33
+	}
+	if cfg.QueueBurst < 1 {
+		cfg.QueueBurst = 20
+	}
+	if cfg.Portal == nil {
+		cfg.Portal = core.NewPortal()
+	}
+	return &Controller{
+		cfg:    cfg,
+		mits:   make(map[string]*mit),
+		rules:  make(map[string]ruleStatus),
+		tokens: float64(cfg.QueueBurst),
+	}
+}
+
+// Portal returns the customer rule portal.
+func (c *Controller) Portal() *core.Portal { return c.cfg.Portal }
+
+// Subscribe attaches a lifecycle event subscriber. Events are delivered
+// synchronously, outside the controller's locks, in transition order.
+func (c *Controller) Subscribe(fn func(Event)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.subs = append(c.subs, fn)
+}
+
+// emit delivers events to the subscribers captured at transition time.
+func (c *Controller) emit(subs []func(Event), evs []Event) {
+	for _, ev := range evs {
+		for _, fn := range subs {
+			fn(ev)
+		}
+	}
+}
+
+// Request asks for a mitigation at time now. The spec is validated
+// (shape, IRR ownership, admission control) and its installs enter the
+// change queue; they take effect when Process next releases them.
+//
+// Requests are idempotent: re-requesting a live mitigation with an
+// identical spec refreshes its TTL and installs nothing new. A live ID
+// with a different spec is refused with ErrSpecMismatch. A final-state
+// ID (expired, withdrawn, rejected) starts a fresh lifecycle.
+//
+// The returned Mitigation is a copy of the stored state.
+func (c *Controller) Request(spec Spec, now float64) (Mitigation, error) {
+	spec, err := spec.normalized()
+	if err != nil {
+		return Mitigation{}, err
+	}
+	if spec.TTL == 0 {
+		spec.TTL = c.cfg.DefaultTTL
+	}
+	if spec.ID == "" {
+		spec.ID = DeriveID(spec)
+	}
+	key := spec.key()
+
+	// Resolve per-peer MACs before taking the lock.
+	var macs []netpkt.MAC
+	var macErr error
+	if spec.Scope == ScopePerPeer {
+		macs = make([]netpkt.MAC, len(spec.Peers))
+		for i, p := range spec.Peers {
+			if c.cfg.MemberMAC == nil {
+				macErr = fmt.Errorf("%w: per-peer scope unsupported (no MAC resolver)", ErrValidation)
+				break
+			}
+			mac, ok := c.cfg.MemberMAC(p)
+			if !ok {
+				macErr = fmt.Errorf("%w: unknown peer %s", ErrValidation, p)
+				break
+			}
+			macs[i] = mac
+		}
+	}
+
+	c.mu.Lock()
+	if existing, ok := c.mits[spec.ID]; ok && !existing.State.Final() {
+		if existing.key != key {
+			c.mu.Unlock()
+			return Mitigation{}, fmt.Errorf("%w: %s", ErrSpecMismatch, spec.ID)
+		}
+		// Refresh: re-arm the TTL clock, nothing to install.
+		if spec.TTL > 0 {
+			existing.ExpiresAt = now + spec.TTL
+			existing.TTL = spec.TTL
+		} else {
+			existing.ExpiresAt = 0
+			existing.TTL = 0
+		}
+		c.version++
+		existing.Version = c.version
+		view := existing.Mitigation
+		subs, evs := c.subsLocked(), []Event{{Type: EventRefreshed, Time: now, Mitigation: view}}
+		c.mu.Unlock()
+		c.emit(subs, evs)
+		return view, nil
+	}
+
+	reject := func(reason error) (Mitigation, error) {
+		m := &mit{Mitigation: Mitigation{
+			Spec: spec, State: StateRejected, RequestedAt: now, LastError: reason.Error(),
+		}, key: key}
+		c.version++
+		m.Version = c.version
+		c.mits[spec.ID] = m
+		view := m.Mitigation
+		subs, evs := c.subsLocked(), []Event{
+			{Type: EventRequested, Time: now, Mitigation: view},
+			{Type: EventRejected, Time: now, Mitigation: view},
+		}
+		c.mu.Unlock()
+		c.emit(subs, evs)
+		return view, reason
+	}
+
+	if macErr != nil {
+		return reject(macErr)
+	}
+	if c.cfg.Validator != nil {
+		if err := c.cfg.Validator.Validate(spec.Requester, spec.Target); err != nil {
+			return reject(fmt.Errorf("%w: %v", ErrValidation, err))
+		}
+	}
+	if max := c.cfg.MaxActivePerMember; max > 0 {
+		live := 0
+		for _, m := range c.mits {
+			if m.Requester == spec.Requester && !m.State.Final() {
+				live++
+			}
+		}
+		if live >= max {
+			return reject(fmt.Errorf("%w: member %s has %d live mitigations (max %d)",
+				ErrAdmission, spec.Requester, live, max))
+		}
+	}
+
+	m := &mit{Mitigation: Mitigation{
+		Spec: spec, State: StatePending, RequestedAt: now, RuleIDs: spec.ruleIDs(),
+	}, key: key}
+	if spec.TTL > 0 {
+		m.ExpiresAt = now + spec.TTL
+	}
+	m.pendingInstalls = len(m.RuleIDs)
+	for i, rid := range m.RuleIDs {
+		match := spec.Match
+		if spec.Scope == ScopePerPeer {
+			mac := macs[i]
+			match.SrcMAC = &mac
+		}
+		if c.rules[rid] != ruleInstalled {
+			// ruleInstalled means a prior generation's rule is still
+			// physically installed with its removal queued ahead of this
+			// install; leave the status so that removal still applies.
+			c.rules[rid] = ruleQueued
+		}
+		c.enqueueLocked(queuedOp{change: core.ConfigChange{
+			Op: core.OpInstall, Member: spec.Requester, RuleID: rid,
+			Match: match, Action: spec.Action, ShapeRateBps: spec.ShapeRateBps,
+		}, m: m, enqueuedAt: now})
+	}
+	c.version++
+	m.Version = c.version
+	c.mits[spec.ID] = m
+	view := m.Mitigation
+	subs, evs := c.subsLocked(), []Event{
+		{Type: EventRequested, Time: now, Mitigation: view},
+		{Type: EventValidated, Time: now, Mitigation: view},
+	}
+	c.mu.Unlock()
+	c.emit(subs, evs)
+	return view, nil
+}
+
+// Withdraw retracts a mitigation at time now. Only the requesting
+// member may withdraw (requester "" bypasses the check, for operator
+// tooling). Withdrawing a mitigation already in a final state — e.g.
+// one that expired in the same tick — is a no-op, not an error.
+func (c *Controller) Withdraw(id, requester string, now float64) error {
+	c.mu.Lock()
+	m, ok := c.mits[id]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownMitigation, id)
+	}
+	if requester != "" && requester != m.Requester {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s belongs to %s", ErrNotOwner, id, m.Requester)
+	}
+	if m.State.Final() {
+		c.mu.Unlock()
+		return nil
+	}
+	c.finalizeLocked(m, StateWithdrawn, now)
+	view := m.Mitigation
+	subs := c.subsLocked()
+	c.mu.Unlock()
+	c.emit(subs, []Event{{Type: EventWithdrawn, Time: now, Mitigation: view}})
+	return nil
+}
+
+// finalizeLocked moves a live mitigation to a final state and queues
+// the removal of its rules.
+func (c *Controller) finalizeLocked(m *mit, s State, now float64) {
+	m.State = s
+	c.version++
+	m.Version = c.version
+	for _, rid := range m.RuleIDs {
+		c.enqueueLocked(queuedOp{change: core.ConfigChange{
+			Op: core.OpRemove, Member: m.Requester, RuleID: rid,
+		}, m: m, enqueuedAt: now})
+	}
+}
+
+func (c *Controller) enqueueLocked(op queuedOp) {
+	c.queue = append(c.queue, op)
+	if len(c.queue) > c.maxDep {
+		c.maxDep = len(c.queue)
+	}
+}
+
+func (c *Controller) subsLocked() []func(Event) {
+	if len(c.subs) == 0 {
+		return nil
+	}
+	out := make([]func(Event), len(c.subs))
+	copy(out, c.subs)
+	return out
+}
+
+// Process advances the controller to time now: mitigations whose TTL
+// ran out expire, then the token-bucket queue releases every change a
+// token is available for (FIFO) and applies it through the manager.
+// It returns the number of changes applied. The tick loop calls it
+// once per tick, before traffic egresses.
+func (c *Controller) Process(now float64) int {
+	c.processMu.Lock()
+	defer c.processMu.Unlock()
+
+	var pending []Event
+	c.mu.Lock()
+	// TTL clock: expire before draining so the removals of a mitigation
+	// expiring this tick can ride this tick's tokens. Due mitigations
+	// finalize in ID order — map iteration order must not decide which
+	// one's removals win the tick's remaining tokens (determinism is a
+	// repo-wide invariant).
+	var due []*mit
+	for _, m := range c.mits {
+		if !m.State.Final() && m.ExpiresAt > 0 && m.ExpiresAt <= now {
+			due = append(due, m)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i].ID < due[j].ID })
+	for _, m := range due {
+		c.finalizeLocked(m, StateExpired, now)
+		pending = append(pending, Event{Type: EventExpired, Time: now, Mitigation: m.Mitigation})
+	}
+	// Token-bucket release, FIFO (same discipline as Figure 10a's
+	// change-rate cap: refill rate*dt, clamp to burst, one token per
+	// change).
+	if now > c.lastRef {
+		c.tokens += (now - c.lastRef) * c.cfg.QueueRate
+		if c.tokens > float64(c.cfg.QueueBurst) {
+			c.tokens = float64(c.cfg.QueueBurst)
+		}
+		c.lastRef = now
+	}
+	var released []queuedOp
+	for len(c.queue) > 0 && c.tokens >= 1 {
+		released = append(released, c.queue[0])
+		c.queue = c.queue[1:]
+		c.tokens--
+	}
+	subs := c.subsLocked()
+	c.mu.Unlock()
+
+	applied := 0
+	for _, op := range released {
+		if evs, ok := c.applyOne(op, now); ok {
+			applied++
+			pending = append(pending, evs...)
+		}
+	}
+	c.emit(subs, pending)
+	return applied
+}
+
+// applyOne performs one released change and folds the outcome into the
+// store. It returns lifecycle events to deliver and whether the change
+// counted as applied.
+func (c *Controller) applyOne(op queuedOp, now float64) ([]Event, bool) {
+	if op.change.Op == core.OpRemove {
+		c.mu.Lock()
+		if c.rules[op.change.RuleID] != ruleInstalled {
+			// The install this remove pairs with failed (or a newer
+			// generation raced ahead): nothing to undo. A leftover
+			// ruleFailed entry is done with — drop it; a ruleQueued entry
+			// belongs to a newer generation's pending install and stays.
+			if c.rules[op.change.RuleID] == ruleFailed {
+				delete(c.rules, op.change.RuleID)
+			}
+			c.mu.Unlock()
+			return nil, false
+		}
+		c.mu.Unlock()
+		// Fold the rule's final counters into the mitigation before the
+		// rule (and its counters) disappear from the port.
+		var final fabric.CounterSnapshot
+		haveFinal := false
+		if src, ok := c.cfg.Manager.(core.CounterSource); ok {
+			if counters, err := src.Counters(op.change.RuleID); err == nil {
+				final = counters.Snapshot()
+				haveFinal = true
+			}
+		}
+		err := c.cfg.Manager.Apply(op.change)
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if err != nil {
+			c.noteApplyErrLocked(core.ApplyError{Change: op.change, Err: err})
+			return nil, false
+		}
+		// The rule is off the port; its status entry has no further
+		// reader (a re-request would start from a clean slate anyway).
+		delete(c.rules, op.change.RuleID)
+		if haveFinal {
+			op.m.accrued.add(final)
+		}
+		c.noteLatencyLocked(now - op.enqueuedAt)
+		c.applied++
+		return nil, true
+	}
+
+	err := c.cfg.Manager.Apply(op.change)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := op.m
+	m.pendingInstalls--
+	if err != nil {
+		c.noteApplyErrLocked(core.ApplyError{Change: op.change, Err: err})
+		c.rules[op.change.RuleID] = ruleFailed
+		m.LastError = err.Error()
+		if m.State == StatePending && m.pendingInstalls == 0 && m.okInstalls == 0 {
+			// Every rule was refused (hardware admission control).
+			m.State = StateRejected
+			c.version++
+			m.Version = c.version
+			return []Event{{Type: EventRejected, Time: now, Mitigation: m.Mitigation}}, false
+		}
+		return nil, false
+	}
+	c.rules[op.change.RuleID] = ruleInstalled
+	m.okInstalls++
+	c.noteLatencyLocked(now - op.enqueuedAt)
+	c.applied++
+	if m.State == StatePending {
+		m.State = StateActive
+		m.InstalledAt = now
+		c.version++
+		m.Version = c.version
+		return []Event{{Type: EventInstalled, Time: now, Mitigation: m.Mitigation}}, true
+	}
+	return nil, true
+}
+
+// Get returns a copy of the mitigation with the given ID.
+func (c *Controller) Get(id string) (Mitigation, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m, ok := c.mits[id]; ok {
+		return m.Mitigation, true
+	}
+	return Mitigation{}, false
+}
+
+// List returns every mitigation, sorted by ID.
+func (c *Controller) List() []Mitigation { return c.Snapshot().Mitigations }
+
+// Snapshot returns the versioned store view.
+func (c *Controller) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{Version: c.version, Mitigations: make([]Mitigation, 0, len(c.mits))}
+	for _, m := range c.mits {
+		s.Mitigations = append(s.Mitigations, m.Mitigation)
+	}
+	sortMitigations(s.Mitigations)
+	return s
+}
+
+// Active returns the live (pending or active) mitigations, sorted by ID.
+func (c *Controller) Active() []Mitigation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Mitigation, 0, len(c.mits))
+	for _, m := range c.mits {
+		if !m.State.Final() {
+			out = append(out, m.Mitigation)
+		}
+	}
+	sortMitigations(out)
+	return out
+}
+
+// Prune drops final-state mitigations last touched before the given
+// version, bounding store growth in long-running deployments.
+func (c *Controller) Prune(beforeVersion uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for id, m := range c.mits {
+		if m.State.Final() && m.Version < beforeVersion {
+			delete(c.mits, id)
+			n++
+		}
+	}
+	return n
+}
+
+// Usage returns the mitigation's aggregated per-rule telemetry: live
+// counters of installed rules plus the final counters of rules already
+// removed. It requires a manager exposing counters (core.CounterSource).
+func (c *Controller) Usage(id string) (Usage, error) {
+	c.mu.Lock()
+	m, ok := c.mits[id]
+	if !ok {
+		c.mu.Unlock()
+		return Usage{}, fmt.Errorf("%w: %s", ErrUnknownMitigation, id)
+	}
+	u := m.accrued
+	var live []string
+	for _, rid := range m.RuleIDs {
+		if c.rules[rid] == ruleInstalled {
+			live = append(live, rid)
+		}
+	}
+	c.mu.Unlock()
+	if len(live) > 0 {
+		src, ok := c.cfg.Manager.(core.CounterSource)
+		if !ok {
+			return u, fmt.Errorf("mitctl: manager %q exposes no telemetry", c.cfg.Manager.Name())
+		}
+		for _, rid := range live {
+			counters, err := src.Counters(rid)
+			if err != nil {
+				continue // racing a concurrent removal
+			}
+			u.add(counters.Snapshot())
+		}
+	}
+	return u, nil
+}
+
+// UsageOf is Usage addressed by content: it derives the spec's ID.
+func (c *Controller) UsageOf(spec Spec) (Usage, error) {
+	return c.Usage(DeriveID(spec))
+}
+
+// PendingChanges returns the change-queue depth.
+func (c *Controller) PendingChanges() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+// MaxQueueDepth returns the queue's high-water mark.
+func (c *Controller) MaxQueueDepth() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxDep
+}
+
+// AppliedChanges returns the count of successfully applied changes.
+func (c *Controller) AppliedChanges() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.applied
+}
+
+// Latencies returns the queueing delay of applied changes in seconds —
+// the signal-to-configuration series of Figure 10(b). Long-running
+// deployments retain the most recent window (maxRetainedLatencies).
+func (c *Controller) Latencies() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]float64(nil), c.latencies...)
+}
+
+// Errors returns the accumulated apply and channel-compilation errors
+// (the most recent maxRetainedErrors of them; ErrorCount reports the
+// lifetime total).
+func (c *Controller) Errors() []core.ApplyError {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]core.ApplyError(nil), c.applyErrs...)
+}
+
+// ErrorCount returns the lifetime count of apply and compilation
+// errors, unaffected by the Errors retention window. Pollers use the
+// delta to log only errors they have not seen yet.
+func (c *Controller) ErrorCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.errTotal
+}
+
+// noteError records a channel-compilation failure (e.g. a SelCustom
+// signal referencing a portal rule the member never defined) on the
+// error log without creating a mitigation.
+func (c *Controller) noteError(member string, target netip.Prefix, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.noteApplyErrLocked(core.ApplyError{
+		Change: core.ConfigChange{Op: core.OpInstall, Member: member,
+			RuleID: fmt.Sprintf("mit:%s:%s:?", member, target)},
+		Err: err,
+	})
+}
+
+// RequestFromPortal requests a mitigation from a customer-portal rule:
+// the member's stored match template with the target prefix stamped in
+// (the SelCustom flow of Section 4.3, minus the BGP leg).
+func (c *Controller) RequestFromPortal(member string, customID uint32, target netip.Prefix, ttl, now float64) (Mitigation, error) {
+	rule, err := c.cfg.Portal.Lookup(member, customID)
+	if err != nil {
+		return Mitigation{}, err
+	}
+	return c.Request(SpecFromPortalRule(rule, target, ttl), now)
+}
+
+func sortMitigations(ms []Mitigation) {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+}

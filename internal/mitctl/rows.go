@@ -1,0 +1,27 @@
+package mitctl
+
+import "stellar/internal/routeserver"
+
+// MitigationRows renders the controller's live mitigations as
+// looking-glass rows at simulation time now: ID, owner, state, TTL
+// remaining, and the cumulative dropped/shaped bytes of their rules.
+// It is the one MitigationSource implementation every deployment
+// wiring shares (ixp.Build, cmd/ixpd).
+func MitigationRows(c *Controller, now float64) []routeserver.MitigationRow {
+	active := c.Active()
+	rows := make([]routeserver.MitigationRow, 0, len(active))
+	for _, m := range active {
+		row := routeserver.MitigationRow{
+			ID:           m.ID,
+			Owner:        m.Requester,
+			State:        m.State.String(),
+			TTLRemaining: m.TTLRemaining(now),
+		}
+		if u, err := c.Usage(m.ID); err == nil {
+			row.DroppedBytes = float64(u.DroppedBytes)
+			row.ShapedBytes = float64(u.ShapedResidue)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

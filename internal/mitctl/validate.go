@@ -1,0 +1,42 @@
+package mitctl
+
+import (
+	"fmt"
+	"net/netip"
+
+	"stellar/internal/irr"
+)
+
+// Validator decides whether a member may mitigate traffic toward a
+// target prefix. It is the Validate stage of the lifecycle: a member
+// must only be able to blackhole address space it actually originates
+// (Section 4.3's routing-hygiene argument applied to mitigations).
+type Validator interface {
+	Validate(requester string, target netip.Prefix) error
+}
+
+// IRRValidator authorizes mitigation targets against the IRR database:
+// the requesting member's AS must have registered the target prefix or
+// a covering less-specific (route/route6 objects, footnote 3).
+type IRRValidator struct {
+	// Registry is the IRR database (shared with the route server's
+	// import policy, so both layers agree).
+	Registry *irr.Registry
+	// ASNOf resolves a member name to its AS number.
+	ASNOf func(member string) (uint32, bool)
+}
+
+// Validate implements Validator.
+func (v *IRRValidator) Validate(requester string, target netip.Prefix) error {
+	if v.Registry == nil || v.ASNOf == nil {
+		return fmt.Errorf("irr validator misconfigured (nil registry or ASN resolver)")
+	}
+	asn, ok := v.ASNOf(requester)
+	if !ok {
+		return fmt.Errorf("unknown member %s", requester)
+	}
+	if !v.Registry.Authorized(asn, target) {
+		return fmt.Errorf("prefix %s not registered in IRR for AS%d", target, asn)
+	}
+	return nil
+}

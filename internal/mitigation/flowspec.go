@@ -1,67 +1,147 @@
 package mitigation
 
 import (
+	"errors"
+	"fmt"
+
 	"stellar/internal/bgp"
 	"stellar/internal/fabric"
 	"stellar/internal/netpkt"
 )
 
-// FlowSpecToMatch compiles an RFC 5575 flow specification into the
-// fabric's single-pattern match, when it is expressible: equality-only
-// operators, one value per component, and the component types a TCAM
-// filter supports (dst/src prefix, protocol, src/dst port). This mirrors
-// what a router would push into hardware for simple Flowspec rules; the
-// general case (ranges, bitmasks, fragments) returns ok=false, which the
-// comparison experiments treat as "needs slow-path processing" — one of
-// the resource-sharing costs Section 4.2.1 holds against Flowspec.
+// Errors from compiling flow specifications into fabric matches. They
+// name the reason a spec cannot be expressed as exact-match TCAM
+// patterns — the "needs slow-path processing" cases Section 4.2.1 holds
+// against Flowspec as a signaling channel.
+var (
+	// ErrFlowSpecNonEquality: a numeric operand uses a range (<, >) or
+	// negated operator; exact-match hardware cannot express it.
+	ErrFlowSpecNonEquality = errors.New("mitigation: flowspec operand is not an equality match")
+	// ErrFlowSpecComponent: the component type (TCP flags, fragments,
+	// packet length, DSCP...) has no fabric match field.
+	ErrFlowSpecComponent = errors.New("mitigation: flowspec component not expressible as a fabric match")
+	// ErrFlowSpecValue: an operand value is out of range for its field.
+	ErrFlowSpecValue = errors.New("mitigation: flowspec operand value out of range")
+	// ErrFlowSpecTooWide: the value-set cross product exceeds
+	// MaxFlowSpecMatches patterns.
+	ErrFlowSpecTooWide = errors.New("mitigation: flowspec value sets expand to too many patterns")
+)
+
+// MaxFlowSpecMatches bounds the cross-product expansion of
+// FlowSpecToMatches: a spec whose value sets multiply out to more
+// exact-match patterns than this is refused (it would exhaust TCAM
+// criteria anyway — hardware admission control territory).
+const MaxFlowSpecMatches = 64
+
+// FlowSpecToMatches compiles an RFC 5575 flow specification into the
+// fabric's exact-match patterns. Equality value sets are supported: a
+// component listing several equality operands (RFC 5575's OR semantics,
+// e.g. src-port =123 =11211) expands to one Match per value, and
+// multiple multi-value components expand to their cross product (capped
+// at MaxFlowSpecMatches). The supported component types are the ones a
+// TCAM filter holds: dst/src prefix, IP protocol, src/dst port.
 //
-// The returned Match is exactly what fabric.Port.InstallRule feeds the
+// Ranges (<, >), unsupported component types and out-of-range values
+// return one of the documented Err* errors — the caller decides whether
+// that means slow-path processing (the comparison experiments) or a
+// rejected mitigation request (mitctl's FlowSpec channel).
+//
+// Each returned Match is exactly what fabric.Port.InstallRule feeds the
 // port's compiled classifier: a pinned port lands the rule in an
 // exact-match table, a prefix component in a prefix trie, so accepted
 // Flowspec rules ride the same lock-free fast path as native Stellar
 // rules.
-func FlowSpecToMatch(fs *bgp.FlowSpec) (fabric.Match, bool) {
-	m := fabric.MatchAll()
+func FlowSpecToMatches(fs *bgp.FlowSpec) ([]fabric.Match, error) {
+	matches := []fabric.Match{fabric.MatchAll()}
+	expand := func(vals []uint64, set func(*fabric.Match, uint64)) error {
+		if len(matches)*len(vals) > MaxFlowSpecMatches {
+			return fmt.Errorf("%w: %d patterns (max %d)",
+				ErrFlowSpecTooWide, len(matches)*len(vals), MaxFlowSpecMatches)
+		}
+		out := make([]fabric.Match, 0, len(matches)*len(vals))
+		for _, m := range matches {
+			for _, v := range vals {
+				mm := m
+				set(&mm, v)
+				out = append(out, mm)
+			}
+		}
+		matches = out
+		return nil
+	}
 	for _, c := range fs.Components {
 		switch c.Type {
 		case bgp.FSDstPrefix:
-			m.DstIP = c.Prefix
+			for i := range matches {
+				matches[i].DstIP = c.Prefix
+			}
 		case bgp.FSSrcPrefix:
-			m.SrcIP = c.Prefix
+			for i := range matches {
+				matches[i].SrcIP = c.Prefix
+			}
 		case bgp.FSIPProto:
-			v, ok := singleEq(c.Matches)
-			if !ok || v > 255 {
-				return fabric.Match{}, false
+			vals, err := equalityValues(c, 255)
+			if err != nil {
+				return nil, err
 			}
-			m.Proto = netpkt.IPProto(v)
+			if err := expand(vals, func(m *fabric.Match, v uint64) { m.Proto = netpkt.IPProto(v) }); err != nil {
+				return nil, err
+			}
 		case bgp.FSSrcPort:
-			v, ok := singleEq(c.Matches)
-			if !ok || v > 65535 {
-				return fabric.Match{}, false
+			vals, err := equalityValues(c, 65535)
+			if err != nil {
+				return nil, err
 			}
-			m.SrcPort = int32(v)
+			if err := expand(vals, func(m *fabric.Match, v uint64) { m.SrcPort = int32(v) }); err != nil {
+				return nil, err
+			}
 		case bgp.FSDstPort:
-			v, ok := singleEq(c.Matches)
-			if !ok || v > 65535 {
-				return fabric.Match{}, false
+			vals, err := equalityValues(c, 65535)
+			if err != nil {
+				return nil, err
 			}
-			m.DstPort = int32(v)
+			if err := expand(vals, func(m *fabric.Match, v uint64) { m.DstPort = int32(v) }); err != nil {
+				return nil, err
+			}
 		default:
-			return fabric.Match{}, false
+			return nil, fmt.Errorf("%w: %s", ErrFlowSpecComponent, c.Type)
 		}
 	}
-	return m, true
+	return matches, nil
 }
 
-func singleEq(ms []bgp.FlowSpecMatch) (uint64, bool) {
-	if len(ms) != 1 {
-		return 0, false
+// equalityValues extracts a component's operand values, requiring every
+// operand to be a pure equality match within [0, max].
+func equalityValues(c bgp.FlowSpecComponent, max uint64) ([]uint64, error) {
+	vals := make([]uint64, 0, len(c.Matches))
+	for _, m := range c.Matches {
+		if !m.EQ || m.LT || m.GT {
+			return nil, fmt.Errorf("%w: %s", ErrFlowSpecNonEquality, c.Type)
+		}
+		if m.Value > max {
+			return nil, fmt.Errorf("%w: %s = %d", ErrFlowSpecValue, c.Type, m.Value)
+		}
+		vals = append(vals, m.Value)
 	}
-	m := ms[0]
-	if !m.EQ || m.LT || m.GT {
-		return 0, false
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("%w: %s has no operands", ErrFlowSpecValue, c.Type)
 	}
-	return m.Value, true
+	return vals, nil
+}
+
+// FlowSpecToMatch compiles a flow specification into a single fabric
+// match. It is the single-pattern restriction of FlowSpecToMatches:
+// ok is false when the spec does not compile (see the documented Err*
+// reasons) or when value sets expand to more than one pattern — the
+// cases a single-pattern TCAM slot cannot hold, which the comparison
+// experiments treat as "needs slow-path processing". Callers that can
+// install several rules per spec should use FlowSpecToMatches.
+func FlowSpecToMatch(fs *bgp.FlowSpec) (fabric.Match, bool) {
+	ms, err := FlowSpecToMatches(fs)
+	if err != nil || len(ms) != 1 {
+		return fabric.Match{}, false
+	}
+	return ms[0], true
 }
 
 // FlowSpecAction derives the filtering action from a route's extended

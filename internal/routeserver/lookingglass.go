@@ -55,6 +55,56 @@ func (rs *RouteServer) Glass(prefix netip.Prefix) []GlassEntry {
 	return out
 }
 
+// MitigationRow is one active mitigation in the looking-glass view:
+// the lifecycle facts a member debugging its own blackholing request
+// wants to see. Rows come from the mitigation controller's snapshot via
+// the source installed with SetMitigationSource — the route server only
+// renders them, keeping the dependency pointing control-plane-down.
+type MitigationRow struct {
+	ID    string
+	Owner string
+	State string
+	// TTLRemaining is seconds until expiry; negative means no TTL.
+	TTLRemaining float64
+	// DroppedBytes / ShapedBytes are the mitigation's cumulative
+	// data-plane effect (its rules' telemetry counters).
+	DroppedBytes float64
+	ShapedBytes  float64
+}
+
+// MitigationSource supplies the current mitigation rows.
+type MitigationSource func() []MitigationRow
+
+// SetMitigationSource installs the mitigation-controller snapshot the
+// looking glass lists. Safe to call concurrently with queries.
+func (rs *RouteServer) SetMitigationSource(src MitigationSource) {
+	rs.mitSrc.Store(&src)
+}
+
+// GlassMitigations renders the active-mitigation listing: ID, owner,
+// TTL remaining and bytes dropped/shaped, sorted by ID.
+func (rs *RouteServer) GlassMitigations() string {
+	var b strings.Builder
+	srcp := rs.mitSrc.Load()
+	if srcp == nil {
+		b.WriteString("mitigations: no controller attached\n")
+		return b.String()
+	}
+	// Sort a copy: the source may hand out a retained slice.
+	rows := append([]MitigationRow(nil), (*srcp)()...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+	fmt.Fprintf(&b, "mitigations: %d active\n", len(rows))
+	for _, r := range rows {
+		ttl := "-"
+		if r.TTLRemaining >= 0 {
+			ttl = fmt.Sprintf("%.0fs", r.TTLRemaining)
+		}
+		fmt.Fprintf(&b, "  %s owner %s state %s ttl %s dropped %.0f B shaped %.0f B\n",
+			r.ID, r.Owner, r.State, ttl, r.DroppedBytes, r.ShapedBytes)
+	}
+	return b.String()
+}
+
 // GlassDump renders the looking-glass view of a prefix (or, for an
 // invalid prefix, the whole table summary).
 func (rs *RouteServer) GlassDump(prefix netip.Prefix) string {

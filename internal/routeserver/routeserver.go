@@ -124,6 +124,10 @@ type RouteServer struct {
 
 	table *rib.Table
 
+	// mitSrc feeds the looking glass's mitigation listing (set by the
+	// deployment wiring, e.g. ixp.Build).
+	mitSrc atomic.Pointer[MitigationSource]
+
 	rejMu    sync.Mutex
 	rejected []Rejection
 }

@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# apicheck.sh — exported-API surface check (gorelease-lite).
+#
+# Dumps every package's exported declarations with `go doc -short` and
+# diffs the result against the committed golden file api/stellar.api.
+# CI runs this on every push/PR, so a change to the exported API shows
+# up as an explicit golden-file diff in review instead of sliding in
+# silently.
+#
+#   scripts/apicheck.sh          # verify (CI mode); non-zero on drift
+#   scripts/apicheck.sh -update  # regenerate the golden file
+set -eu
+cd "$(dirname "$0")/.."
+golden="api/stellar.api"
+
+dump() {
+	echo "# Exported API surface. Regenerate with scripts/apicheck.sh -update."
+	# Test-only packages (no non-test Go files) have no doc surface.
+	for pkg in $(go list -f '{{if .GoFiles}}{{.ImportPath}}{{end}}' ./... | LC_ALL=C sort); do
+		echo
+		echo "== $pkg"
+		go doc -short "$pkg"
+	done
+}
+
+case "${1:-}" in
+-update)
+	mkdir -p api
+	dump >"$golden"
+	echo "apicheck: wrote $golden"
+	;;
+"")
+	if ! dump | diff -u "$golden" -; then
+		echo >&2
+		echo "apicheck: exported API surface changed." >&2
+		echo "apicheck: review the diff above; if intended, run scripts/apicheck.sh -update and commit $golden." >&2
+		exit 1
+	fi
+	echo "apicheck: API surface matches $golden"
+	;;
+*)
+	echo "usage: scripts/apicheck.sh [-update]" >&2
+	exit 2
+	;;
+esac
