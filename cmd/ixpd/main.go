@@ -27,10 +27,12 @@ import (
 	"net/netip"
 	"strings"
 	"sync"
+	"time"
 
 	"stellar/internal/bgp"
 	"stellar/internal/bgpsession"
 	"stellar/internal/core"
+	"stellar/internal/engine"
 	"stellar/internal/fabric"
 	"stellar/internal/hw"
 	"stellar/internal/irr"
@@ -50,11 +52,12 @@ func main() {
 	bgpID := flag.String("bgp-id", "80.81.192.1", "route server BGP identifier")
 	blackholeNH := flag.String("blackhole-nexthop", "80.81.193.66", "RTBH next hop")
 	openIRR := flag.Bool("open-irr", false, "auto-register announced origins in the IRR (lab mode)")
+	tick := flag.Duration("tick", time.Second, "wall-clock interval between control ticks (TTL expiry, change-queue pacing)")
 	var irrEntries irrFlags
 	flag.Var(&irrEntries, "irr", "IRR entry ASN:prefix (repeatable)")
 	flag.Parse()
 
-	d, err := newDaemon(uint32(*asn), *bgpID, *blackholeNH, *openIRR, irrEntries)
+	d, err := newDaemon(uint32(*asn), *bgpID, *blackholeNH, *openIRR, irrEntries, tick.Seconds())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,6 +66,16 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("ixpd: route server AS%d listening on %s (open-irr=%v)", *asn, ln.Addr(), *openIRR)
+	// Wall-clock control ticks: one engine control tick per -tick
+	// interval, so mitigation TTLs expire and the change queue drains
+	// even while no BGP activity arrives.
+	go func() {
+		t := time.NewTicker(*tick)
+		defer t.Stop()
+		for range t.C {
+			d.tick()
+		}
+	}()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -85,6 +98,17 @@ type daemon struct {
 	fab       *fabric.Fabric
 	router    *hw.EdgeRouter
 
+	// ticker drives the daemon's control stage through the engine's
+	// real-time façade: each tick advances the virtual clock and drains
+	// the mitigation change queue. Ticks come from two cadences — a
+	// near-zero-dt tick per southbound route-server event (prompt
+	// application without advancing wall-clock budgets), plus the
+	// full-Dt wall-clock loop in main so TTLs expire even on an idle
+	// exchange — serialized by tickMu (engine.Ticker itself is
+	// single-caller).
+	ticker *engine.Ticker
+	tickMu sync.Mutex
+
 	mu         sync.Mutex
 	peers      map[string]*bgpsession.Session // name -> session
 	peerASN    map[string]uint32
@@ -95,7 +119,59 @@ type daemon struct {
 	loggedErrs int
 }
 
-func newDaemon(asn uint32, bgpID, blackholeNH string, openIRR bool, irrEntries []string) (*daemon, error) {
+// ControlTick implements engine.Control for the live daemon: advance
+// the virtual clock by dt, apply every due configuration change, and
+// log what happened — the same control stage a simulated run executes
+// on the engine spine, driven here by real time and BGP activity.
+func (d *daemon) ControlTick(_ int, dt float64) float64 {
+	d.mu.Lock()
+	d.clock += dt
+	now := d.clock
+	d.mu.Unlock()
+	if n := d.ctl.Process(now); n > 0 {
+		log.Printf("ixpd: applied %d configuration change(s)", n)
+	}
+	// Log only errors that appeared since the last tick, not the whole
+	// accumulated history every time.
+	total := d.ctl.ErrorCount()
+	d.mu.Lock()
+	fresh := total - d.loggedErrs
+	d.loggedErrs = total
+	d.mu.Unlock()
+	if fresh > 0 {
+		errs := d.ctl.Errors()
+		if fresh > len(errs) {
+			fresh = len(errs) // older ones aged out of the window
+		}
+		for _, e := range errs[len(errs)-fresh:] {
+			log.Printf("ixpd: apply error: %s: %v", e.Change, e.Err)
+		}
+	}
+	return now
+}
+
+// tick advances the control stage by one full -tick interval; safe
+// from any goroutine.
+func (d *daemon) tick() {
+	d.tickMu.Lock()
+	d.ticker.Tick()
+	d.tickMu.Unlock()
+}
+
+// eventTick runs a control tick for a southbound BGP event. It advances
+// the virtual clock by only a millisecond: the event should apply
+// promptly, but TTL expiry and change-queue pacing are wall-clock
+// budgets owned by the -tick loop — a burst of announcements must not
+// fast-forward them.
+func (d *daemon) eventTick() {
+	d.tickMu.Lock()
+	d.ticker.TickDt(0.001)
+	d.tickMu.Unlock()
+}
+
+// newDaemon wires the daemon; tickSeconds is the -tick interval, the
+// simulated seconds one wall-clock control tick advances.
+func newDaemon(asn uint32, bgpID, blackholeNH string, openIRR bool, irrEntries []string, tickSeconds float64) (*daemon, error) {
 	id, err := netip.ParseAddr(bgpID)
 	if err != nil {
 		return nil, err
@@ -169,32 +245,17 @@ func newDaemon(asn uint32, bgpID, blackholeNH string, openIRR bool, irrEntries [
 		d.mu.Unlock()
 		return mitctl.MitigationRows(d.ctl, now)
 	})
+	d.ticker = &engine.Ticker{Control: d, Dt: tickSeconds}
 	d.rs.Subscribe(func(ev routeserver.ControllerEvent) {
+		// The signal enters the lifecycle at the current virtual time;
+		// the control tick that follows advances the clock and applies
+		// what became due — the paper's one-tick signal-to-config delay,
+		// identical to the simulated engine spine.
 		d.mu.Lock()
-		d.clock += 0.001 // event-driven virtual clock
 		now := d.clock
 		d.mu.Unlock()
 		d.community.HandleEvent(ev, now)
-		n := d.ctl.Process(now + 1)
-		if n > 0 {
-			log.Printf("ixpd: applied %d configuration change(s)", n)
-		}
-		// Log only errors that appeared since the last event, not the
-		// whole accumulated history every time.
-		total := d.ctl.ErrorCount()
-		d.mu.Lock()
-		fresh := total - d.loggedErrs
-		d.loggedErrs = total
-		d.mu.Unlock()
-		if fresh > 0 {
-			errs := d.ctl.Errors()
-			if fresh > len(errs) {
-				fresh = len(errs) // older ones aged out of the window
-			}
-			for _, e := range errs[len(errs)-fresh:] {
-				log.Printf("ixpd: apply error: %s: %v", e.Change, e.Err)
-			}
-		}
+		d.eventTick()
 	})
 	return d, nil
 }

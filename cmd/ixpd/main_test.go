@@ -17,7 +17,7 @@ import (
 // with the null next hop) and Advanced Blackholing (the extended
 // community installs a QoS rule on the announcing member's port).
 func TestDaemonEndToEnd(t *testing.T) {
-	d, err := newDaemon(6695, "80.81.192.1", "80.81.193.66", true, nil)
+	d, err := newDaemon(6695, "80.81.192.1", "80.81.193.66", true, nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,6 +40,7 @@ import (
 
 	"stellar/internal/bgp"
 	"stellar/internal/core"
+	"stellar/internal/engine"
 	"stellar/internal/fabric"
 	"stellar/internal/flowmon"
 	"stellar/internal/hw"
@@ -83,6 +84,27 @@ type benchReport struct {
 	Fabric     *fabricBench   `json:"fabric,omitempty"`
 	Scenario   *scenarioBench `json:"scenario,omitempty"`
 	Mitctl     *mitctlBench   `json:"mitctl,omitempty"`
+	Engine     *engineBench   `json:"engine,omitempty"`
+}
+
+// engineBench is the stage-graph-runtime section of the report: the
+// pipelined engine (internal/engine: double-buffered ticks, shared
+// worker pool, streamed monitoring) against the serial driver-pulled
+// ixp.Tick loop on the identical multi-victim workload, both at
+// GOMAXPROCS=4. The two paths must produce byte-identical per-tick
+// delivered/dropped counters (enforced here, not just in tests) so the
+// speedup is measured on provably equal work; the regression bar
+// demands pipeline >= barEngineSpeedupX x serial.
+type engineBench struct {
+	Victims           int     `json:"victims"`
+	PeersPerVictim    int     `json:"peers_per_victim"`
+	Ticks             int     `json:"ticks"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	Depth             int     `json:"depth"`
+	SerialTicksPerSec float64 `json:"serial_ticks_per_sec"`
+	EngineTicksPerSec float64 `json:"engine_ticks_per_sec"`
+	SpeedupX          float64 `json:"speedup_x"`
+	DeliveredBytes    float64 `json:"delivered_bytes"`
 }
 
 // mitctlBench is the mitigation-control-plane half of the report: the
@@ -148,6 +170,7 @@ func runBenchCommand(args []string, w io.Writer) error {
 	mitctlRequests := fs.Int("mitctl-requests", 4096, "mitigation requests in the mitctl lifecycle bench (0 = skip)")
 	mitctlMembers := fs.Int("mitctl-members", 64, "member ports in the mitctl lifecycle bench")
 	check := fs.Bool("check", false, "exit non-zero when any section falls below its stated regression bar")
+	sections := fs.String("sections", "", "also write one <prefix><section>.json file per measured section (e.g. -sections BENCH_)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the bench run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile at the end of the bench run to this file")
 	out := fs.String("out", "", "write the JSON report to this file instead of stdout")
@@ -218,6 +241,13 @@ func runBenchCommand(args []string, w io.Writer) error {
 		}
 		report.Mitctl = mb
 	}
+	if *scenarioVictims > 0 {
+		eb, err := benchEngine(*scenarioVictims, *scenarioPeers, *scenarioTicks)
+		if err != nil {
+			return err
+		}
+		report.Engine = eb
+	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -255,8 +285,63 @@ func runBenchCommand(args []string, w io.Writer) error {
 			return err
 		}
 	}
+	if *sections != "" {
+		if err := writeSections(*sections, &report); err != nil {
+			return err
+		}
+	}
 	if *check {
 		return checkBars(&report)
+	}
+	return nil
+}
+
+// writeSections archives every measured section as its own
+// <prefix><section>.json file — one artifact per subsystem, so the
+// per-PR bench trajectory (routeserver, fabric, scenario, mitctl,
+// engine) stays comparable even as the combined report grows. Each file
+// repeats the host header and carries only its section.
+func writeSections(prefix string, r *benchReport) error {
+	write := func(name string, section benchReport) error {
+		section.Benchmark = r.Benchmark + ":" + name
+		section.GOOS, section.GOARCH = r.GOOS, r.GOARCH
+		section.CPUs, section.GOMAXPROCS = r.CPUs, r.GOMAXPROCS
+		f, err := os.Create(prefix + name + ".json")
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(section); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write("routeserver", benchReport{
+		Config: r.Config, Results: r.Results, SpeedupX: r.SpeedupX,
+	}); err != nil {
+		return err
+	}
+	if r.Fabric != nil {
+		if err := write("fabric", benchReport{Fabric: r.Fabric}); err != nil {
+			return err
+		}
+	}
+	if r.Scenario != nil {
+		if err := write("scenario", benchReport{Scenario: r.Scenario}); err != nil {
+			return err
+		}
+	}
+	if r.Mitctl != nil {
+		if err := write("mitctl", benchReport{Mitctl: r.Mitctl}); err != nil {
+			return err
+		}
+	}
+	if r.Engine != nil {
+		if err := write("engine", benchReport{Engine: r.Engine}); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -273,6 +358,11 @@ const (
 	// versioned store, events) must sustain at least this fraction of
 	// the raw manager-Apply install rate (typically ~0.4-0.8x).
 	barMitctlMinRatio = 0.10
+	// barEngineSpeedupX: the pipelined stage-graph runtime must beat
+	// the serial driver-pulled ixp.Tick loop by this factor at
+	// GOMAXPROCS=4 (typically ~4x even on one core, from buffer reuse
+	// and streamed monitoring; pipelining adds more on real cores).
+	barEngineSpeedupX = 1.5
 )
 
 // checkBars fails the run when a measured section sits below its bar.
@@ -294,6 +384,10 @@ func checkBars(r *benchReport) error {
 		failures = append(failures, fmt.Sprintf(
 			"mitctl: controller_installs_per_sec %.0f < %.2f x direct (%.0f)",
 			r.Mitctl.ControllerInstallsPerSec, barMitctlMinRatio, r.Mitctl.DirectInstallsPerSec))
+	}
+	if r.Engine != nil && r.Engine.SpeedupX < barEngineSpeedupX {
+		failures = append(failures, fmt.Sprintf(
+			"engine: speedup_x %.2f < %.2f", r.Engine.SpeedupX, barEngineSpeedupX))
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("bench: regression bars violated: %v", failures)
@@ -451,6 +545,162 @@ func benchScenario(victims, peersPer, ticks int) (*scenarioBench, error) {
 		Proto:  netpkt.ProtoUDP, SrcPort: 123, DstPort: 443,
 	}
 	res.ObserveNsPerRecord = timePerOp(func(i int) { sh.ObserveFlow(i/1000, key, 100) })
+	return res, nil
+}
+
+// benchEngine measures the stage-graph runtime end to end: the same
+// multi-victim attack workload as benchScenario, driven once through
+// the serial ixp.Tick loop (fresh offer slices, one synchronous tick
+// call, materialized DeliveredByFlow maps, map-collector records,
+// map-walk peer counts — the pre-engine driver shape) and once through
+// engine.New (double-buffered ticks on a shared worker pool, monitoring
+// folded while the next tick egresses). The per-run delivered bytes
+// must match exactly — the engine's determinism contract — before the
+// speedup counts.
+func benchEngine(victims, peersPer, ticks int) (*engineBench, error) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	build := func() (*ixp.IXP, []*member.Member, [][]ixp.Source, error) {
+		members := member.MakePopulation(member.PopulationConfig{
+			N: victims + peersPer, HonoringFraction: 0.3,
+			PortCapacityBps: 1e9, Seed: 9,
+		})
+		x, err := ixp.Build(ixp.Config{
+			ASN:              6695,
+			BlackholeNextHop: netip.MustParseAddr("80.81.193.66"),
+			Members:          members,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		peers := ixp.PeersOf(members[victims:])
+		webPeers := len(peers) / 4
+		if webPeers < 1 {
+			webPeers = 1
+		}
+		sources := make([][]ixp.Source, victims)
+		for v := 0; v < victims; v++ {
+			rng := stats.NewRand(uint64(31 + v))
+			target := members[v].Prefixes[0].Addr().Next()
+			attack := traffic.NewAttack(traffic.VectorNTP, target, peers, 2e9, 0, 1<<30, rng)
+			attack.RampTicks = 0
+			web := traffic.NewWebService(target, peers[:webPeers], 2e8, rng)
+			sources[v] = []ixp.Source{attack, web}
+		}
+		return x, members, sources, nil
+	}
+
+	res := &engineBench{
+		Victims: victims, PeersPerVictim: peersPer, Ticks: ticks,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), Depth: 2,
+	}
+
+	// Serial ixp.Tick loop; returns (seconds, delivered bytes).
+	runSerial := func(x *ixp.IXP, members []*member.Member, sources [][]ixp.Source, nTicks int) (float64, float64, error) {
+		const peerMinBytes = 1e3 / 8
+		mons := make([]*flowmon.MapCollector, victims)
+		for v := range mons {
+			mons[v] = flowmon.NewMapCollector()
+		}
+		var delivered float64
+		start := time.Now()
+		for tick := 0; tick < nTicks; tick++ {
+			offers := make(fabric.TickOffers, victims)
+			for v := 0; v < victims; v++ {
+				var os []fabric.Offer
+				for _, src := range sources[v] {
+					os = append(os, src.Offers(tick, 1)...)
+				}
+				offers[members[v].Name] = os
+			}
+			reports, err := x.Tick(offers, 1)
+			if err != nil {
+				return 0, 0, err
+			}
+			for v := 0; v < victims; v++ {
+				rep := reports[members[v].Name]
+				for flow, bytes := range rep.Result.DeliveredByFlow {
+					mons[v].Observe(flowmon.Record{Bin: tick, Key: flow, Bytes: bytes})
+				}
+				_ = x.ActivePeers(rep.Result, peerMinBytes)
+				delivered += rep.Result.DeliveredBytes
+			}
+		}
+		return time.Since(start).Seconds(), delivered, nil
+	}
+
+	// Pipelined engine; returns (seconds, delivered bytes).
+	runEngine := func(x *ixp.IXP, members []*member.Member, sources [][]ixp.Source, nTicks int) (float64, float64, error) {
+		specs := make([]engine.VictimSpec, victims)
+		srcs := make([][]engine.Source, victims)
+		for v := 0; v < victims; v++ {
+			specs[v] = engine.VictimSpec{Port: members[v].Name}
+			srcs[v] = sources[v]
+		}
+		eng := engine.New(engine.Config{
+			Driver:       engine.NewSourcesDriver(specs, srcs),
+			Control:      x,
+			DataPlane:    x,
+			Ticks:        nTicks,
+			Dt:           1,
+			MemberFilter: x.MemberFilter(),
+		})
+		start := time.Now()
+		series, err := eng.Run()
+		if err != nil {
+			return 0, 0, err
+		}
+		secs := time.Since(start).Seconds()
+		var delivered float64
+		for _, s := range series {
+			for _, smp := range s.Samples {
+				delivered += smp.DeliveredBps / 8
+			}
+		}
+		return secs, delivered, nil
+	}
+
+	warmTicks := ticks / 4
+	if warmTicks < 20 {
+		warmTicks = 20
+	}
+	xs, membersS, sourcesS, err := build()
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := runSerial(xs, membersS, sourcesS, warmTicks); err != nil {
+		return nil, err
+	}
+	serialSecs, serialDelivered, err := runSerial(xs, membersS, sourcesS, ticks)
+	if err != nil {
+		return nil, err
+	}
+	res.SerialTicksPerSec = float64(ticks) / serialSecs
+
+	xe, membersE, sourcesE, err := build()
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := runEngine(xe, membersE, sourcesE, warmTicks); err != nil {
+		return nil, err
+	}
+	engineSecs, engineDelivered, err := runEngine(xe, membersE, sourcesE, ticks)
+	if err != nil {
+		return nil, err
+	}
+	// Sources are stateful (warmup advanced both pairs identically), so
+	// the timed runs replay the same ticks: exact equality, no
+	// tolerance.
+	if engineDelivered != serialDelivered {
+		return nil, fmt.Errorf("bench: engine diverged from serial ixp.Tick: delivered %v vs %v bytes",
+			engineDelivered, serialDelivered)
+	}
+	res.DeliveredBytes = engineDelivered
+	res.EngineTicksPerSec = float64(ticks) / engineSecs
+	if res.SerialTicksPerSec > 0 {
+		res.SpeedupX = res.EngineTicksPerSec / res.SerialTicksPerSec
+	}
 	return res, nil
 }
 

@@ -13,7 +13,6 @@ import (
 	"log"
 	"net/netip"
 
-	"stellar/internal/core"
 	"stellar/internal/experiments"
 	"stellar/internal/fabric"
 	"stellar/internal/ixp"
@@ -86,8 +85,10 @@ func main() {
 	report(1, "before attack")
 	report(6, "attack, no mitigation")
 
-	// Signal the portal rule via one BGP announcement.
-	if err := x.Announce(victim.Name, host, nil, []core.RuleSpec{core.Custom(ruleID)}); err != nil {
+	// Activate the portal rule against the attacked /32: the rule
+	// template compiles into a lifecycle-managed mitigation, exactly as
+	// a SelCustom BGP signal referencing the same rule ID would.
+	if _, err := x.Mitigations.RequestFromPortal(victim.Name, ruleID, host, 0, x.Clock()); err != nil {
 		log.Fatal(err)
 	}
 	report(8, "attack, custom rule")

@@ -1,6 +1,8 @@
 // Quickstart: build an in-memory IXP, congest a member's port with an
-// NTP amplification attack, and mitigate it with a single Advanced
-// Blackholing announcement — the end-to-end flow of Sections 3 and 5.3.
+// NTP amplification attack, and mitigate it with one declarative
+// mitigation request — the end-to-end flow of Sections 3 and 5.3,
+// executed by the stage-graph engine (attack and mitigation on one
+// pipelined timeline).
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -10,10 +12,12 @@ import (
 	"log"
 	"net/netip"
 
-	"stellar/internal/core"
+	"stellar/internal/engine"
 	"stellar/internal/fabric"
 	"stellar/internal/ixp"
 	"stellar/internal/member"
+	"stellar/internal/mitctl"
+	"stellar/internal/netpkt"
 	"stellar/internal/stats"
 	"stellar/internal/traffic"
 )
@@ -50,34 +54,47 @@ func main() {
 	attack := traffic.NewAttack(traffic.VectorNTP, target, peers[:30], 3e9, 0, 1<<30, rng)
 	attack.RampTicks = 0
 
-	tick := func(n int) {
-		for i := 0; i < n; i++ {
-			offers := append(attack.Offers(i, 1), web.Offers(i, 1)...)
-			reports, err := x.Tick(fabric.TickOffers{victim.Name: offers}, 1)
-			if err != nil {
-				log.Fatal(err)
-			}
-			r := reports[victim.Name]
-			fmt.Printf("  t=%2.0fs offered %6.0f Mbps | delivered %6.0f Mbps | dropped-by-rule %6.0f Mbps | congestion-lost %5.0f Mbps\n",
-				x.Clock(), r.OfferedBytes*8/1e6, r.Result.DeliveredBytes*8/1e6,
-				r.Result.RuleDroppedBytes*8/1e6, r.Result.CongestionDroppedBytes*8/1e6)
-		}
-	}
-
-	fmt.Println("Attack on, no mitigation (port congested, web traffic collateral):")
-	tick(3)
-
-	// 4. One BGP announcement mitigates it: the victim tags its /32 with
-	//    the Advanced Blackholing community "drop UDP source port 123".
-	host := netip.PrefixFrom(target, 32)
-	if err := x.Announce(victim.Name, host, nil, []core.RuleSpec{core.DropUDPSrcPort(123)}); err != nil {
+	// 4. The run is one engine timeline: three congested ticks, then the
+	//    victim declares "drop UDP source port 123 toward my /32" — one
+	//    lifecycle-managed mitigation request, the API equivalent of the
+	//    Advanced Blackholing BGP community.
+	match := fabric.MatchAll()
+	match.Proto = netpkt.ProtoUDP
+	match.SrcPort = 123
+	driver := engine.NewSourcesDriver(
+		[]engine.VictimSpec{{Port: victim.Name}},
+		[][]engine.Source{{attack, web}},
+	).AddEvents(engine.Event{
+		Tick: 3, Name: "signal drop UDP/123",
+		Do: func() error {
+			_, err := x.RequestMitigation(mitctl.Spec{
+				Requester: victim.Name,
+				Target:    netip.PrefixFrom(target, 32),
+				Match:     match,
+				Action:    fabric.ActionDrop,
+			})
+			return err
+		},
+	})
+	series, err := engine.New(engine.Config{
+		Driver:    driver,
+		Control:   x,
+		DataPlane: x,
+		Ticks:     7,
+		Dt:        1,
+	}).Run()
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nAfter signaling IXP:2:123 (drop UDP/123 toward the /32):")
-	tick(3)
 
-	fmt.Printf("\nStellar applied %d configuration change(s); the signaling channel tracks %d path(s).\n",
-		x.Mitigations.AppliedChanges(), x.Community.RIBLen())
+	fmt.Println("Attack on; mitigation signaled at t=3 (applies with the one-tick delay):")
+	for _, s := range series[0].Samples {
+		fmt.Printf("  t=%2ds offered %6.0f Mbps | delivered %6.0f Mbps | dropped-by-rule %6.0f Mbps | congestion-lost %5.0f Mbps\n",
+			s.Tick, s.OfferedBps/1e6, s.DeliveredBps/1e6,
+			s.RuleDroppedBps/1e6, s.CongestionDroppedBps/1e6)
+	}
+
+	fmt.Printf("\nStellar applied %d configuration change(s).\n", x.Mitigations.AppliedChanges())
 
 	// The mitigation is a first-class lifecycle object: the looking
 	// glass lists it with its owner and cumulative effect.

@@ -12,11 +12,11 @@ import (
 	"log"
 	"net/netip"
 
-	"stellar/internal/core"
 	"stellar/internal/fabric"
 	"stellar/internal/ixp"
 	"stellar/internal/member"
 	"stellar/internal/mitctl"
+	"stellar/internal/netpkt"
 	"stellar/internal/stats"
 	"stellar/internal/traffic"
 )
@@ -49,17 +49,24 @@ func main() {
 	web := traffic.NewWebService(target, peers[:4], 3e8, rng)
 
 	// Shape UDP/123 to 200 Mbps from the start: attack traffic becomes a
-	// bounded telemetry sample. The announcement compiles into one
-	// lifecycle-managed mitigation whose ID we can address directly.
-	shapeSpec := core.ShapeUDPSrcPort(123, 200e6)
-	if err := x.Announce(victim.Name, host, nil, []core.RuleSpec{shapeSpec}); err != nil {
-		log.Fatal(err)
-	}
-	spec, err := mitctl.SpecFromSignal(victim.Name, host, shapeSpec, nil)
+	// bounded telemetry sample. One declarative request enters the
+	// lifecycle and returns the mitigation we can address directly —
+	// the same installed state a BGP-community or portal signal would
+	// produce.
+	match := fabric.MatchAll()
+	match.Proto = netpkt.ProtoUDP
+	match.SrcPort = 123
+	mit, err := x.RequestMitigation(mitctl.Spec{
+		Requester:    victim.Name,
+		Target:       host,
+		Match:        match,
+		Action:       fabric.ActionShape,
+		ShapeRateBps: 200e6,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	mitID := mitctl.DeriveID(spec)
+	mitID := mit.ID
 
 	var lastMatched int64
 	quietTicks := 0
@@ -91,8 +98,8 @@ func main() {
 			quietTicks = 0
 		}
 		if quietTicks >= 10 && !withdrawn {
-			fmt.Printf("t=%2d telemetry shows the attack ended; withdrawing the blackholing rule\n", tick)
-			if err := x.Withdraw(victim.Name, host); err != nil {
+			fmt.Printf("t=%2d telemetry shows the attack ended; withdrawing the mitigation\n", tick)
+			if err := x.WithdrawMitigation(mitID, victim.Name); err != nil {
 				log.Fatal(err)
 			}
 			withdrawn = true

@@ -1,0 +1,283 @@
+// Package engine is the simulation's stage-graph runtime: the one tick
+// loop every driver — synthetic attacks, trace replay, pulsing and
+// carpet-bombing workloads, the figure experiments, the benches —
+// executes through. Each simulation layer implements the Stage
+// interface (Prepare / Run / Fold) and the engine wires five of them
+// into a pipeline:
+//
+//	driver events ─► control ─► traffic ─► fabric ─► monitor ─► report
+//	   (spine, strictly tick-ordered)          (fold side, overlapped)
+//
+// The engine double-buffers ticks: batches of reused offer/flow buffers
+// circulate through bounded channels between the spine and the fold
+// side, so tick N's monitoring and reporting stages overlap tick N+1's
+// traffic generation and egress while the bounded free list provides
+// backpressure (the spine cannot run more than Depth ticks ahead).
+// Victims and member ports fan across one shared worker pool
+// (fabric.Pool), bounding the whole pipeline by a single worker budget.
+//
+// Determinism: the spine serializes everything that mutates shared
+// simulation state — events, the clock/change-queue tick, egress — in
+// exactly the serial loop's order, so control-plane effects land with
+// the paper's one-tick delay (an action signaled at the start of tick T
+// is processed when the clock advances to (T+1)*Dt and takes effect in
+// tick T's egress at the earliest, queue pacing permitting). The fold
+// side only reads monitor bins the spine has finished writing, so its
+// overlap with the next tick changes no observable number: engine runs
+// are byte-identical to the serial ixp.Tick loop (pinned by tests).
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"stellar/internal/fabric"
+	"stellar/internal/flowmon"
+	"stellar/internal/netpkt"
+)
+
+// Config assembles a run.
+type Config struct {
+	// Driver supplies the victims and their per-tick offers.
+	Driver Driver
+	// Control is the control-plane tick hook (nil: no control plane).
+	Control Control
+	// DataPlane egresses each tick's offers. Required.
+	DataPlane DataPlane
+	// Events are timed control-plane actions, applied on the spine at
+	// the start of their tick. Same-tick events apply in list order;
+	// events of an Eventful driver follow them.
+	Events []Event
+	// Ticks is the run length.
+	Ticks int
+	// Dt is the tick length in seconds (default 1).
+	Dt float64
+	// PeerMinBps is the delivered-rate threshold for counting a peer as
+	// active (default 1 kbps).
+	PeerMinBps float64
+	// MemberFilter restricts active-peer counting to accepted source
+	// MACs (nil: count every source).
+	MemberFilter func(netpkt.MAC) bool
+	// Workers sizes the shared worker pool (0: GOMAXPROCS).
+	Workers int
+	// Depth is the number of in-flight ticks (0: 2 — double-buffered;
+	// 1: fully serial, the determinism-debugging fallback).
+	Depth int
+}
+
+// Engine executes a configured run. Engines are single-use: build with
+// New, call Run once.
+type Engine struct {
+	cfg Config
+
+	mu      sync.Mutex
+	foldErr error
+}
+
+// New returns an engine for the configuration.
+func New(cfg Config) *Engine { return &Engine{cfg: cfg} }
+
+// timedEvent tags an event with its insertion order so same-tick events
+// apply deterministically even across merged lists.
+type timedEvent struct {
+	Event
+	seq int
+}
+
+// Run executes the run and returns one series per victim, in driver
+// Victims order. On an error — a failing event or stage — it returns
+// the series of every tick fully folded before the failure (partial
+// samples), alongside the error.
+func (e *Engine) Run() ([]VictimSeries, error) {
+	cfg := e.cfg
+	if cfg.DataPlane == nil {
+		return nil, fmt.Errorf("engine: no data plane configured")
+	}
+	if cfg.Driver == nil {
+		return nil, fmt.Errorf("engine: no driver configured")
+	}
+	if cfg.Dt == 0 {
+		cfg.Dt = 1
+	}
+	if cfg.PeerMinBps == 0 {
+		cfg.PeerMinBps = 1e3
+	}
+	specs := append([]VictimSpec(nil), cfg.Driver.Victims()...)
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("engine: driver has no victims")
+	}
+	seen := make(map[string]bool, len(specs))
+	monitors := make([]*flowmon.Collector, len(specs))
+	for i := range specs {
+		if seen[specs[i].Port] {
+			return nil, fmt.Errorf("engine: duplicate victim port %s", specs[i].Port)
+		}
+		seen[specs[i].Port] = true
+		if specs[i].Monitor == nil {
+			specs[i].Monitor = flowmon.NewCollector()
+		}
+		if specs[i].PeerMinBps == 0 {
+			specs[i].PeerMinBps = cfg.PeerMinBps
+		}
+		monitors[i] = specs[i].Monitor
+	}
+
+	// Merge the configured and driver event lists into one
+	// deterministically ordered timeline: (tick, insertion) order.
+	events := make([]timedEvent, 0, len(cfg.Events))
+	for _, ev := range cfg.Events {
+		events = append(events, timedEvent{Event: ev, seq: len(events)})
+	}
+	if ed, ok := cfg.Driver.(Eventful); ok {
+		for _, ev := range ed.Events() {
+			events = append(events, timedEvent{Event: ev, seq: len(events)})
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Tick != events[j].Tick {
+			return events[i].Tick < events[j].Tick
+		}
+		return events[i].seq < events[j].seq
+	})
+
+	keep := cfg.MemberFilter
+	if keep == nil {
+		keep = func(netpkt.MAC) bool { return true }
+	}
+
+	// The stage graph. Spine stages run strictly tick-ordered on the
+	// caller's goroutine; fold stages run on the fold goroutine,
+	// overlapping the next tick's spine.
+	ports := make([]string, len(specs))
+	for i := range specs {
+		ports[i] = specs[i].Port
+	}
+	serialGen := false
+	if sg, ok := cfg.Driver.(SerialGenerator); ok {
+		serialGen = sg.SerialGen()
+	}
+	traffic := &trafficStage{driver: cfg.Driver, ports: ports, serial: serialGen}
+	control := &controlStage{ctl: cfg.Control}
+	egress := newFabricStage(cfg.DataPlane, specs, monitors)
+	monitor := &monitorStage{specs: specs, monitors: monitors, keep: keep}
+	report := &reportStage{series: make([]VictimSeries, len(specs))}
+	for i := range specs {
+		report.series[i] = VictimSeries{
+			Port:    specs[i].Port,
+			Samples: make([]Sample, 0, cfg.Ticks),
+			Monitor: monitors[i],
+		}
+	}
+	spineStages := []Stage{control, traffic, egress}
+	foldStages := []Stage{monitor, report}
+
+	pool := fabric.NewPool(cfg.Workers)
+	defer pool.Close()
+
+	depth := cfg.Depth
+	if depth <= 0 {
+		depth = 2
+	}
+	free := make(chan *Batch, depth)
+	for i := 0; i < depth; i++ {
+		b := &Batch{
+			Offers:  make(fabric.TickOffers, len(specs)),
+			bufs:    make([][]fabric.Offer, len(specs)),
+			samples: make([]Sample, len(specs)),
+		}
+		free <- b
+	}
+	work := make(chan *Batch, depth)
+
+	// Fold side: monitor + report stages, one tick at a time, in tick
+	// order (the spine enqueues in order and this is the only reader).
+	var foldWG sync.WaitGroup
+	foldWG.Add(1)
+	go func() {
+		defer foldWG.Done()
+		for b := range work {
+			if e.takeFoldErr() == nil {
+				for _, st := range foldStages {
+					if err := st.Run(&b.ctx, b, b); err != nil {
+						e.setFoldErr(fmt.Errorf("engine: %s stage at tick %d: %w", st.Name(), b.ctx.Tick, err))
+						break
+					}
+				}
+			}
+			if e.takeFoldErr() == nil {
+				for _, st := range foldStages {
+					st.Fold(b.ctx.Tick)
+				}
+			}
+			free <- b
+		}
+	}()
+
+	// drain stops the fold side and truncates every series to the ticks
+	// that fully folded, preserving the serial loop's partial-samples
+	// contract. With the pipeline quiesced it also lifts the monitors'
+	// merge horizons, so post-run accessor reads (TopSrcPorts over the
+	// whole series, partial reads after an abort) see every bin.
+	drain := func() []VictimSeries {
+		close(work)
+		foldWG.Wait()
+		for _, m := range monitors {
+			m.SetMergeHorizon(int(^uint(0) >> 1))
+		}
+		series := report.series
+		for i := range series {
+			if len(series[i].Samples) > report.folded {
+				series[i].Samples = series[i].Samples[:report.folded]
+			}
+		}
+		return series
+	}
+
+	ei := 0
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		b := <-free // backpressure: at most depth ticks in flight
+		if err := e.takeFoldErr(); err != nil {
+			return drain(), err
+		}
+		// Events fire on the spine, after the previous tick's egress and
+		// before this tick's clock advance — the serial loop's order.
+		for ei < len(events) && events[ei].Tick == tick {
+			if err := events[ei].Do(); err != nil {
+				series := drain()
+				return series, fmt.Errorf("engine: event %q at tick %d: %w", events[ei].Name, tick, err)
+			}
+			ei++
+		}
+		b.ctx = Ctx{Tick: tick, Dt: cfg.Dt, Pool: pool}
+		for _, st := range spineStages {
+			st.Prepare(tick)
+		}
+		for _, st := range spineStages {
+			if err := st.Run(&b.ctx, b, b); err != nil {
+				series := drain()
+				return series, fmt.Errorf("engine: %s stage at tick %d: %w", st.Name(), tick, err)
+			}
+		}
+		for _, st := range spineStages {
+			st.Fold(tick)
+		}
+		work <- b
+	}
+	series := drain()
+	return series, e.takeFoldErr()
+}
+
+func (e *Engine) setFoldErr(err error) {
+	e.mu.Lock()
+	if e.foldErr == nil {
+		e.foldErr = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *Engine) takeFoldErr() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.foldErr
+}

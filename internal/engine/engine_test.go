@@ -1,0 +1,349 @@
+package engine
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stellar/internal/fabric"
+	"stellar/internal/netpkt"
+)
+
+// fakePlane is a deterministic data plane: every offered byte is
+// delivered, and each port's flows stream into the sink exactly once.
+type fakePlane struct {
+	failAtTick int // tick whose EgressTick errors (-1: never)
+	tick       atomic.Int64
+}
+
+func newFakePlane() *fakePlane { return &fakePlane{failAtTick: -1} }
+
+func (p *fakePlane) EgressTick(r fabric.Runner, offers fabric.TickOffers, dt float64, sink fabric.TickSink) (map[string]PortReport, error) {
+	tick := int(p.tick.Add(1)) - 1
+	if tick == p.failAtTick {
+		return nil, fmt.Errorf("fake egress failure")
+	}
+	reports := make(map[string]PortReport, len(offers))
+	for port, os := range offers {
+		var sum float64
+		var visit fabric.FlowVisitor
+		if sink != nil {
+			visit = sink(0, port)
+		}
+		for _, o := range os {
+			sum += o.Bytes
+			if visit != nil {
+				visit(o.Flow, o.FlowHash, o.Bytes)
+			}
+		}
+		reports[port] = PortReport{
+			OfferedBytes: sum,
+			Result:       fabric.TickResult{DeliveredBytes: sum},
+		}
+	}
+	return reports, nil
+}
+
+// fakeControl records the spine's strict tick order.
+type fakeControl struct {
+	mu    sync.Mutex
+	ticks []int
+}
+
+func (c *fakeControl) ControlTick(tick int, dt float64) float64 {
+	c.mu.Lock()
+	c.ticks = append(c.ticks, tick)
+	c.mu.Unlock()
+	return float64(tick+1) * dt
+}
+
+func (c *fakeControl) seen() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int(nil), c.ticks...)
+}
+
+// flowSource emits one deterministic flow per tick whose byte count
+// encodes (seed, tick), so any reordering or loss shows up in the
+// series.
+type flowSource struct {
+	seed int
+	mac  netpkt.MAC
+}
+
+func newFlowSource(seed int) *flowSource {
+	return &flowSource{seed: seed, mac: netpkt.MAC{0x02, 0x99, 0, 0, 0, byte(seed)}}
+}
+
+func (s *flowSource) Offers(tick int, dt float64) []fabric.Offer {
+	return s.AppendOffers(nil, tick, dt)
+}
+
+func (s *flowSource) AppendOffers(dst []fabric.Offer, tick int, dt float64) []fabric.Offer {
+	flow := netpkt.FlowKey{
+		SrcMAC:  s.mac,
+		Src:     netip.AddrFrom4([4]byte{198, 51, 100, byte(s.seed)}),
+		Dst:     netip.AddrFrom4([4]byte{100, 64, 0, byte(s.seed)}),
+		Proto:   netpkt.ProtoUDP,
+		SrcPort: 123,
+		DstPort: 443,
+	}
+	return append(dst, fabric.Offer{
+		Flow:     flow,
+		FlowHash: flow.Hash(),
+		Bytes:    float64(1e6 + s.seed*1000 + tick),
+		Packets:  10,
+	})
+}
+
+func testConfig(victims, ticks, depth int) Config {
+	specs := make([]VictimSpec, victims)
+	sources := make([][]Source, victims)
+	for v := range specs {
+		specs[v] = VictimSpec{Port: fmt.Sprintf("port%d", v)}
+		sources[v] = []Source{newFlowSource(v)}
+	}
+	return Config{
+		Driver:    NewSourcesDriver(specs, sources),
+		Control:   &fakeControl{},
+		DataPlane: newFakePlane(),
+		Ticks:     ticks,
+		Dt:        1,
+		Depth:     depth,
+	}
+}
+
+// TestEngineDepthEquivalence pins the pipelined run (depth 2 and 4) to
+// the fully serial one (depth 1): identical samples and identical
+// monitor contents, tick for tick.
+func TestEngineDepthEquivalence(t *testing.T) {
+	const victims, ticks = 3, 40
+	run := func(depth int) []VictimSeries {
+		t.Helper()
+		series, err := New(testConfig(victims, ticks, depth)).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return series
+	}
+	want := run(1)
+	for _, depth := range []int{2, 4} {
+		got := run(depth)
+		for v := range want {
+			if len(got[v].Samples) != len(want[v].Samples) {
+				t.Fatalf("depth %d victim %d: %d samples, want %d",
+					depth, v, len(got[v].Samples), len(want[v].Samples))
+			}
+			for i := range want[v].Samples {
+				if got[v].Samples[i] != want[v].Samples[i] {
+					t.Fatalf("depth %d victim %d tick %d: %+v != %+v",
+						depth, v, i, got[v].Samples[i], want[v].Samples[i])
+				}
+			}
+			gb, gv := got[v].Monitor.Series()
+			wb, wv := want[v].Monitor.Series()
+			if fmt.Sprint(gb, gv) != fmt.Sprint(wb, wv) {
+				t.Fatalf("depth %d victim %d: monitor series diverged", depth, v)
+			}
+		}
+	}
+}
+
+// TestEngineSpineOrder pins the spine's serialization contract: events
+// of tick T run after tick T-1's control advance and before tick T's,
+// in merged (Config.Events, driver events) insertion order per tick.
+func TestEngineSpineOrder(t *testing.T) {
+	var log []string // spine-only, no lock needed
+	ctl := &spyControl{hook: func(tick int) { log = append(log, fmt.Sprintf("control%d", tick)) }}
+	mark := func(tick int, name string) Event {
+		return Event{Tick: tick, Name: name, Do: func() error {
+			log = append(log, name)
+			return nil
+		}}
+	}
+	cfg := testConfig(1, 4, 2)
+	cfg.Control = ctl
+	cfg.Events = []Event{mark(2, "cfg-b"), mark(1, "cfg-a")}
+	cfg.Driver.(*SourcesDriver).AddEvents(mark(2, "drv"))
+	if _, err := New(cfg).Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "control0 cfg-a control1 cfg-b drv control2 control3"
+	if got := strings.Join(log, " "); got != want {
+		t.Fatalf("spine order:\n got %s\nwant %s", got, want)
+	}
+}
+
+type spyControl struct {
+	hook func(tick int)
+	tick int
+}
+
+func (c *spyControl) ControlTick(tick int, dt float64) float64 {
+	c.hook(tick)
+	c.tick = tick
+	return float64(tick+1) * dt
+}
+
+// TestEnginePartialSamplesOnEventError pins the abort contract: a
+// failing event surfaces alongside the samples of every tick fully
+// folded before it.
+func TestEnginePartialSamplesOnEventError(t *testing.T) {
+	cfg := testConfig(2, 10, 2)
+	cfg.Events = []Event{{Tick: 4, Name: "boom", Do: func() error {
+		return fmt.Errorf("deliberate")
+	}}}
+	series, err := New(cfg).Run()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+	for v := range series {
+		if len(series[v].Samples) != 4 {
+			t.Fatalf("victim %d: %d partial samples, want 4", v, len(series[v].Samples))
+		}
+	}
+}
+
+// TestEnginePartialSamplesOnStageError: a data-plane failure mid-run
+// truncates the series to the fully folded ticks and names the stage.
+func TestEnginePartialSamplesOnStageError(t *testing.T) {
+	cfg := testConfig(1, 10, 2)
+	plane := newFakePlane()
+	plane.failAtTick = 6
+	cfg.DataPlane = plane
+	series, err := New(cfg).Run()
+	if err == nil || !strings.Contains(err.Error(), "fabric stage") {
+		t.Fatalf("err = %v", err)
+	}
+	if len(series[0].Samples) != 6 {
+		t.Fatalf("%d partial samples, want 6", len(series[0].Samples))
+	}
+	for i, s := range series[0].Samples {
+		if s.Tick != i {
+			t.Fatalf("sample %d has tick %d", i, s.Tick)
+		}
+	}
+}
+
+// TestEngineValidation covers the config error paths.
+func TestEngineValidation(t *testing.T) {
+	if _, err := New(Config{}).Run(); err == nil {
+		t.Fatal("no data plane accepted")
+	}
+	if _, err := New(Config{DataPlane: newFakePlane()}).Run(); err == nil {
+		t.Fatal("no driver accepted")
+	}
+	empty := Config{DataPlane: newFakePlane(),
+		Driver: NewSourcesDriver(nil, nil), Ticks: 1}
+	if _, err := New(empty).Run(); err == nil {
+		t.Fatal("driver with no victims accepted")
+	}
+	dup := testConfig(1, 1, 1)
+	dup.Driver = NewSourcesDriver(
+		[]VictimSpec{{Port: "p"}, {Port: "p"}},
+		[][]Source{{newFlowSource(0)}, {newFlowSource(1)}})
+	if _, err := New(dup).Run(); err == nil {
+		t.Fatal("duplicate victim port accepted")
+	}
+}
+
+// TestEnginePipelinesAndBackpressures proves the two scheduling claims:
+// with Depth=2 the spine starts tick N+1 while tick N is still folding
+// (pipelining), and it cannot start tick N+2 until tick N folded
+// (backpressure). The fold side is gated through MemberFilter, which
+// the monitor stage calls while deriving each tick's peer count.
+func TestEnginePipelinesAndBackpressures(t *testing.T) {
+	const ticks = 5
+	gate := make(chan struct{})
+	started := make(chan int, ticks)
+	var once sync.Once
+	cfg := testConfig(1, ticks, 2)
+	ctl := &spyControl{hook: func(tick int) { started <- tick }}
+	cfg.Control = ctl
+	cfg.MemberFilter = func(netpkt.MAC) bool {
+		once.Do(func() { <-gate }) // block the fold of tick 0 only
+		return true
+	}
+
+	done := make(chan error, 1)
+	var series []VictimSeries
+	go func() {
+		var err error
+		series, err = New(cfg).Run()
+		done <- err
+	}()
+
+	expectStart := func(want int) {
+		t.Helper()
+		select {
+		case got := <-started:
+			if got != want {
+				t.Fatalf("spine started tick %d, want %d", got, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("spine never started tick %d", want)
+		}
+	}
+	// Pipelining: ticks 0 and 1 start although tick 0 never folded.
+	expectStart(0)
+	expectStart(1)
+	// Backpressure: tick 2 must not start while tick 0's fold is gated.
+	select {
+	case got := <-started:
+		t.Fatalf("spine started tick %d past the depth-2 window", got)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(gate)
+	for want := 2; want < ticks; want++ {
+		expectStart(want)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(series[0].Samples) != ticks {
+		t.Fatalf("%d samples, want %d", len(series[0].Samples), ticks)
+	}
+}
+
+// TestEngineMonitorsReadableAfterRun: the merge horizon is lifted when
+// the run ends, so accessors see every bin, including on the monitor a
+// caller supplied.
+func TestEngineMonitorsReadableAfterRun(t *testing.T) {
+	cfg := testConfig(2, 8, 2)
+	series, err := New(cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range series {
+		bins := series[v].Monitor.Bins()
+		if len(bins) != 8 {
+			t.Fatalf("victim %d: %d bins, want 8", v, len(bins))
+		}
+		if tops := series[v].Monitor.TopSrcPorts(1); len(tops) == 0 || tops[0].Port != 123 {
+			t.Fatalf("victim %d: top ports %+v", v, tops)
+		}
+	}
+}
+
+// TestTicker drives the real-time control façade.
+func TestTicker(t *testing.T) {
+	ctl := &fakeControl{}
+	tk := &Ticker{Control: ctl}
+	if now := tk.Tick(); now != 1 {
+		t.Fatalf("first tick advanced to %v, want 1", now)
+	}
+	tk.Dt = 0.5
+	if now := tk.Tick(); now != 1.0 { // tick index 1, dt 0.5 => (1+1)*0.5
+		t.Fatalf("second tick advanced to %v, want 1.0", now)
+	}
+	if tk.Ticks() != 2 {
+		t.Fatalf("Ticks() = %d", tk.Ticks())
+	}
+	if got := ctl.seen(); fmt.Sprint(got) != "[0 1]" {
+		t.Fatalf("control saw %v", got)
+	}
+}

@@ -1,0 +1,38 @@
+package engine
+
+// Ticker drives the control stage of a live deployment in real time —
+// the cmd/ixpd mode, where there is no synthetic traffic to egress but
+// the mitigation lifecycle still needs a clock: TTLs expire and the
+// paced change queue drains only when someone advances simulation time.
+// Each Tick advances one engine control tick of Dt seconds; the caller
+// (a time.Ticker goroutine) supplies the real-time cadence.
+type Ticker struct {
+	Control Control
+	// Dt is the simulated seconds per tick (default 1).
+	Dt   float64
+	tick int
+}
+
+// Tick advances the control stage by one tick of Dt seconds and
+// returns the post-advance simulation time.
+func (t *Ticker) Tick() float64 {
+	dt := t.Dt
+	if dt == 0 {
+		dt = 1
+	}
+	return t.TickDt(dt)
+}
+
+// TickDt advances the control stage by one tick of dt seconds. A live
+// deployment mixes cadences — full-Dt ticks from a wall-clock loop plus
+// near-zero-dt ticks per southbound BGP event so signals apply promptly
+// without fast-forwarding TTL expiry or change-queue pacing, both of
+// which are defined in wall-clock seconds.
+func (t *Ticker) TickDt(dt float64) float64 {
+	now := t.Control.ControlTick(t.tick, dt)
+	t.tick++
+	return now
+}
+
+// Ticks returns how many control ticks have run.
+func (t *Ticker) Ticks() int { return t.tick }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"stellar/internal/core"
+	"stellar/internal/engine"
 	"stellar/internal/flowmon"
 	"stellar/internal/ixp"
 	"stellar/internal/netpkt"
@@ -66,28 +67,33 @@ func Fig10c(cfg AttackRunConfig) (Fig10cResult, error) {
 	attack := traffic.NewAttack(traffic.VectorNTP, target, attackPeers,
 		cfg.AttackRateBps, cfg.AttackStart, cfg.AttackEnd, rng)
 
+	// Drive the stage-graph engine directly: one victim, the escalating
+	// mitigation events riding on the driver's timeline.
 	shapeTick := cfg.AttackStart + 200
 	dropTick := shapeTick + 200
-	sc := &ixp.Scenario{
-		IXP: x, Ticks: cfg.Ticks, Dt: 1,
-		Victims: []ixp.Victim{{
-			Port:    victim.Name,
-			Sources: []ixp.Source{attack},
-			Events: []ixp.Event{
-				{Tick: shapeTick, Name: "shape UDP/123 to 200 Mbps (IXP:2:123)",
-					Do: func(ix *ixp.IXP) error {
-						return ix.Announce(victim.Name, host, nil,
-							[]core.RuleSpec{core.ShapeUDPSrcPort(123, 200e6)})
-					}},
-				{Tick: dropTick, Name: "drop all UDP",
-					Do: func(ix *ixp.IXP) error {
-						return ix.Announce(victim.Name, host, nil,
-							[]core.RuleSpec{core.DropProto(netpkt.ProtoUDP)})
-					}},
-			},
-		}},
-	}
-	series, err := sc.RunAll()
+	driver := engine.NewSourcesDriver(
+		[]engine.VictimSpec{{Port: victim.Name}},
+		[][]engine.Source{{attack}},
+	).AddEvents(
+		engine.Event{Tick: shapeTick, Name: "shape UDP/123 to 200 Mbps (IXP:2:123)",
+			Do: func() error {
+				return x.Announce(victim.Name, host, nil,
+					[]core.RuleSpec{core.ShapeUDPSrcPort(123, 200e6)})
+			}},
+		engine.Event{Tick: dropTick, Name: "drop all UDP",
+			Do: func() error {
+				return x.Announce(victim.Name, host, nil,
+					[]core.RuleSpec{core.DropProto(netpkt.ProtoUDP)})
+			}},
+	)
+	series, err := engine.New(engine.Config{
+		Driver:       driver,
+		Control:      x,
+		DataPlane:    x,
+		Ticks:        cfg.Ticks,
+		Dt:           1,
+		MemberFilter: x.MemberFilter(),
+	}).Run()
 	if err != nil {
 		return Fig10cResult{}, err
 	}

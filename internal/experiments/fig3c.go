@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"stellar/internal/bgp"
+	"stellar/internal/engine"
 	"stellar/internal/flowmon"
 	"stellar/internal/ixp"
 	"stellar/internal/member"
@@ -102,22 +103,28 @@ func Fig3c(cfg AttackRunConfig) (Fig3cResult, error) {
 	attack := traffic.NewAttack(traffic.VectorNTP, target, attackPeers,
 		cfg.AttackRateBps, cfg.AttackStart, cfg.AttackEnd, rng)
 
+	// Drive the stage-graph engine directly: the attack source becomes a
+	// one-victim driver carrying its own RTBH event, and the IXP
+	// supplies the control and data planes.
 	rtbhTick := cfg.AttackStart + 280
-	sc := &ixp.Scenario{
-		IXP: x, Ticks: cfg.Ticks, Dt: 1,
-		Victims: []ixp.Victim{{
-			Port:    victim.Name,
-			Sources: []ixp.Source{attack},
-			Events: []ixp.Event{{
-				Tick: rtbhTick, Name: "signal RTBH /32",
-				Do: func(ix *ixp.IXP) error {
-					return ix.Announce(victim.Name, host,
-						[]bgp.Community{bgp.CommunityBlackhole}, nil)
-				},
-			}},
-		}},
-	}
-	series, err := sc.RunAll()
+	driver := engine.NewSourcesDriver(
+		[]engine.VictimSpec{{Port: victim.Name}},
+		[][]engine.Source{{attack}},
+	).AddEvents(engine.Event{
+		Tick: rtbhTick, Name: "signal RTBH /32",
+		Do: func() error {
+			return x.Announce(victim.Name, host,
+				[]bgp.Community{bgp.CommunityBlackhole}, nil)
+		},
+	})
+	series, err := engine.New(engine.Config{
+		Driver:       driver,
+		Control:      x,
+		DataPlane:    x,
+		Ticks:        cfg.Ticks,
+		Dt:           1,
+		MemberFilter: x.MemberFilter(),
+	}).Run()
 	if err != nil {
 		return Fig3cResult{}, err
 	}

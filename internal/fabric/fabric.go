@@ -151,6 +151,17 @@ func (f *Fabric) Tick(offers TickOffers, dtSeconds float64) (TickStats, error) {
 // results). All records of one port flow through exactly one worker in
 // offer order, so downstream accumulation stays deterministic.
 func (f *Fabric) TickStream(offers TickOffers, dtSeconds float64, sink TickSink) (TickStats, error) {
+	return f.TickStreamOn(nil, offers, dtSeconds, sink)
+}
+
+// TickStreamOn is TickStream with the per-port fan-out submitted to the
+// given runner — the engine passes its shared worker pool here so egress
+// reuses the same persistent workers as the other pipeline stages. A nil
+// runner falls back to the per-call goroutine fan-out.
+func (f *Fabric) TickStreamOn(r Runner, offers TickOffers, dtSeconds float64, sink TickSink) (TickStats, error) {
+	if r == nil {
+		r = goRunner{}
+	}
 	stats := TickStats{PerPort: make(map[string]TickResult, len(offers))}
 
 	var offered float64
@@ -187,7 +198,7 @@ func (f *Fabric) TickStream(offers TickOffers, dtSeconds float64, sink TickSink)
 	}
 
 	results := make([]TickResult, len(names))
-	ParallelForWorkers(len(names), func(worker, i int) {
+	r.Run(len(names), func(worker, i int) {
 		os := offers[names[i]]
 		if scale != 1.0 {
 			scaled := make([]Offer, len(os))

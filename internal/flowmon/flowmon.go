@@ -178,7 +178,11 @@ type PortRank struct {
 func (st *store) topSrcPorts(k int) []PortRank {
 	agg := make(map[uint16]float64)
 	var total float64
-	for _, b := range st.bins {
+	// Sum bins in ascending order: float accumulation order is part of
+	// the determinism contract (two identically fed collectors must
+	// rank identically down to the last ulp).
+	for _, bin := range st.binsSorted() {
+		b := st.bins[bin]
 		for port, bytes := range b.bySrcPort {
 			agg[port] += bytes
 		}
@@ -242,6 +246,10 @@ type Collector struct {
 	shards []*Shard
 	rr     atomic.Uint32 // round-robin batch placement
 
+	// horizon bounds accessor-triggered merges: shard bins above it stay
+	// in flight (see SetMergeHorizon). Defaults to unbounded.
+	horizon atomic.Int64
+
 	mu sync.Mutex // guards st; always acquired after a shard lock
 	st store
 }
@@ -257,6 +265,7 @@ func NewCollectorShards(n int) *Collector {
 		n = 1
 	}
 	c := &Collector{SampleEvery: 1, st: newStore()}
+	c.horizon.Store(int64(^uint64(0) >> 1)) // unbounded
 	c.shards = make([]*Shard, n)
 	for i := range c.shards {
 		c.shards[i] = &Shard{c: c}
@@ -287,14 +296,30 @@ func (c *Collector) ObserveBatch(recs []Record) {
 	c.shards[int(c.rr.Add(1)-1)%len(c.shards)].ObserveBatch(recs)
 }
 
-// merge drains every shard's in-flight bins into the long-term store.
-// Lock order is always shard.mu before c.mu — the same order the
-// shards' own ring-rotation flush uses.
+// SetMergeHorizon bounds accessor-triggered merges to bins <= bin:
+// shard bins above the horizon stay in flight instead of being drained
+// mid-accumulation. Readers that overlap writers — the simulation
+// engine's fold side reads tick T's bins while the next tick's egress
+// still streams into bin T+1 — set the horizon to the tick they read,
+// which keeps every bin's counters the sum of one uninterrupted shard
+// accumulation (bit-identical to a serial run) instead of a sum of
+// partial flushes, whose float addition order would differ. Ring
+// rotation on the observe path is unaffected: it only flushes bins the
+// writer has moved past. The horizon may only move forward while
+// observers run; reset it to a large value (or leave it unset) for the
+// read-after-write usage every other caller has.
+func (c *Collector) SetMergeHorizon(bin int) { c.horizon.Store(int64(bin)) }
+
+// merge drains every shard's in-flight bins at or below the merge
+// horizon into the long-term store. Lock order is always shard.mu
+// before c.mu — the same order the shards' own ring-rotation flush
+// uses.
 func (c *Collector) merge() {
+	horizon := c.horizon.Load()
 	for _, s := range c.shards {
 		s.mu.Lock()
 		for i := range s.slots {
-			if s.slots[i].used {
+			if s.slots[i].used && int64(s.slots[i].bin) <= horizon {
 				c.flushSlot(&s.slots[i])
 			}
 		}

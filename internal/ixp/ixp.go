@@ -15,6 +15,7 @@ import (
 
 	"stellar/internal/bgp"
 	"stellar/internal/core"
+	"stellar/internal/engine"
 	"stellar/internal/fabric"
 	"stellar/internal/hw"
 	"stellar/internal/irr"
@@ -210,6 +211,17 @@ func (x *IXP) MemberByMAC(mac netpkt.MAC) (*member.Member, bool) {
 	return m, ok
 }
 
+// MemberFilter returns the engine.Config.MemberFilter that counts only
+// registered member MACs toward ActivePeers — the filter every
+// engine-on-IXP run wants; leaving Config.MemberFilter nil counts every
+// stray source MAC.
+func (x *IXP) MemberFilter() func(netpkt.MAC) bool {
+	return func(mac netpkt.MAC) bool {
+		_, ok := x.byMAC[mac]
+		return ok
+	}
+}
+
 // PeersOf converts members into traffic-generator peers, using the first
 // address of each member's first prefix as the representative source.
 func PeersOf(members []*member.Member) []traffic.Peer {
@@ -357,17 +369,9 @@ func (x *IXP) NullRouteCount(dst netip.Addr) int {
 }
 
 // TickReport summarizes one simulation tick at one destination port.
-type TickReport struct {
-	// OfferedBytes is the pre-mitigation attack+benign volume.
-	OfferedBytes float64
-	// NulledBytes died at the IXP null interface (RTBH honoring).
-	NulledBytes float64
-	// Result is the egress engine's account of the remainder.
-	Result fabric.TickResult
-}
-
-// DeliveredBps converts the report to a rate.
-func (r TickReport) DeliveredBps(dt float64) float64 { return r.Result.DeliveredBytes * 8 / dt }
+// It is the engine's per-port report type under its historical ixp
+// name.
+type TickReport = engine.PortReport
 
 // Tick advances the simulation by dt seconds, delivering offers grouped
 // by destination port. Stellar's pending configuration changes are
@@ -375,12 +379,13 @@ func (r TickReport) DeliveredBps(dt float64) float64 { return r.Result.Delivered
 // filter traffic from honoring members, then the fabric switches the
 // rest.
 //
-// The per-port work — null-route filtering here, then each port's
-// egress tick inside fabric.Tick — runs concurrently across member
-// ports on a GOMAXPROCS-bounded worker pool. The null-route table is
-// snapshotted once per tick so the filter does per-offer checks without
-// touching the IXP lock, and per-port results are merged by name, so
-// the outcome is deterministic.
+// Tick is the serial façade over the engine's two primitives: one
+// ControlTick (clock advance + control-plane processing) followed by
+// one EgressTick (null-route filter + fabric egress), with every stage
+// finishing before the call returns. Pipelined multi-tick runs go
+// through engine.New / Scenario.RunAll instead, which overlap tick N's
+// monitoring with tick N+1's egress on a shared worker pool; both paths
+// produce identical per-port reports.
 func (x *IXP) Tick(offers fabric.TickOffers, dt float64) (map[string]TickReport, error) {
 	return x.TickStream(offers, dt, nil)
 }
@@ -390,9 +395,46 @@ func (x *IXP) Tick(offers fabric.TickOffers, dt float64) (map[string]TickReport,
 // per-worker visitors during the tick (see fabric.TickStream) and the
 // per-port TickResult.DeliveredByFlow maps are not materialized.
 func (x *IXP) TickStream(offers fabric.TickOffers, dt float64, sink fabric.TickSink) (map[string]TickReport, error) {
+	x.ControlTick(0, dt)
+	return x.EgressTick(nil, offers, dt, sink)
+}
+
+// ControlTick implements engine.Control: it advances the simulation
+// clock by dt and applies everything that became due — the mitigation
+// controller's paced change queue drains and TTLs expire. The engine's
+// control stage drives it once per tick on the pipeline spine, strictly
+// ordered between the previous tick's egress and this tick's; the tick
+// argument is informational (the IXP's clock is the authority).
+func (x *IXP) ControlTick(_ int, dt float64) float64 {
 	x.mu.Lock()
 	x.clock += dt
 	now := x.clock
+	x.mu.Unlock()
+	if x.Mitigations != nil {
+		// Pending configuration changes apply and due TTLs expire before
+		// traffic egresses: the controller's clock is the tick loop.
+		x.Mitigations.Process(now)
+	}
+	return now
+}
+
+// EgressTick implements engine.DataPlane: one tick of the data plane
+// only — RTBH null routes filter traffic from honoring members, then
+// the fabric switches the rest — without touching the clock or the
+// control plane.
+//
+// The per-port work — null-route filtering here, then each port's
+// egress tick inside fabric.TickStreamOn — fans across member ports on
+// the supplied runner (nil: a per-call GOMAXPROCS fan-out; the engine
+// passes its shared worker pool). The null-route table is snapshotted
+// once per tick so the filter does per-offer checks without touching
+// the IXP lock, and per-port results are merged by name, so the outcome
+// is deterministic.
+func (x *IXP) EgressTick(r fabric.Runner, offers fabric.TickOffers, dt float64, sink fabric.TickSink) (map[string]TickReport, error) {
+	if r == nil {
+		r = fabric.DefaultRunner()
+	}
+	x.mu.Lock()
 	nulls := make(map[string][]netip.Prefix, len(x.nullRoutes))
 	for name, routes := range x.nullRoutes {
 		if len(routes) == 0 {
@@ -405,12 +447,6 @@ func (x *IXP) TickStream(offers fabric.TickOffers, dt float64, sink fabric.TickS
 		nulls[name] = ps
 	}
 	x.mu.Unlock()
-
-	if x.Mitigations != nil {
-		// Pending configuration changes apply and due TTLs expire before
-		// traffic egresses: the controller's clock is the tick loop.
-		x.Mitigations.Process(now)
-	}
 
 	names := make([]string, 0, len(offers))
 	for name := range offers {
@@ -459,7 +495,7 @@ func (x *IXP) TickStream(offers fabric.TickOffers, dt float64, sink fabric.TickS
 			filterPort(i)
 		}
 	} else {
-		fabric.ParallelFor(len(names), filterPort)
+		r.Run(len(names), func(_, i int) { filterPort(i) })
 	}
 
 	reports := make(map[string]TickReport, len(names))
@@ -468,7 +504,7 @@ func (x *IXP) TickStream(offers fabric.TickOffers, dt float64, sink fabric.TickS
 		filtered[name] = kept[i]
 		reports[name] = reps[i]
 	}
-	stats, err := x.Fabric.TickStream(filtered, dt, sink)
+	stats, err := x.Fabric.TickStreamOn(r, filtered, dt, sink)
 	if err != nil {
 		return nil, err
 	}

@@ -3,28 +3,24 @@ package ixp
 import (
 	"fmt"
 	"net/netip"
-	"sort"
 
-	"stellar/internal/fabric"
+	"stellar/internal/engine"
 	"stellar/internal/flowmon"
-	"stellar/internal/netpkt"
 )
 
-// Source produces flow-level offers per tick (attacks, benign services).
-type Source interface {
-	Offers(tick int, dtSeconds float64) []fabric.Offer
-}
+// Source produces flow-level offers per tick (attacks, benign services,
+// trace replay). It is the engine's source contract under its
+// historical ixp name.
+type Source = engine.Source
 
 // OfferAppender is an optional Source refinement: sources that can
-// append their per-tick offers into a caller-owned buffer. The scenario
-// engine reuses one buffer per victim across ticks, so appending
-// sources cost no per-tick slice allocation in steady state.
-type OfferAppender interface {
-	AppendOffers(dst []fabric.Offer, tick int, dtSeconds float64) []fabric.Offer
-}
+// append their per-tick offers into a caller-owned buffer, costing no
+// per-tick slice allocation in steady state.
+type OfferAppender = engine.OfferAppender
 
 // Event runs an action at the beginning of a tick — announcing a
-// blackhole, escalating a rule, withdrawing a route.
+// blackhole, escalating a rule, withdrawing a route. Scenario wraps it
+// into an engine event bound to the scenario's IXP.
 type Event struct {
 	Tick int
 	Name string
@@ -33,17 +29,7 @@ type Event struct {
 
 // Sample is one tick of a victim port's time series — the measurements
 // plotted in Figures 3(c) and 10(c).
-type Sample struct {
-	Tick                 int
-	Time                 float64
-	OfferedBps           float64
-	DeliveredBps         float64
-	NulledBps            float64 // RTBH null-routed at the IXP
-	RuleDroppedBps       float64 // Stellar drop queue
-	ShaperDroppedBps     float64 // Stellar shaping queue excess
-	CongestionDroppedBps float64 // victim port overload
-	ActivePeers          int
-}
+type Sample = engine.Sample
 
 // Victim is one monitored victim port of a multi-victim scenario: its
 // own traffic sources, timed events and measurement pipeline.
@@ -69,17 +55,19 @@ type Victim struct {
 
 // VictimSeries is one victim's result: its per-tick samples and the
 // monitor that collected its delivered flows.
-type VictimSeries struct {
-	Port    string
-	Samples []Sample
-	Monitor *flowmon.Collector
-}
+type VictimSeries = engine.VictimSeries
 
 // Scenario drives an IXP through a timed experiment against one or more
-// victim ports concurrently. All victims advance in lockstep on the
-// shared fabric tick: per tick, every due event fires, then all victims'
-// offers egress in one parallel fabric pass whose delivered flows
-// stream straight into each victim's monitor shards.
+// victim ports concurrently. It is a thin façade over the engine
+// stage-graph runtime (internal/engine): victims become a
+// SourcesDriver, the IXP supplies the control and data planes, and the
+// run executes as a double-buffered pipeline — tick N's monitoring
+// overlaps tick N+1's traffic generation and egress — whose output is
+// byte-identical to the serial ixp.Tick loop (pinned by tests). All
+// victims advance in lockstep on the shared fabric tick: per tick,
+// every due event fires, then all victims' offers egress in one
+// parallel fabric pass whose delivered flows stream straight into each
+// victim's monitor shards.
 //
 // Either populate Victims (the multi-victim form) or the legacy
 // single-victim fields (VictimPort/Sources/Events/Monitor) — not both.
@@ -117,26 +105,15 @@ func (s *Scenario) Run() ([]Sample, error) {
 	return series[0].Samples, err
 }
 
-// timedEvent is one event with its global application order: events of
-// the same tick apply in (scenario events, victim 0 events, victim 1
-// events, ...) order, each group in insertion order — deterministic
-// even when the same tick appears multiple times, out of order, across
-// lists.
-type timedEvent struct {
-	Event
-	seq int
-}
-
 // RunAll executes the scenario and returns one series per victim, in
 // Victims order. On an event error it returns the series of all ticks
 // completed before the failing event (partial samples), alongside the
-// error.
+// error. Events of the same tick apply in insertion order — scenario
+// events first, then per-victim events in victim order — exactly as the
+// serial loop applied them.
 func (s *Scenario) RunAll() ([]VictimSeries, error) {
 	if s.Dt == 0 {
 		s.Dt = 1
-	}
-	if s.PeerMinBps == 0 {
-		s.PeerMinBps = 1e3
 	}
 	victims := append([]Victim(nil), s.Victims...)
 	var globalEvents []Event
@@ -153,6 +130,8 @@ func (s *Scenario) RunAll() ([]VictimSeries, error) {
 	}
 
 	seen := make(map[string]bool, len(victims))
+	specs := make([]engine.VictimSpec, len(victims))
+	sources := make([][]Source, len(victims))
 	for i := range victims {
 		v := &victims[i]
 		if _, err := s.IXP.Fabric.PortByName(v.Port); err != nil {
@@ -162,127 +141,41 @@ func (s *Scenario) RunAll() ([]VictimSeries, error) {
 			return nil, fmt.Errorf("ixp: duplicate victim port %s", v.Port)
 		}
 		seen[v.Port] = true
-		if v.Monitor == nil {
-			v.Monitor = flowmon.NewCollector()
-		}
-		if v.PeerMinBps == 0 {
-			v.PeerMinBps = s.PeerMinBps
-		}
+		specs[i] = engine.VictimSpec{Port: v.Port, Monitor: v.Monitor, PeerMinBps: v.PeerMinBps}
+		sources[i] = v.Sources
 	}
 
-	// Merge the event lists into one deterministically ordered timeline.
-	var events []timedEvent
-	for _, e := range globalEvents {
-		events = append(events, timedEvent{Event: e, seq: len(events)})
+	// The event timeline: scenario-level events first, then per-victim
+	// events in victim order, wrapped to bind the scenario's IXP. The
+	// engine applies same-tick events in this insertion order.
+	var events []engine.Event
+	appendEvents := func(evs []Event) {
+		for _, e := range evs {
+			ev, ix := e, s.IXP
+			events = append(events, engine.Event{Tick: ev.Tick, Name: ev.Name, Do: func() error {
+				return ev.Do(ix)
+			}})
+		}
 	}
+	appendEvents(globalEvents)
 	for i := range victims {
-		for _, e := range victims[i].Events {
-			events = append(events, timedEvent{Event: e, seq: len(events)})
-		}
-	}
-	sort.Slice(events, func(i, j int) bool {
-		if events[i].Tick != events[j].Tick {
-			return events[i].Tick < events[j].Tick
-		}
-		return events[i].seq < events[j].seq
-	})
-
-	series := make([]VictimSeries, len(victims))
-	for i := range victims {
-		series[i] = VictimSeries{
-			Port:    victims[i].Port,
-			Samples: make([]Sample, 0, s.Ticks),
-			Monitor: victims[i].Monitor,
-		}
-	}
-
-	// Per-victim offer buffers and the offers map are reused across
-	// ticks; sources implementing OfferAppender emit straight into the
-	// buffers, so the steady-state tick allocates no fresh slices.
-	bufs := make([][]fabric.Offer, len(victims))
-	offers := make(fabric.TickOffers, len(victims))
-
-	// The per-(victim, worker) visitors are built once and reused every
-	// tick: each closure binds one monitor shard and reads the current
-	// tick through curTick. Workers only read curTick while the main
-	// goroutine is blocked inside TickStream, and a (victim, worker)
-	// cache slot is only touched by one worker per tick, so the cache is
-	// race-free across the tick barrier.
-	curTick := new(int)
-	visitorCache := make([][]fabric.FlowVisitor, len(victims))
-	victimIndex := make(map[string]int, len(victims))
-	for i := range victims {
-		visitorCache[i] = make([]fabric.FlowVisitor, victims[i].Monitor.Shards())
-		victimIndex[victims[i].Port] = i
-	}
-	mkVisitor := func(vi, worker int) fabric.FlowVisitor {
-		sh := victims[vi].Monitor.Shard(worker)
-		return func(flow netpkt.FlowKey, _ uint64, bytes float64) {
-			sh.ObserveFlow(*curTick, flow, bytes)
-		}
-	}
-	sink := func(worker int, port string) fabric.FlowVisitor {
-		vi, ok := victimIndex[port]
-		if !ok {
-			return nil
-		}
-		row := visitorCache[vi]
-		slot := worker % len(row) // Shard wraps the same way
-		if row[slot] == nil {
-			row[slot] = mkVisitor(vi, worker)
-		}
-		return row[slot]
+		appendEvents(victims[i].Events)
 	}
 
 	// Active peers count only MACs registered to IXP members, exactly as
 	// the pre-streaming map-based ActivePeers did; stray source MACs in
 	// the monitor do not inflate the series.
-	isMember := func(mac netpkt.MAC) bool {
-		_, ok := s.IXP.byMAC[mac]
-		return ok
-	}
-
-	ei := 0
-	for tick := 0; tick < s.Ticks; tick++ {
-		*curTick = tick
-		for ei < len(events) && events[ei].Tick == tick {
-			if err := events[ei].Do(s.IXP); err != nil {
-				return series, fmt.Errorf("ixp: event %q at tick %d: %w", events[ei].Name, tick, err)
-			}
-			ei++
-		}
-		for i := range victims {
-			buf := bufs[i][:0]
-			for _, src := range victims[i].Sources {
-				if ap, ok := src.(OfferAppender); ok {
-					buf = ap.AppendOffers(buf, tick, s.Dt)
-				} else {
-					buf = append(buf, src.Offers(tick, s.Dt)...)
-				}
-			}
-			bufs[i] = buf
-			offers[victims[i].Port] = buf
-		}
-		reports, err := s.IXP.TickStream(offers, s.Dt, sink)
-		if err != nil {
-			return series, err
-		}
-		for i := range victims {
-			rep := reports[victims[i].Port]
-			series[i].Samples = append(series[i].Samples, Sample{
-				Tick:                 tick,
-				Time:                 float64(tick) * s.Dt,
-				OfferedBps:           rep.OfferedBytes * 8 / s.Dt,
-				DeliveredBps:         rep.Result.DeliveredBytes * 8 / s.Dt,
-				NulledBps:            rep.NulledBytes * 8 / s.Dt,
-				RuleDroppedBps:       rep.Result.RuleDroppedBytes * 8 / s.Dt,
-				ShaperDroppedBps:     rep.Result.ShaperDroppedBytes * 8 / s.Dt,
-				CongestionDroppedBps: rep.Result.CongestionDroppedBytes * 8 / s.Dt,
-				ActivePeers:          victims[i].Monitor.PeerCountFunc(tick, victims[i].PeerMinBps*s.Dt/8, isMember),
-			})
-		}
-	}
-	return series, nil
+	eng := engine.New(engine.Config{
+		Driver:       engine.NewSourcesDriver(specs, sources),
+		Control:      s.IXP,
+		DataPlane:    s.IXP,
+		Events:       events,
+		Ticks:        s.Ticks,
+		Dt:           s.Dt,
+		PeerMinBps:   s.PeerMinBps,
+		MemberFilter: s.IXP.MemberFilter(),
+	})
+	return eng.Run()
 }
 
 // MeanDeliveredBps averages delivered rate over [from, to) ticks.

@@ -1,0 +1,119 @@
+package routeserver
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGlassMitigationRows is the table-driven coverage of the
+// looking-glass mitigation listing: TTL-remaining formatting, owner
+// filtering, and the fast path when no controller source is attached.
+func TestGlassMitigationRows(t *testing.T) {
+	rows := []MitigationRow{
+		{ID: "mit:A:1", Owner: "A", State: "active", TTLRemaining: 42.4, DroppedBytes: 1e9},
+		{ID: "mit:A:2", Owner: "A", State: "installing", TTLRemaining: 0.4, ShapedBytes: 2e6},
+		{ID: "mit:B:1", Owner: "B", State: "active", TTLRemaining: -1, DroppedBytes: 5e6},
+	}
+
+	cases := []struct {
+		name       string
+		source     MitigationSource
+		owner      string
+		useAllView bool // exercise GlassMitigations() instead of ...For
+		want       []string
+		notWant    []string
+	}{
+		{
+			name:       "unset source fast path",
+			source:     nil,
+			useAllView: true,
+			want:       []string{"no controller attached"},
+			notWant:    []string{"active\n"},
+		},
+		{
+			name:   "unset source fast path with owner",
+			source: nil,
+			owner:  "A",
+			want:   []string{"no controller attached"},
+		},
+		{
+			name:       "empty source",
+			source:     func() []MitigationRow { return nil },
+			useAllView: true,
+			want:       []string{"mitigations: 0 active"},
+		},
+		{
+			name:       "all owners, sorted, ttl columns",
+			source:     func() []MitigationRow { return rows },
+			useAllView: true,
+			want: []string{
+				"mitigations: 3 active",
+				"mit:A:1 owner A state active ttl 42s dropped 1000000000 B shaped 0 B",
+				"mit:A:2 owner A state installing ttl 0s dropped 0 B shaped 2000000 B",
+				"mit:B:1 owner B state active ttl - dropped 5000000 B shaped 0 B",
+			},
+		},
+		{
+			name:   "owner filter keeps only A",
+			source: func() []MitigationRow { return rows },
+			owner:  "A",
+			want:   []string{"mitigations: 2 active", "mit:A:1", "mit:A:2"},
+			notWant: []string{
+				"mit:B:1",
+			},
+		},
+		{
+			name:    "owner filter with no matches",
+			source:  func() []MitigationRow { return rows },
+			owner:   "C",
+			want:    []string{"mitigations: 0 active"},
+			notWant: []string{"mit:"},
+		},
+		{
+			name:       "empty owner lists everything",
+			source:     func() []MitigationRow { return rows },
+			owner:      "",
+			want:       []string{"mitigations: 3 active"},
+			useAllView: false,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rs := newRS(t, peerCfg(0))
+			if tc.source != nil {
+				rs.SetMitigationSource(tc.source)
+			}
+			var got string
+			if tc.useAllView {
+				got = rs.GlassMitigations()
+			} else {
+				got = rs.GlassMitigationsFor(tc.owner)
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(got, w) {
+					t.Fatalf("missing %q in:\n%s", w, got)
+				}
+			}
+			for _, nw := range tc.notWant {
+				if strings.Contains(got, nw) {
+					t.Fatalf("unexpected %q in:\n%s", nw, got)
+				}
+			}
+		})
+	}
+
+	// Ordering inside the rendered listing is by ID even when the source
+	// hands rows out of order.
+	rs := newRS(t, peerCfg(0))
+	rs.SetMitigationSource(func() []MitigationRow {
+		return []MitigationRow{rows[2], rows[1], rows[0]}
+	})
+	got := rs.GlassMitigations()
+	iA1 := strings.Index(got, "mit:A:1")
+	iA2 := strings.Index(got, "mit:A:2")
+	iB1 := strings.Index(got, "mit:B:1")
+	if iA1 < 0 || iA2 < 0 || iB1 < 0 || !(iA1 < iA2 && iA2 < iB1) {
+		t.Fatalf("ID ordering violated:\n%s", got)
+	}
+}

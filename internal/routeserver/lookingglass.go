@@ -83,15 +83,26 @@ func (rs *RouteServer) SetMitigationSource(src MitigationSource) {
 
 // GlassMitigations renders the active-mitigation listing: ID, owner,
 // TTL remaining and bytes dropped/shaped, sorted by ID.
-func (rs *RouteServer) GlassMitigations() string {
+func (rs *RouteServer) GlassMitigations() string { return rs.GlassMitigationsFor("") }
+
+// GlassMitigationsFor is GlassMitigations restricted to one owner — the
+// view a member debugging its own blackholing requests asks the looking
+// glass for. An empty owner lists everything.
+func (rs *RouteServer) GlassMitigationsFor(owner string) string {
 	var b strings.Builder
 	srcp := rs.mitSrc.Load()
 	if srcp == nil {
 		b.WriteString("mitigations: no controller attached\n")
 		return b.String()
 	}
-	// Sort a copy: the source may hand out a retained slice.
-	rows := append([]MitigationRow(nil), (*srcp)()...)
+	// Filter into a copy: the source may hand out a retained slice.
+	all := (*srcp)()
+	rows := make([]MitigationRow, 0, len(all))
+	for _, r := range all {
+		if owner == "" || r.Owner == owner {
+			rows = append(rows, r)
+		}
+	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
 	fmt.Fprintf(&b, "mitigations: %d active\n", len(rows))
 	for _, r := range rows {

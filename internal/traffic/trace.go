@@ -1,6 +1,11 @@
 package traffic
 
 import (
+	"net/netip"
+	"slices"
+
+	"stellar/internal/fabric"
+	"stellar/internal/netpkt"
 	"stellar/internal/stats"
 )
 
@@ -77,23 +82,27 @@ type EventSample struct {
 // SampleEvent draws one event from the profile: mean shares perturbed by
 // lognormal-ish multiplicative noise and renormalized, preserving the
 // profile's expected ordering while giving realistic event-to-event
-// variance for the significance test.
+// variance for the significance test. Ports are perturbed in ascending
+// order so a seeded rng yields the same event on every run (map
+// iteration order must not leak into the draw sequence).
 func SampleEvent(p PortShareProfile, rng *stats.Rand) EventSample {
 	shares := make(map[uint16]float64, len(p.Shares))
 	var sum float64
-	for port, mean := range p.Shares {
+	ports := sortedPorts(p.Shares)
+	for _, port := range ports {
 		noise := 1 + rng.NormFloat64()*p.RelStd
 		if noise < 0.05 {
 			noise = 0.05
 		}
-		v := mean * noise
+		v := p.Shares[port] * noise
 		shares[port] = v
 		sum += v
 	}
-	// Residual ("others") mass, also noisy.
+	// Residual ("others") mass, also noisy. Subtract in sorted order
+	// too: float summation order is part of determinism.
 	meanOther := 1.0
-	for _, m := range p.Shares {
-		meanOther -= m
+	for _, port := range ports {
+		meanOther -= p.Shares[port]
 	}
 	if meanOther < 0 {
 		meanOther = 0
@@ -107,6 +116,16 @@ func SampleEvent(p PortShareProfile, rng *stats.Rand) EventSample {
 		shares[port] /= total
 	}
 	return EventSample{PortShare: shares, Other: other / total}
+}
+
+// sortedPorts returns the profile's ports ascending.
+func sortedPorts(shares map[uint16]float64) []uint16 {
+	ports := make([]uint16, 0, len(shares))
+	for port := range shares {
+		ports = append(ports, port)
+	}
+	slices.Sort(ports)
+	return ports
 }
 
 // SampleEvents draws n independent events.
@@ -158,4 +177,162 @@ func SamplePolicies(n int, rng *stats.Rand) []AnnouncementPolicy {
 		out[i] = dist[rng.WeightedChoice(weights)]
 	}
 	return out
+}
+
+// Trace is the pcap-less trace-replay generator: since the paper's
+// two-week IPFIX capture is not redistributable, it replays a per-tick
+// rate series whose UDP source-port composition follows sampled
+// blackholing events (SampleEvent) — one sampled composition per
+// segment of SegmentTicks ticks, so the replay exhibits the published
+// event-to-event variance instead of a frozen mix. It implements the
+// engine's Source/OfferAppender contract, which makes a recorded trace
+// a drop-in replacement for a synthetic Attack in any driver.
+//
+// Construct with NewTrace: the sampled segments and the per-(peer,port)
+// flow table are precomputed there. A Trace assembled by struct literal
+// has no segments and emits nothing.
+type Trace struct {
+	// Target is the replayed victim address.
+	Target netip.Addr
+	// Peers carries the replayed traffic, weighted heavy-tailed like an
+	// Attack's reflector population.
+	Peers []Peer
+	// RatesBps is the per-tick aggregate rate; ticks past the end reuse
+	// the last value, an empty series emits nothing.
+	RatesBps []float64
+	// SegmentTicks is the dwell time of one sampled event composition
+	// (<=1: a single composition covers the whole replay).
+	SegmentTicks int
+
+	segments []EventSample
+	ports    []uint16 // profiled ports, deterministic order
+	weights  []float64
+	flows    []netpkt.FlowKey // (peer, port) flattened peer-major
+	hashes   []uint64
+}
+
+// otherSrcPort carries the residual ("others") mass of a sampled event
+// composition: a high ephemeral UDP source port outside every profiled
+// amplification vector.
+const otherSrcPort = 40123
+
+// NewTrace builds a replay of len(ratesBps) ticks from the profile,
+// sampling one event composition per segment with rng.
+func NewTrace(p PortShareProfile, target netip.Addr, peers []Peer, ratesBps []float64, segmentTicks int, rng *stats.Rand) *Trace {
+	t := &Trace{Target: target, Peers: peers, RatesBps: ratesBps, SegmentTicks: segmentTicks}
+	if t.SegmentTicks < 1 {
+		t.SegmentTicks = len(ratesBps)
+		if t.SegmentTicks < 1 {
+			t.SegmentTicks = 1
+		}
+	}
+	nSeg := (len(ratesBps) + t.SegmentTicks - 1) / t.SegmentTicks
+	if nSeg < 1 {
+		nSeg = 1
+	}
+	t.segments = SampleEvents(p, nSeg, rng)
+
+	// Profiled ports in deterministic (ascending) order, plus the
+	// residual bucket last.
+	t.ports = append(sortedPorts(p.Shares), otherSrcPort)
+
+	t.weights = make([]float64, len(peers))
+	var sum float64
+	for i := range peers {
+		w := rng.Pareto(1.0, 1.8)
+		t.weights[i] = w
+		sum += w
+	}
+	for i := range t.weights {
+		t.weights[i] /= sum
+	}
+
+	t.flows = make([]netpkt.FlowKey, len(peers)*len(t.ports))
+	t.hashes = make([]uint64, len(t.flows))
+	for i := range peers {
+		for j, port := range t.ports {
+			k := i*len(t.ports) + j
+			t.flows[k] = netpkt.FlowKey{
+				SrcMAC:  peers[i].MAC,
+				Src:     peers[i].SrcIP,
+				Dst:     target,
+				Proto:   netpkt.ProtoUDP,
+				SrcPort: port,
+				DstPort: 443,
+			}
+			t.hashes[k] = t.flows[k].Hash()
+		}
+	}
+	return t
+}
+
+// rateAt returns the replayed aggregate rate at tick.
+func (t *Trace) rateAt(tick int) float64 {
+	if len(t.RatesBps) == 0 || tick < 0 {
+		return 0
+	}
+	if tick >= len(t.RatesBps) {
+		tick = len(t.RatesBps) - 1
+	}
+	return t.RatesBps[tick]
+}
+
+// segmentAt returns the sampled composition covering tick.
+func (t *Trace) segmentAt(tick int) EventSample {
+	i := 0
+	if t.SegmentTicks > 0 {
+		i = tick / t.SegmentTicks
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(t.segments) {
+		i = len(t.segments) - 1
+	}
+	return t.segments[i]
+}
+
+// portShare returns the byte share of one profiled port (or the
+// residual bucket) in the composition.
+func (s EventSample) portShare(port uint16) float64 {
+	if port == otherSrcPort {
+		return s.Other
+	}
+	return s.PortShare[port]
+}
+
+// Offers emits the replay's flow-level offers for one tick.
+func (t *Trace) Offers(tick int, dtSeconds float64) []fabric.Offer {
+	return t.AppendOffers(nil, tick, dtSeconds)
+}
+
+// AppendOffers appends the tick's offers to dst and returns it — the
+// buffer-reusing form the engine's traffic stage drives.
+func (t *Trace) AppendOffers(dst []fabric.Offer, tick int, dtSeconds float64) []fabric.Offer {
+	rate := t.rateAt(tick)
+	if rate <= 0 || len(t.segments) == 0 || len(t.weights) != len(t.Peers) {
+		return dst // zero rate, or a Trace not built by NewTrace
+	}
+	seg := t.segmentAt(tick)
+	totalBytes := rate * dtSeconds / 8
+	for i := range t.Peers {
+		peerBytes := totalBytes * t.weights[i]
+		if peerBytes <= 0 {
+			continue
+		}
+		for j, port := range t.ports {
+			b := peerBytes * seg.portShare(port)
+			if b <= 0 {
+				continue
+			}
+			k := i*len(t.ports) + j
+			dst = append(dst, fabric.Offer{
+				Flow:     t.flows[k],
+				FlowHash: t.hashes[k],
+				Bytes:    b,
+				Packets:  b / 1200,
+			})
+		}
+	}
+	return dst
 }
