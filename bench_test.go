@@ -7,13 +7,16 @@ package stellar_test
 // ns/op, so `go test -bench=. -benchmem` regenerates the evaluation.
 
 import (
+	"bytes"
 	"fmt"
 	"net/netip"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"stellar/internal/bgp"
+	"stellar/internal/bgppipe"
 	"stellar/internal/core"
 	"stellar/internal/experiments"
 	"stellar/internal/fabric"
@@ -876,4 +879,102 @@ func TestScenarioPipelineMatchesBaseline(t *testing.T) {
 	if diff := livSum - seedSum; diff > 1e-6*seedSum || diff < -1e-6*seedSum {
 		t.Fatalf("pipeline delivered %v bytes, baseline %v", livSum, seedSum)
 	}
+}
+
+// benchReplayDump renders updates MRT BGP4MP records across peers
+// announcing blackhole /32s, the BENCH_bgp.json replay workload at
+// go-test scale.
+func benchReplayDump(updates, peers, prefixesPer int) []byte {
+	base := time.Unix(1700000000, 0)
+	localIP := netip.MustParseAddr("80.81.192.1")
+	var dump []byte
+	var err error
+	var c uint32
+	for i := 0; i < updates; i++ {
+		id := i % peers
+		asn := uint32(64512 + id)
+		peerIP := netip.AddrFrom4([4]byte{80, 81, 192, byte(id)})
+		u := &bgp.Update{Attrs: bgp.PathAttrs{
+			Origin:      bgp.OriginIGP,
+			ASPath:      []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{asn}}},
+			NextHop:     peerIP,
+			Communities: []bgp.Community{bgp.CommunityBlackhole},
+		}}
+		for k := 0; k < prefixesPer; k++ {
+			addr := netip.AddrFrom4([4]byte{100, byte(id), byte(c >> 8), byte(c)})
+			c++
+			u.NLRI = append(u.NLRI, bgp.PathPrefix{Prefix: netip.PrefixFrom(addr, 32)})
+		}
+		dump, err = bgppipe.AppendMRTMessage(dump, base.Add(time.Duration(i)*time.Millisecond),
+			asn, 6695, peerIP, localIP, u, nil)
+		if err != nil {
+			panic(err)
+		}
+	}
+	return dump
+}
+
+// BenchmarkBGPRoundtrip measures the wire codec: one parse + marshal
+// roundtrip of a representative UPDATE per iteration.
+func BenchmarkBGPRoundtrip(b *testing.B) {
+	u := &bgp.Update{Attrs: bgp.PathAttrs{
+		Origin:      bgp.OriginIGP,
+		ASPath:      []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{64512, 65000, 65100}}},
+		NextHop:     netip.MustParseAddr("80.81.192.12"),
+		Communities: []bgp.Community{bgp.CommunityBlackhole, bgp.MakeCommunity(6695, 666)},
+	}}
+	for i := 0; i < 8; i++ {
+		addr := netip.AddrFrom4([4]byte{100, 10, byte(i), 0})
+		u.NLRI = append(u.NLRI, bgp.PathPrefix{Prefix: netip.PrefixFrom(addr, 24)})
+	}
+	wire, err := bgp.Marshal(u, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg, _, err := bgp.Unmarshal(wire, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bgp.Marshal(msg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// BenchmarkBGPReplay measures the replay path end to end: an in-memory
+// MRT capture streamed through the bgppipe scanner into a sharded
+// route-server RIB — the workload behind the BENCH_bgp.json bar.
+func BenchmarkBGPReplay(b *testing.B) {
+	const replayUpdates, replayPeers, prefixesPer = 2000, 32, 8
+	dump := benchReplayDump(replayUpdates, replayPeers, prefixesPer)
+	b.ReportAllocs()
+	b.ResetTimer()
+	updates := 0
+	for i := 0; i < b.N; i++ {
+		rs := routeserver.New(routeserver.Config{
+			ASN:              6695,
+			BlackholeNextHop: netip.MustParseAddr("80.81.193.66"),
+		})
+		apply := bgppipe.FeedRouteServer(rs, nil)
+		sc := bgppipe.NewMRTScanner(bytes.NewReader(dump))
+		for {
+			rec, err := sc.Next()
+			if err != nil {
+				break
+			}
+			if err := apply(rec); err != nil {
+				b.Fatal(err)
+			}
+			updates++
+		}
+	}
+	if updates != b.N*replayUpdates {
+		b.Fatalf("replayed %d updates, want %d", updates, b.N*replayUpdates)
+	}
+	b.ReportMetric(float64(updates)/b.Elapsed().Seconds(), "updates/s")
+	b.ReportMetric(float64(updates*prefixesPer)/b.Elapsed().Seconds(), "prefixes/s")
 }

@@ -10,9 +10,14 @@
 // Stellar's Advanced Blackholing extended community installs fine-
 // grained drop/shape rules and logs them.
 //
+// The daemon is a bgppipe assembly: a listen stage terminates member
+// TCP sessions onto the pipe's RX line, an rsfeed stage applies them to
+// the route server, and the coalesced exports ride the TX line back
+// through the listen stage to the owed members.
+//
 // Usage:
 //
-//	ixpd -listen 127.0.0.1:1790 -asn 6695 -open-irr
+//	ixpd -bgp-listen 127.0.0.1:1790 -asn 6695 -open-irr
 //
 // With -open-irr the route server auto-registers each peer's first
 // announcement origin in the IRR (lab mode); without it, register
@@ -30,6 +35,7 @@ import (
 	"time"
 
 	"stellar/internal/bgp"
+	"stellar/internal/bgppipe"
 	"stellar/internal/bgpsession"
 	"stellar/internal/core"
 	"stellar/internal/engine"
@@ -47,7 +53,8 @@ func (f *irrFlags) String() string     { return strings.Join(*f, ",") }
 func (f *irrFlags) Set(s string) error { *f = append(*f, s); return nil }
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:1790", "TCP address for BGP sessions")
+	bgpListen := flag.String("bgp-listen", "", "TCP address terminating member BGP sessions")
+	listen := flag.String("listen", "127.0.0.1:1790", "deprecated alias for -bgp-listen")
 	asn := flag.Uint("asn", 6695, "IXP AS number")
 	bgpID := flag.String("bgp-id", "80.81.192.1", "route server BGP identifier")
 	blackholeNH := flag.String("blackhole-nexthop", "80.81.193.66", "RTBH next hop")
@@ -57,11 +64,19 @@ func main() {
 	flag.Var(&irrEntries, "irr", "IRR entry ASN:prefix (repeatable)")
 	flag.Parse()
 
+	addr := *bgpListen
+	if addr == "" {
+		addr = *listen
+	}
 	d, err := newDaemon(uint32(*asn), *bgpID, *blackholeNH, *openIRR, irrEntries, tick.Seconds())
 	if err != nil {
 		log.Fatal(err)
 	}
-	ln, err := net.Listen("tcp", *listen)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe, err := d.newPipe(ln)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,12 +91,9 @@ func main() {
 			d.tick()
 		}
 	}()
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			log.Fatal(err)
-		}
-		go d.serve(conn)
+	pipe.Start()
+	if err := pipe.Wait(); err != nil {
+		log.Fatal(err)
 	}
 }
 
@@ -110,7 +122,6 @@ type daemon struct {
 	tickMu sync.Mutex
 
 	mu         sync.Mutex
-	peers      map[string]*bgpsession.Session // name -> session
 	peerASN    map[string]uint32
 	peerMAC    map[string]netpkt.MAC
 	nextPort   int
@@ -184,7 +195,6 @@ func newDaemon(asn uint32, bgpID, blackholeNH string, openIRR bool, irrEntries [
 		asn: asn, bgpID: id, openIRR: openIRR,
 		policy:    irr.NewPolicy(),
 		fab:       fabric.New(),
-		peers:     make(map[string]*bgpsession.Session),
 		peerASN:   make(map[string]uint32),
 		peerMAC:   make(map[string]netpkt.MAC),
 		portIndex: make(map[string]int),
@@ -260,49 +270,45 @@ func newDaemon(asn uint32, bgpID, blackholeNH string, openIRR bool, irrEntries [
 	return d, nil
 }
 
-// serve handles one member TCP connection: BGP handshake, then updates.
-func (d *daemon) serve(conn net.Conn) {
-	var (
-		sess *bgpsession.Session
-		name string
-		once sync.Once
-	)
-	handler := func(e bgpsession.Event) {
-		switch {
-		case e.Update != nil:
-			d.handleUpdate(name, e.Update)
-		case e.State == bgpsession.StateEstablished:
-			once.Do(func() {
-				peer := sess.PeerOpen()
-				name = fmt.Sprintf("AS%d", peer.AS)
-				d.register(name, peer.AS, peer.BGPID, sess)
-				log.Printf("ixpd: session established with %s (%s)", name, conn.RemoteAddr())
-			})
-		case e.State == bgpsession.StateClosed:
-			if name != "" {
-				d.unregister(name)
-				log.Printf("ixpd: session with %s closed: %v", name, e.Err)
-			}
-		}
+// newPipe assembles the daemon's wire pipeline on ln: a listen stage
+// terminating member sessions, and an rsfeed stage applying them to
+// the route server with the daemon's registration and lab-IRR hooks.
+func (d *daemon) newPipe(ln net.Listener) (*bgppipe.Pipe, error) {
+	pipe := bgppipe.New(bgppipe.Options{})
+	lst := bgppipe.NewListen(ln, bgpsession.Config{LocalAS: d.asn, BGPID: d.bgpID})
+	feed := &bgppipe.RSFeed{
+		RS: d.rs,
+		OnPeerUp: func(peer string, asn uint32, _ netip.Addr) {
+			d.registerPeer(peer, asn)
+			log.Printf("ixpd: session established with %s", peer)
+		},
+		OnPeerDown: func(peer string, err error) {
+			log.Printf("ixpd: session with %s closed: %v", peer, err)
+		},
+		PreUpdate: d.preUpdate,
+		OnReject: func(r routeserver.Rejection) {
+			log.Printf("ixpd: rejected %s from %s: %s", r.Prefix, r.Peer, r.Reason)
+		},
+		OnError: func(peer string, err error) {
+			log.Printf("ixpd: update from %s: %v", peer, err)
+		},
 	}
-	sess = bgpsession.New(conn, bgpsession.Config{
-		LocalAS: d.asn,
-		BGPID:   d.bgpID,
-	}, handler)
-	if err := sess.Run(); err != nil {
-		log.Printf("ixpd: session error (%s): %v", conn.RemoteAddr(), err)
+	if err := pipe.Attach(lst); err != nil {
+		return nil, err
 	}
+	if err := pipe.Attach(feed); err != nil {
+		return nil, err
+	}
+	return pipe, nil
 }
 
-func (d *daemon) register(name string, asn uint32, bgpID netip.Addr, sess *bgpsession.Session) {
+// registerPeer attaches a member's fabric port and hardware slot on
+// first sight (the route server registration itself is the rsfeed
+// stage's job).
+func (d *daemon) registerPeer(name string, asn uint32) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if _, known := d.peers[name]; !known {
-		if err := d.rs.AddPeer(routeserver.PeerConfig{Name: name, ASN: asn, BGPID: bgpID}); err != nil && err != routeserver.ErrDuplicatePeer {
-			log.Printf("ixpd: add peer %s: %v", name, err)
-			return
-		}
-		// Attach a fabric port and hardware slot for the member.
+	if _, known := d.peerMAC[name]; !known {
 		var mac netpkt.MAC
 		mac[0] = 0x02
 		mac[1] = 0x30
@@ -317,72 +323,25 @@ func (d *daemon) register(name string, asn uint32, bgpID netip.Addr, sess *bgpse
 		d.nextPort++
 	}
 	d.peerASN[name] = asn
-	d.peers[name] = sess
 }
 
-func (d *daemon) unregister(name string) {
-	d.mu.Lock()
-	delete(d.peers, name)
-	d.mu.Unlock()
-	exports, err := d.rs.HandleWithdrawAll(name)
-	if err == nil {
-		d.distribute(exports)
-	}
-}
-
-func (d *daemon) handleUpdate(name string, u *bgp.Update) {
-	if name == "" {
+// preUpdate implements the -open-irr lab mode: register the covering
+// /24 (or the prefix itself when shorter) of each announcement so
+// blackholing /32s validate.
+func (d *daemon) preUpdate(_ string, u *bgp.Update) {
+	if !d.openIRR {
 		return
 	}
-	if d.openIRR {
-		d.mu.Lock()
-		origin := u.Attrs.OriginAS()
-		for _, pp := range u.AllAnnounced() {
-			// Lab mode: register the covering /24 (or the prefix itself
-			// when shorter) so blackholing /32s validate.
-			p := pp.Prefix
-			if p.Addr().Is4() && p.Bits() > 24 {
-				p = netip.PrefixFrom(p.Addr(), 24).Masked()
-			}
-			if !d.policy.IRR.Authorized(origin, p) {
-				d.policy.IRR.Register(origin, p)
-			}
+	d.mu.Lock()
+	origin := u.Attrs.OriginAS()
+	for _, pp := range u.AllAnnounced() {
+		p := pp.Prefix
+		if p.Addr().Is4() && p.Bits() > 24 {
+			p = netip.PrefixFrom(p.Addr(), 24).Masked()
 		}
-		d.mu.Unlock()
-	}
-	exports, rejections, err := d.rs.HandleUpdateBatch(name, u)
-	if err != nil {
-		log.Printf("ixpd: update from %s: %v", name, err)
-		return
-	}
-	for _, r := range rejections {
-		log.Printf("ixpd: rejected %s from %s: %s", r.Prefix, r.Peer, r.Reason)
-	}
-	d.distribute(exports)
-}
-
-// distribute forwards the route server's batched exports to the connected
-// members, one SendUpdates flush per peer. Session handles are looked up
-// under d.mu but the TCP writes happen outside it, so a member that stops
-// reading stalls only the pipeline that owes it updates, never the whole
-// daemon.
-func (d *daemon) distribute(exports []routeserver.PeerUpdates) {
-	type flush struct {
-		sess    *bgpsession.Session
-		peer    string
-		updates []*bgp.Update
-	}
-	flushes := make([]flush, 0, len(exports))
-	d.mu.Lock()
-	for _, e := range exports {
-		if sess, ok := d.peers[e.Peer]; ok {
-			flushes = append(flushes, flush{sess: sess, peer: e.Peer, updates: e.Updates})
+		if !d.policy.IRR.Authorized(origin, p) {
+			d.policy.IRR.Register(origin, p)
 		}
 	}
 	d.mu.Unlock()
-	for _, f := range flushes {
-		if err := f.sess.SendUpdates(f.updates); err != nil {
-			log.Printf("ixpd: export to %s: %v", f.peer, err)
-		}
-	}
 }

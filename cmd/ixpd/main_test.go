@@ -25,14 +25,15 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ln.Close()
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			go d.serve(conn)
+	pipe, err := d.newPipe(ln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.Start()
+	defer func() {
+		pipe.Stop()
+		if err := pipe.Wait(); err != nil {
+			t.Errorf("pipe: %v", err)
 		}
 	}()
 
@@ -98,6 +99,14 @@ func TestDaemonEndToEnd(t *testing.T) {
 		}
 	case <-time.After(3 * time.Second):
 		t.Fatal("no export received")
+	}
+
+	// The looking glass shows the accepted route, flagged blackhole
+	// (the RIB keeps the announced next hop; the RTBH rewrite happens
+	// on export).
+	glass := d.rs.Glass(host)
+	if len(glass) != 1 || !glass[0].Best || glass[0].Peer != "AS64512" || !glass[0].Blackhole {
+		t.Fatalf("looking glass: %+v", glass)
 	}
 
 	// Advanced Blackholing: the daemon's mitigation controller installed

@@ -85,6 +85,7 @@ type benchReport struct {
 	Scenario   *scenarioBench `json:"scenario,omitempty"`
 	Mitctl     *mitctlBench   `json:"mitctl,omitempty"`
 	Engine     *engineBench   `json:"engine,omitempty"`
+	BGP        *bgpBench      `json:"bgp,omitempty"`
 }
 
 // engineBench is the stage-graph-runtime section of the report: the
@@ -169,6 +170,8 @@ func runBenchCommand(args []string, w io.Writer) error {
 	scenarioTicks := fs.Int("scenario-ticks", 120, "simulated ticks per scenario pipeline run")
 	mitctlRequests := fs.Int("mitctl-requests", 4096, "mitigation requests in the mitctl lifecycle bench (0 = skip)")
 	mitctlMembers := fs.Int("mitctl-members", 64, "member ports in the mitctl lifecycle bench")
+	bgpMessages := fs.Int("bgp-messages", 50000, "BGP messages in the wire-format codec/replay bench (0 = skip)")
+	diff := fs.Bool("diff", false, "compare two archived reports instead of running: bench -diff old.json new.json")
 	check := fs.Bool("check", false, "exit non-zero when any section falls below its stated regression bar")
 	sections := fs.String("sections", "", "also write one <prefix><section>.json file per measured section (e.g. -sections BENCH_)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the bench run to this file")
@@ -176,6 +179,13 @@ func runBenchCommand(args []string, w io.Writer) error {
 	out := fs.String("out", "", "write the JSON report to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *diff {
+		rest := fs.Args()
+		if len(rest) != 2 {
+			return fmt.Errorf("bench -diff: want two report files, got %d", len(rest))
+		}
+		return benchDiff(w, rest[0], rest[1])
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -247,6 +257,13 @@ func runBenchCommand(args []string, w io.Writer) error {
 			return err
 		}
 		report.Engine = eb
+	}
+	if *bgpMessages > 0 {
+		gb, err := benchBGP(*bgpMessages)
+		if err != nil {
+			return err
+		}
+		report.BGP = gb
 	}
 
 	if *memprofile != "" {
@@ -343,6 +360,11 @@ func writeSections(prefix string, r *benchReport) error {
 			return err
 		}
 	}
+	if r.BGP != nil {
+		if err := write("bgp", benchReport{BGP: r.BGP}); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -363,6 +385,13 @@ const (
 	// GOMAXPROCS=4 (typically ~4x even on one core, from buffer reuse
 	// and streamed monitoring; pipelining adds more on real cores).
 	barEngineSpeedupX = 1.5
+	// BGP wire-format bars: the codec sustains ~1M parse+marshal
+	// roundtrips/s and MRT replay into the sharded RIB ~15k updates/s
+	// on a dev box; the bars sit far below so only a structural
+	// regression (quadratic attr copying, per-message allocation storms)
+	// trips them on shared CI runners.
+	barBGPRoundtripMsgsPerSec = 150_000
+	barBGPReplayUpdatesPerSec = 2_000
 )
 
 // checkBars fails the run when a measured section sits below its bar.
@@ -388,6 +417,14 @@ func checkBars(r *benchReport) error {
 	if r.Engine != nil && r.Engine.SpeedupX < barEngineSpeedupX {
 		failures = append(failures, fmt.Sprintf(
 			"engine: speedup_x %.2f < %.2f", r.Engine.SpeedupX, barEngineSpeedupX))
+	}
+	if r.BGP != nil && r.BGP.RoundtripMsgsPerSec < barBGPRoundtripMsgsPerSec {
+		failures = append(failures, fmt.Sprintf(
+			"bgp: roundtrip_msgs_per_sec %.0f < %d", r.BGP.RoundtripMsgsPerSec, barBGPRoundtripMsgsPerSec))
+	}
+	if r.BGP != nil && r.BGP.ReplayUpdatesPerSec < barBGPReplayUpdatesPerSec {
+		failures = append(failures, fmt.Sprintf(
+			"bgp: replay_updates_per_sec %.0f < %d", r.BGP.ReplayUpdatesPerSec, barBGPReplayUpdatesPerSec))
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("bench: regression bars violated: %v", failures)

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"stellar/internal/bgp"
+	"stellar/internal/bgppipe"
+	"stellar/internal/routeserver"
+)
+
+// bgpBench is the wire-format section of the report: raw BGP codec
+// throughput (parse + marshal roundtrips over a mixed UPDATE corpus)
+// and MRT replay throughput — a BGP4MP capture streamed through the
+// bgppipe scanner into a sharded route-server RIB, the cmd/ixpd replay
+// path end to end.
+type bgpBench struct {
+	Messages             int     `json:"messages"`
+	RoundtripMsgsPerSec  float64 `json:"roundtrip_msgs_per_sec"`
+	RoundtripNsPerMsg    float64 `json:"roundtrip_ns_per_msg"`
+	ReplayUpdates        int     `json:"replay_updates"`
+	ReplayPrefixes       int     `json:"replay_prefixes"`
+	ReplayUpdatesPerSec  float64 `json:"replay_updates_per_sec"`
+	ReplayPrefixesPerSec float64 `json:"replay_prefixes_per_sec"`
+}
+
+// benchBGPCorpus builds a mixed wire-format corpus: UPDATEs of varying
+// shape (path lengths, communities, MEDs, withdrawals) plus the
+// session chatter (OPEN, KEEPALIVE, NOTIFICATION) a live feed carries.
+func benchBGPCorpus() [][]byte {
+	var corpus [][]byte
+	add := func(m bgp.Message) {
+		wire, err := bgp.Marshal(m, nil)
+		if err != nil {
+			panic(err)
+		}
+		corpus = append(corpus, wire)
+	}
+	add(bgp.NewOpen(64512, 90, netip.MustParseAddr("10.0.0.1")))
+	add(&bgp.Keepalive{})
+	add(&bgp.Notification{Code: bgp.NotifCease})
+	med := uint32(100)
+	for i := 0; i < 61; i++ {
+		u := &bgp.Update{Attrs: bgp.PathAttrs{
+			Origin: bgp.OriginIGP,
+			ASPath: []bgp.ASPathSegment{{Type: bgp.ASSequence,
+				ASNs: []uint32{uint32(64512 + i), 65000, uint32(65100 + i%7)}[:1+i%3]}},
+			NextHop: netip.AddrFrom4([4]byte{80, 81, 192, byte(i)}),
+		}}
+		if i%3 == 0 {
+			u.Attrs.Communities = []bgp.Community{bgp.CommunityBlackhole, bgp.MakeCommunity(6695, uint16(i))}
+		}
+		if i%4 == 0 {
+			u.Attrs.MED = &med
+		}
+		for k := 0; k <= i%8; k++ {
+			addr := netip.AddrFrom4([4]byte{100, byte(i), byte(k), 0})
+			u.NLRI = append(u.NLRI, bgp.PathPrefix{Prefix: netip.PrefixFrom(addr, 24)})
+		}
+		if i%5 == 0 {
+			addr := netip.AddrFrom4([4]byte{101, byte(i), 0, 0})
+			u.Withdrawn = append(u.Withdrawn, bgp.PathPrefix{Prefix: netip.PrefixFrom(addr, 24)})
+		}
+		add(u)
+	}
+	return corpus
+}
+
+// benchBGPDump renders updates MRT BGP4MP records spread across peers,
+// prefixesPer prefixes each, and reports the dump plus the prefix count.
+func benchBGPDump(updates, peers, prefixesPer int) ([]byte, int) {
+	base := time.Unix(1700000000, 0)
+	localIP := netip.MustParseAddr("80.81.192.1")
+	var dump []byte
+	var err error
+	prefixes := 0
+	var c uint32
+	for i := 0; i < updates; i++ {
+		id := i % peers
+		asn := uint32(64512 + id)
+		peerIP := netip.AddrFrom4([4]byte{80, 81, 192, byte(id)})
+		u := &bgp.Update{Attrs: bgp.PathAttrs{
+			Origin:  bgp.OriginIGP,
+			ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{asn}}},
+			NextHop: peerIP,
+			// Blackhole /32s pass the import policy at any length.
+			Communities: []bgp.Community{bgp.CommunityBlackhole},
+		}}
+		for k := 0; k < prefixesPer; k++ {
+			addr := netip.AddrFrom4([4]byte{100, byte(id), byte(c >> 8), byte(c)})
+			c++
+			u.NLRI = append(u.NLRI, bgp.PathPrefix{Prefix: netip.PrefixFrom(addr, 32)})
+		}
+		prefixes += prefixesPer
+		dump, err = bgppipe.AppendMRTMessage(dump, base.Add(time.Duration(i)*time.Millisecond),
+			asn, 6695, peerIP, localIP, u, nil)
+		if err != nil {
+			panic(err)
+		}
+	}
+	return dump, prefixes
+}
+
+// benchBGP measures the wire-format pipeline: codec roundtrips over the
+// mixed corpus, then an MRT replay into a sharded RIB via the same
+// scanner + FeedRouteServer path the engine replay drivers use.
+func benchBGP(messages int) (*bgpBench, error) {
+	corpus := benchBGPCorpus()
+	start := time.Now()
+	for i := 0; i < messages; i++ {
+		wire := corpus[i%len(corpus)]
+		msg, _, err := bgp.Unmarshal(wire, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench: corpus parse: %w", err)
+		}
+		if _, err := bgp.Marshal(msg, nil); err != nil {
+			return nil, fmt.Errorf("bench: corpus marshal: %w", err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	const replayPeers, prefixesPer = 32, 8
+	replayUpdates := messages / 4
+	if replayUpdates < replayPeers {
+		replayUpdates = replayPeers
+	}
+	dump, prefixes := benchBGPDump(replayUpdates, replayPeers, prefixesPer)
+	rs := routeserver.New(routeserver.Config{
+		ASN:              6695,
+		BlackholeNextHop: netip.MustParseAddr("80.81.193.66"),
+	})
+	apply := bgppipe.FeedRouteServer(rs, nil)
+	sc := bgppipe.NewMRTScanner(bytes.NewReader(dump))
+	applied := 0
+	replayStart := time.Now()
+	for {
+		rec, err := sc.Next()
+		if err != nil {
+			break
+		}
+		if err := apply(rec); err != nil {
+			return nil, fmt.Errorf("bench: replay apply: %w", err)
+		}
+		applied++
+	}
+	replayElapsed := time.Since(replayStart).Seconds()
+	if applied != replayUpdates {
+		return nil, fmt.Errorf("bench: replay applied %d of %d updates", applied, replayUpdates)
+	}
+
+	return &bgpBench{
+		Messages:             messages,
+		RoundtripMsgsPerSec:  float64(messages) / elapsed.Seconds(),
+		RoundtripNsPerMsg:    float64(elapsed.Nanoseconds()) / float64(messages),
+		ReplayUpdates:        replayUpdates,
+		ReplayPrefixes:       prefixes,
+		ReplayUpdatesPerSec:  float64(replayUpdates) / replayElapsed,
+		ReplayPrefixesPerSec: float64(prefixes) / replayElapsed,
+	}, nil
+}

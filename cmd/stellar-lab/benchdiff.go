@@ -1,0 +1,108 @@
+package main
+
+// `stellar-lab bench -diff old.json new.json` compares two archived
+// bench reports metric by metric: every numeric leaf common to both is
+// printed with its delta, so a PR's perf movement is one command away
+// from the BENCH_*.json trail CI keeps.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// benchDiff loads two bench reports and prints per-metric deltas.
+func benchDiff(w io.Writer, oldPath, newPath string) error {
+	oldVals, err := loadBenchMetrics(oldPath)
+	if err != nil {
+		return err
+	}
+	newVals, err := loadBenchMetrics(newPath)
+	if err != nil {
+		return err
+	}
+
+	paths := make([]string, 0, len(oldVals))
+	seen := make(map[string]bool, len(oldVals)+len(newVals))
+	for p := range oldVals {
+		paths = append(paths, p)
+		seen[p] = true
+	}
+	for p := range newVals {
+		if !seen[p] {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+
+	width := 0
+	for _, p := range paths {
+		if len(p) > width {
+			width = len(p)
+		}
+	}
+	for _, p := range paths {
+		o, hasOld := oldVals[p]
+		n, hasNew := newVals[p]
+		switch {
+		case !hasOld:
+			fmt.Fprintf(w, "%-*s  %14s -> %14s\n", width, p, "(absent)", fmtMetric(n))
+		case !hasNew:
+			fmt.Fprintf(w, "%-*s  %14s -> %14s\n", width, p, fmtMetric(o), "(absent)")
+		default:
+			line := fmt.Sprintf("%-*s  %14s -> %14s", width, p, fmtMetric(o), fmtMetric(n))
+			if o != n && o != 0 {
+				line += fmt.Sprintf("  (%+.1f%%)", 100*(n-o)/o)
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+	return nil
+}
+
+// loadBenchMetrics flattens a report's numeric leaves into
+// dotted-path -> value (arrays indexed as name[i]).
+func loadBenchMetrics(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64)
+	flattenMetrics("", doc, out)
+	return out, nil
+}
+
+func flattenMetrics(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, child := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flattenMetrics(p, child, out)
+		}
+	case []any:
+		for i, child := range x {
+			flattenMetrics(fmt.Sprintf("%s[%d]", prefix, i), child, out)
+		}
+	case float64:
+		out[prefix] = x
+	}
+}
+
+// fmtMetric renders a value compactly: integers bare, rates with two
+// decimals.
+func fmtMetric(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}

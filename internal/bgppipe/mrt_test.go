@@ -1,0 +1,243 @@
+package bgppipe
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"stellar/internal/bgp"
+	"stellar/internal/rib"
+	"stellar/internal/routeserver"
+)
+
+// mrtFixture is a small two-peer capture with best-path competition,
+// a withdrawal, and an IPv6 announcement — enough routing churn that a
+// wire/direct divergence would change the resulting RIB.
+type mrtFixtureRec struct {
+	peerAS uint32
+	peerIP netip.Addr
+	msg    bgp.Message
+}
+
+func mrtFixture() []mrtFixtureRec {
+	attrs := func(path []uint32, nh string) bgp.PathAttrs {
+		return bgp.PathAttrs{
+			Origin:  bgp.OriginIGP,
+			ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: path}},
+			NextHop: netip.MustParseAddr(nh),
+		}
+	}
+	med := uint32(50)
+	a1 := attrs([]uint32{65001}, "80.81.192.10")
+	a1.Communities = []bgp.Community{bgp.MakeCommunity(65001, 100)}
+	a2 := attrs([]uint32{65002, 65010}, "80.81.192.20")
+	a2.MED = &med
+	return []mrtFixtureRec{
+		{65001, netip.MustParseAddr("80.81.192.10"), &bgp.Update{
+			Attrs: a1,
+			NLRI: []bgp.PathPrefix{
+				{Prefix: netip.MustParsePrefix("203.0.113.0/24")},
+				{Prefix: netip.MustParsePrefix("198.51.100.0/24")},
+			},
+		}},
+		{65002, netip.MustParseAddr("80.81.192.20"), &bgp.Update{
+			Attrs: a2,
+			NLRI:  []bgp.PathPrefix{{Prefix: netip.MustParsePrefix("203.0.113.0/24")}},
+		}},
+		{65002, netip.MustParseAddr("80.81.192.20"), &bgp.Update{
+			Attrs: bgp.PathAttrs{
+				Origin: bgp.OriginIGP,
+				ASPath: []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{65002}}},
+				MPReach: &bgp.MPReach{
+					AFI: bgp.AFIIPv6, SAFI: bgp.SAFIUnicast,
+					NextHop: netip.MustParseAddr("2001:db8::20"),
+					NLRI:    []bgp.PathPrefix{{Prefix: netip.MustParsePrefix("2001:db8:100::/48")}},
+				},
+			},
+		}},
+		{65001, netip.MustParseAddr("80.81.192.10"), &bgp.Update{
+			Withdrawn: []bgp.PathPrefix{{Prefix: netip.MustParsePrefix("198.51.100.0/24")}},
+		}},
+		{65001, netip.MustParseAddr("80.81.192.10"), &bgp.Keepalive{}},
+	}
+}
+
+func mrtFixtureDump(t testing.TB) []byte {
+	t.Helper()
+	localIP := netip.MustParseAddr("80.81.192.1")
+	base := time.Unix(1700000000, 0)
+	var dump []byte
+	var err error
+	for i, r := range mrtFixture() {
+		dump, err = AppendMRTMessage(dump, base.Add(time.Duration(i)*time.Second),
+			r.peerAS, 6695, r.peerIP, localIP, r.msg, nil)
+		if err != nil {
+			t.Fatalf("AppendMRTMessage[%d]: %v", i, err)
+		}
+	}
+	return dump
+}
+
+// TestMRTScannerRoundtrip writes messages with AppendMRTMessage and
+// reads them back, checking attribution and payload survive the trip.
+func TestMRTScannerRoundtrip(t *testing.T) {
+	recs := mrtFixture()
+	sc := NewMRTScanner(bytes.NewReader(mrtFixtureDump(t)))
+	for i, want := range recs {
+		got, err := sc.Next()
+		if err != nil {
+			t.Fatalf("Next[%d]: %v", i, err)
+		}
+		if got.PeerAS != want.peerAS || got.PeerIP != want.peerIP {
+			t.Fatalf("record %d attribution: %+v", i, got)
+		}
+		if got.Peer != fmt.Sprintf("AS%d", want.peerAS) {
+			t.Fatalf("record %d peer name: %q", i, got.Peer)
+		}
+		if got.Time != time.Unix(1700000000+int64(i), 0).UTC() {
+			t.Fatalf("record %d time: %v", i, got.Time)
+		}
+		wantWire, err := bgp.Marshal(want.msg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotWire, err := bgp.Marshal(got.Msg, nil)
+		if err != nil {
+			t.Fatalf("record %d remarshal: %v", i, err)
+		}
+		if !bytes.Equal(wantWire, gotWire) {
+			t.Fatalf("record %d payload changed on the wire trip:\n got %x\nwant %x", i, gotWire, wantWire)
+		}
+	}
+	if _, err := sc.Next(); err != io.EOF {
+		t.Fatalf("trailing Next: %v, want io.EOF", err)
+	}
+}
+
+// ribDump renders a route server's RIB canonically: every path key in
+// sorted order with its peer AS, best-path marker, and the marshaled
+// attribute bytes. Byte-identical dumps mean identical routing state.
+func ribDump(t testing.TB, rs *routeserver.RouteServer) string {
+	t.Helper()
+	snap := rs.Table().Snapshot()
+	keys := make([]rib.PathKey, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	var b strings.Builder
+	for _, k := range keys {
+		p := snap[k]
+		best := rs.Table().Best(k.Prefix)
+		wire, err := p.Attrs.MarshalAttrs(nil)
+		if err != nil {
+			t.Fatalf("marshal attrs for %v: %v", k, err)
+		}
+		fmt.Fprintf(&b, "%v as%d best=%v attrs=%x\n",
+			k, p.PeerAS, best != nil && best.Key == k, wire)
+	}
+	return b.String()
+}
+
+// TestMRTReplayEquivalence pins the deprecation contract for the old
+// Handler wiring: feeding a capture through the wire pipeline (MRT
+// replay stage -> pipe -> RSFeed) produces a byte-identical RIB —
+// same paths, same best-path selection, same marshaled attributes — as
+// handing the route server the same updates directly through
+// HandleUpdateBatch.
+func TestMRTReplayEquivalence(t *testing.T) {
+	newRS := func() *routeserver.RouteServer {
+		return routeserver.New(routeserver.Config{
+			ASN:              6695,
+			BlackholeNextHop: netip.MustParseAddr("80.81.193.66"),
+		})
+	}
+
+	// Wire path: replay the dump through the pipe.
+	rsWire := newRS()
+	pipe := New(Options{})
+	pipe.Attach(NewMRTReplay(bytes.NewReader(mrtFixtureDump(t))))
+	pipe.Attach(&RSFeed{RS: rsWire})
+	pipe.Start()
+	if err := pipe.Wait(); err != nil {
+		t.Fatalf("replay pipe: %v", err)
+	}
+
+	// Direct path: same updates straight into HandleUpdateBatch.
+	rsDirect := newRS()
+	for _, r := range mrtFixture() {
+		peer := fmt.Sprintf("AS%d", r.peerAS)
+		u, ok := r.msg.(*bgp.Update)
+		if !ok {
+			continue
+		}
+		err := rsDirect.AddPeer(routeserver.PeerConfig{Name: peer, ASN: r.peerAS})
+		if err != nil && err != routeserver.ErrDuplicatePeer {
+			t.Fatal(err)
+		}
+		if _, _, err := rsDirect.HandleUpdateBatch(peer, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	wire, direct := ribDump(t, rsWire), ribDump(t, rsDirect)
+	if wire != direct {
+		t.Fatalf("wire replay diverged from direct feed:\n--- wire ---\n%s--- direct ---\n%s", wire, direct)
+	}
+	if wire == "" {
+		t.Fatal("empty RIB: the fixture applied nothing")
+	}
+}
+
+// TestMRTReplayRetirePeers pins the opt-in teardown: with RetirePeers
+// the stage sends PeerDown for every replayed peer at EOF and the
+// RSFeed withdraws everything the capture installed.
+func TestMRTReplayRetirePeers(t *testing.T) {
+	rs := routeserver.New(routeserver.Config{
+		ASN:              6695,
+		BlackholeNextHop: netip.MustParseAddr("80.81.193.66"),
+	})
+	rep := NewMRTReplay(bytes.NewReader(mrtFixtureDump(t)))
+	rep.RetirePeers = true
+	pipe := New(Options{})
+	pipe.Attach(rep)
+	pipe.Attach(&RSFeed{RS: rs})
+	pipe.Start()
+	if err := pipe.Wait(); err != nil {
+		t.Fatalf("replay pipe: %v", err)
+	}
+	if n := rs.Table().Len(); n != 0 {
+		t.Fatalf("RIB holds %d paths after peer retirement, want 0", n)
+	}
+}
+
+// FuzzMRTScanner throws mutated MRT bytes at the scanner: it must never
+// panic, and every record it does yield must carry a remarshalable
+// message.
+func FuzzMRTScanner(f *testing.F) {
+	f.Add(mrtFixtureDump(f))
+	dump := mrtFixtureDump(f)
+	f.Add(dump[:len(dump)/2]) // truncated mid-record
+	f.Add(dump[:13])          // truncated header
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc := NewMRTScanner(bytes.NewReader(data))
+		for i := 0; i < 1<<16; i++ {
+			rec, err := sc.Next()
+			if err != nil {
+				return
+			}
+			if rec.Msg == nil {
+				t.Fatal("record with nil message")
+			}
+			if _, err := bgp.Marshal(rec.Msg, nil); err != nil {
+				t.Fatalf("scanner yielded unmarshalable message: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package bgppipe
+
+import (
+	"errors"
+	"io"
+	"sync/atomic"
+)
+
+// RecordSource yields replay records in stream order; io.EOF ends the
+// stream. MRTScanner and RISScanner implement it.
+type RecordSource interface {
+	Next() (Record, error)
+}
+
+// Replay is the stage form of a record source: it pushes every record
+// onto the RX line, announcing each peer with EventPeerUp on first
+// sight. A replayed capture therefore drives an RSFeed exactly like a
+// set of live Speaker sessions would — except that the capture ending
+// is not a session loss, so by default the peers stay up and the
+// replayed RIB persists after EOF.
+type Replay struct {
+	// Source yields the records. Required.
+	Source RecordSource
+	// Label names the stage ("mrt", "ris-live"); empty means "replay".
+	Label string
+	// RetirePeers, when set, sends EventPeerDown for every seen peer (in
+	// first-seen order) once the stream ends — an RSFeed then withdraws
+	// all replayed routes, as if the members had disconnected.
+	RetirePeers bool
+
+	pipe    *Pipe
+	stopped atomic.Bool
+}
+
+// NewMRTReplay builds a replay stage over an MRT dump stream.
+func NewMRTReplay(r io.Reader) *Replay {
+	return &Replay{Source: NewMRTScanner(r), Label: "mrt"}
+}
+
+// NewRISReplay builds a replay stage over a RIS-live JSON stream.
+func NewRISReplay(r io.Reader) *Replay {
+	return &Replay{Source: NewRISScanner(r), Label: "ris-live"}
+}
+
+// Name implements Stage.
+func (r *Replay) Name() string {
+	if r.Label != "" {
+		return r.Label
+	}
+	return "replay"
+}
+
+// Attach implements Stage.
+func (r *Replay) Attach(p *Pipe) error {
+	if r.Source == nil {
+		return errors.New("Replay.Source is nil")
+	}
+	r.pipe = p
+	return nil
+}
+
+// Run implements Stage: stream the source dry.
+func (r *Replay) Run() error {
+	var order []string
+	seen := make(map[string]bool)
+	defer func() {
+		if !r.RetirePeers {
+			return
+		}
+		for _, peer := range order {
+			r.pipe.Send(DirRX, &Msg{Peer: peer, Event: EventPeerDown})
+		}
+	}()
+	for !r.stopped.Load() {
+		rec, err := r.Source.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		if !seen[rec.Peer] {
+			seen[rec.Peer] = true
+			order = append(order, rec.Peer)
+			r.pipe.Send(DirRX, &Msg{
+				Peer: rec.Peer, PeerAS: rec.PeerAS, PeerIP: rec.PeerIP,
+				Time: rec.Time, Event: EventPeerUp,
+			})
+		}
+		r.pipe.Send(DirRX, &Msg{
+			Peer: rec.Peer, PeerAS: rec.PeerAS, PeerIP: rec.PeerIP,
+			Time: rec.Time, BGP: rec.Msg,
+		})
+	}
+	return nil
+}
+
+// Stop implements Stage: the next Source record is the last delivered.
+func (r *Replay) Stop() error {
+	r.stopped.Store(true)
+	return nil
+}

@@ -1,0 +1,242 @@
+package bgppipe
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+
+	"stellar/internal/bgp"
+)
+
+// RISScanner decodes a stream of RIS-live-shaped JSON messages (one
+// envelope per line, as delivered by RIPE's ris-live websocket firehose
+// or a saved capture of it) into Records carrying bgp.Update messages.
+//
+// One envelope may group announcements under several next hops; each
+// group becomes its own UPDATE (BGP carries one NEXT_HOP per message),
+// with the envelope's withdrawals riding the first emitted record.
+// Non-UPDATE envelopes (peer state, keepalives) are skipped.
+type RISScanner struct {
+	sc      *bufio.Scanner
+	pending []Record
+}
+
+// risMaxLine bounds one JSON envelope.
+const risMaxLine = 1 << 20
+
+// NewRISScanner scans the newline-delimited JSON stream r.
+func NewRISScanner(r io.Reader) *RISScanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), risMaxLine)
+	return &RISScanner{sc: sc}
+}
+
+// risEnvelope is the outer {"type":"ris_message","data":{...}} framing.
+type risEnvelope struct {
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data"`
+}
+
+// risData is the fields of one ris_message we replay.
+type risData struct {
+	Timestamp     float64           `json:"timestamp"`
+	Peer          string            `json:"peer"`
+	PeerASN       string            `json:"peer_asn"`
+	Type          string            `json:"type"`
+	Path          []risPathElem     `json:"path"`
+	Community     [][2]uint16       `json:"community"`
+	Origin        string            `json:"origin"`
+	MED           *uint32           `json:"med"`
+	Announcements []risAnnouncement `json:"announcements"`
+	Withdrawals   []string          `json:"withdrawals"`
+}
+
+type risAnnouncement struct {
+	NextHop  string   `json:"next_hop"`
+	Prefixes []string `json:"prefixes"`
+}
+
+// risPathElem is one AS-path element: a plain ASN, or an array of ASNs
+// for an AS_SET.
+type risPathElem struct {
+	asn uint32
+	set []uint32
+}
+
+func (e *risPathElem) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '[' {
+		return json.Unmarshal(b, &e.set)
+	}
+	return json.Unmarshal(b, &e.asn)
+}
+
+// Next returns the next replayable record, io.EOF at end of stream.
+func (s *RISScanner) Next() (Record, error) {
+	for {
+		if len(s.pending) > 0 {
+			rec := s.pending[0]
+			s.pending = s.pending[1:]
+			return rec, nil
+		}
+		if !s.sc.Scan() {
+			if err := s.sc.Err(); err != nil {
+				return Record{}, err
+			}
+			return Record{}, io.EOF
+		}
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" {
+			continue
+		}
+		var env risEnvelope
+		if err := json.Unmarshal([]byte(line), &env); err != nil {
+			return Record{}, fmt.Errorf("bgppipe: RIS envelope: %w", err)
+		}
+		if env.Type != "ris_message" {
+			continue
+		}
+		var d risData
+		if err := json.Unmarshal(env.Data, &d); err != nil {
+			return Record{}, fmt.Errorf("bgppipe: RIS data: %w", err)
+		}
+		if d.Type != "UPDATE" {
+			continue
+		}
+		recs, err := risRecords(&d)
+		if err != nil {
+			return Record{}, err
+		}
+		if len(recs) == 0 {
+			continue
+		}
+		s.pending = recs
+	}
+}
+
+// risRecords converts one UPDATE envelope into its records.
+func risRecords(d *risData) ([]Record, error) {
+	peerAS64, err := strconv.ParseUint(d.PeerASN, 10, 32)
+	if err != nil {
+		return nil, fmt.Errorf("bgppipe: RIS peer_asn %q: %w", d.PeerASN, err)
+	}
+	peerAS := uint32(peerAS64)
+	var peerIP netip.Addr
+	if d.Peer != "" {
+		peerIP, err = netip.ParseAddr(d.Peer)
+		if err != nil {
+			return nil, fmt.Errorf("bgppipe: RIS peer %q: %w", d.Peer, err)
+		}
+	}
+	sec, frac := int64(d.Timestamp), d.Timestamp-float64(int64(d.Timestamp))
+	t := time.Unix(sec, int64(frac*1e9)).UTC()
+
+	base := bgp.PathAttrs{Origin: risOrigin(d.Origin), MED: d.MED}
+	for _, e := range d.Path {
+		if e.set != nil {
+			base.ASPath = append(base.ASPath, bgp.ASPathSegment{Type: bgp.ASSet, ASNs: e.set})
+			continue
+		}
+		if n := len(base.ASPath); n > 0 && base.ASPath[n-1].Type == bgp.ASSequence {
+			base.ASPath[n-1].ASNs = append(base.ASPath[n-1].ASNs, e.asn)
+		} else {
+			base.ASPath = append(base.ASPath, bgp.ASPathSegment{Type: bgp.ASSequence, ASNs: []uint32{e.asn}})
+		}
+	}
+	for _, c := range d.Community {
+		base.Communities = append(base.Communities, bgp.MakeCommunity(c[0], c[1]))
+	}
+
+	var w4, w6 []bgp.PathPrefix
+	for _, p := range d.Withdrawals {
+		pfx, err := parseRISPrefix(p)
+		if err != nil {
+			return nil, err
+		}
+		if pfx.Addr().Is4() {
+			w4 = append(w4, bgp.PathPrefix{Prefix: pfx})
+		} else {
+			w6 = append(w6, bgp.PathPrefix{Prefix: pfx})
+		}
+	}
+
+	var updates []*bgp.Update
+	for _, a := range d.Announcements {
+		nh, err := netip.ParseAddr(a.NextHop)
+		if err != nil {
+			return nil, fmt.Errorf("bgppipe: RIS next_hop %q: %w", a.NextHop, err)
+		}
+		var n4, n6 []bgp.PathPrefix
+		for _, p := range a.Prefixes {
+			pfx, err := parseRISPrefix(p)
+			if err != nil {
+				return nil, err
+			}
+			if pfx.Addr().Is4() {
+				n4 = append(n4, bgp.PathPrefix{Prefix: pfx})
+			} else {
+				n6 = append(n6, bgp.PathPrefix{Prefix: pfx})
+			}
+		}
+		if len(n4) > 0 {
+			u := &bgp.Update{Attrs: base.Clone(), NLRI: n4}
+			if !nh.Is4() {
+				return nil, fmt.Errorf("bgppipe: RIS next_hop %v for IPv4 prefixes", nh)
+			}
+			u.Attrs.NextHop = nh
+			updates = append(updates, u)
+		}
+		if len(n6) > 0 {
+			u := &bgp.Update{Attrs: base.Clone()}
+			u.Attrs.MPReach = &bgp.MPReach{AFI: bgp.AFIIPv6, SAFI: bgp.SAFIUnicast, NextHop: nh, NLRI: n6}
+			updates = append(updates, u)
+		}
+	}
+	if len(updates) == 0 && (len(w4) > 0 || len(w6) > 0) {
+		updates = append(updates, &bgp.Update{})
+	}
+	if len(updates) > 0 && (len(w4) > 0 || len(w6) > 0) {
+		u := updates[0]
+		u.Withdrawn = w4
+		if len(w6) > 0 {
+			u.Attrs.MPUnreach = &bgp.MPUnreach{AFI: bgp.AFIIPv6, SAFI: bgp.SAFIUnicast, NLRI: w6}
+		}
+	}
+
+	recs := make([]Record, 0, len(updates))
+	for _, u := range updates {
+		recs = append(recs, Record{
+			Time:   t,
+			Peer:   fmt.Sprintf("AS%d", peerAS),
+			PeerAS: peerAS,
+			PeerIP: peerIP,
+			Msg:    u,
+		})
+	}
+	return recs, nil
+}
+
+// parseRISPrefix parses and mask-normalizes one prefix string.
+func parseRISPrefix(s string) (netip.Prefix, error) {
+	pfx, err := netip.ParsePrefix(s)
+	if err != nil {
+		return netip.Prefix{}, fmt.Errorf("bgppipe: RIS prefix %q: %w", s, err)
+	}
+	return pfx.Masked(), nil
+}
+
+// risOrigin maps RIS origin strings onto the ORIGIN attribute.
+func risOrigin(s string) bgp.Origin {
+	switch strings.ToLower(s) {
+	case "igp":
+		return bgp.OriginIGP
+	case "egp":
+		return bgp.OriginEGP
+	default:
+		return bgp.OriginIncomplete
+	}
+}

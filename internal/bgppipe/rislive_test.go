@@ -1,0 +1,156 @@
+package bgppipe
+
+import (
+	"io"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"stellar/internal/bgp"
+)
+
+// risSample is a capture fragment in the ris-live envelope shape: a
+// multi-next-hop dual-stack UPDATE with withdrawals, a peer-state
+// envelope to skip, an AS_SET path, and a withdraw-only envelope.
+const risSample = `{"type":"ris_message","data":{"timestamp":1700000000.25,"peer":"80.81.192.10","peer_asn":"65001","type":"UPDATE","path":[65001,65010],"community":[[65001,100]],"origin":"igp","announcements":[{"next_hop":"80.81.192.10","prefixes":["203.0.113.0/24","2001:db8:100::/48"]},{"next_hop":"80.81.192.99","prefixes":["198.51.100.0/24"]}],"withdrawals":["192.0.2.0/24"]}}
+{"type":"ris_message","data":{"timestamp":1700000001,"peer":"80.81.192.20","peer_asn":"65002","type":"RIS_PEER_STATE","state":"connected"}}
+
+{"type":"ris_message","data":{"timestamp":1700000002,"peer":"80.81.192.20","peer_asn":"65002","type":"UPDATE","path":[65002,[65020,65021]],"origin":"incomplete","med":50,"announcements":[{"next_hop":"80.81.192.20","prefixes":["203.0.113.0/24"]}]}}
+{"type":"ris_message","data":{"timestamp":1700000003,"peer":"80.81.192.10","peer_asn":"65001","type":"UPDATE","withdrawals":["203.0.113.0/24"]}}`
+
+// TestRISScanner walks the sample stream and pins the envelope-to-UPDATE
+// mapping: one UPDATE per (next hop, address family) group, withdrawals
+// on the first record, AS_SETs preserved, non-UPDATE envelopes skipped.
+func TestRISScanner(t *testing.T) {
+	sc := NewRISScanner(strings.NewReader(risSample))
+
+	// Envelope 1 fans out into three updates: v4 + v6 behind the first
+	// next hop, v4 behind the second; the withdrawal rides the first.
+	r1, err := sc.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Peer != "AS65001" || r1.PeerAS != 65001 || r1.PeerIP != netip.MustParseAddr("80.81.192.10") {
+		t.Fatalf("record 1 attribution: %+v", r1)
+	}
+	if r1.Time.Unix() != 1700000000 || r1.Time.Nanosecond() != 250000000 {
+		t.Fatalf("record 1 time: %v", r1.Time)
+	}
+	u1 := r1.Msg.(*bgp.Update)
+	if len(u1.NLRI) != 1 || u1.NLRI[0].Prefix != netip.MustParsePrefix("203.0.113.0/24") {
+		t.Fatalf("record 1 NLRI: %+v", u1.NLRI)
+	}
+	if u1.Attrs.NextHop != netip.MustParseAddr("80.81.192.10") {
+		t.Fatalf("record 1 next hop: %v", u1.Attrs.NextHop)
+	}
+	if len(u1.Withdrawn) != 1 || u1.Withdrawn[0].Prefix != netip.MustParsePrefix("192.0.2.0/24") {
+		t.Fatalf("record 1 withdrawals: %+v", u1.Withdrawn)
+	}
+	if len(u1.Attrs.Communities) != 1 || u1.Attrs.Communities[0] != bgp.MakeCommunity(65001, 100) {
+		t.Fatalf("record 1 communities: %v", u1.Attrs.Communities)
+	}
+	wantPath := []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{65001, 65010}}}
+	if len(u1.Attrs.ASPath) != 1 || u1.Attrs.ASPath[0].Type != wantPath[0].Type ||
+		len(u1.Attrs.ASPath[0].ASNs) != 2 {
+		t.Fatalf("record 1 path: %+v", u1.Attrs.ASPath)
+	}
+
+	r2, err := sc.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2 := r2.Msg.(*bgp.Update)
+	if u2.Attrs.MPReach == nil || len(u2.Attrs.MPReach.NLRI) != 1 ||
+		u2.Attrs.MPReach.NLRI[0].Prefix != netip.MustParsePrefix("2001:db8:100::/48") {
+		t.Fatalf("record 2 should carry the v6 prefix: %+v", u2.Attrs.MPReach)
+	}
+	if len(u2.Withdrawn) != 0 {
+		t.Fatalf("withdrawals leaked onto record 2: %+v", u2.Withdrawn)
+	}
+
+	r3, err := sc.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u3 := r3.Msg.(*bgp.Update)
+	if u3.Attrs.NextHop != netip.MustParseAddr("80.81.192.99") ||
+		len(u3.NLRI) != 1 || u3.NLRI[0].Prefix != netip.MustParsePrefix("198.51.100.0/24") {
+		t.Fatalf("record 3: %+v", u3)
+	}
+
+	// Envelope 2 (peer state) and the blank line are skipped; envelope 3
+	// carries an AS_SET and a MED.
+	r4, err := sc.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u4 := r4.Msg.(*bgp.Update)
+	if r4.PeerAS != 65002 {
+		t.Fatalf("record 4 attribution: %+v", r4)
+	}
+	if len(u4.Attrs.ASPath) != 2 || u4.Attrs.ASPath[1].Type != bgp.ASSet {
+		t.Fatalf("record 4 AS_SET lost: %+v", u4.Attrs.ASPath)
+	}
+	if u4.Attrs.MED == nil || *u4.Attrs.MED != 50 {
+		t.Fatalf("record 4 MED: %v", u4.Attrs.MED)
+	}
+	if u4.Attrs.Origin != bgp.OriginIncomplete {
+		t.Fatalf("record 4 origin: %v", u4.Attrs.Origin)
+	}
+
+	// Envelope 4 is withdraw-only: a single empty-attrs UPDATE.
+	r5, err := sc.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u5 := r5.Msg.(*bgp.Update)
+	if len(u5.NLRI) != 0 || len(u5.Withdrawn) != 1 ||
+		u5.Withdrawn[0].Prefix != netip.MustParsePrefix("203.0.113.0/24") {
+		t.Fatalf("record 5: %+v", u5)
+	}
+
+	if _, err := sc.Next(); err != io.EOF {
+		t.Fatalf("trailing Next: %v, want io.EOF", err)
+	}
+}
+
+// TestRISScannerRejectsMalformed pins that garbage inside a ris_message
+// is an error, not a silent skip.
+func TestRISScannerRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`{"type":"ris_message","data":{"type":"UPDATE","peer_asn":"not-a-number","announcements":[{"next_hop":"10.0.0.1","prefixes":["10.0.0.0/8"]}]}}`,
+		`{"type":"ris_message","data":{"type":"UPDATE","peer_asn":"65001","announcements":[{"next_hop":"bogus","prefixes":["10.0.0.0/8"]}]}}`,
+		`{"type":"ris_message","data":{"type":"UPDATE","peer_asn":"65001","announcements":[{"next_hop":"10.0.0.1","prefixes":["10.0.0.0/99"]}]}}`,
+		`{"type":"ris_message","data":`,
+	}
+	for i, line := range cases {
+		if _, err := NewRISScanner(strings.NewReader(line)).Next(); err == nil || err == io.EOF {
+			t.Fatalf("case %d: error swallowed (%v)", i, err)
+		}
+	}
+}
+
+// FuzzRISLive throws mutated JSON at the scanner: no panics, and every
+// yielded record must remarshal as a valid BGP message.
+func FuzzRISLive(f *testing.F) {
+	for _, line := range strings.Split(risSample, "\n") {
+		f.Add(line)
+	}
+	f.Add(`{"type":"ris_message","data":{"type":"UPDATE","peer_asn":"65001","path":[1,[2,3]],"withdrawals":["0.0.0.0/0"]}}`)
+	f.Add("")
+	f.Fuzz(func(t *testing.T, line string) {
+		sc := NewRISScanner(strings.NewReader(line))
+		for i := 0; i < 1<<12; i++ {
+			rec, err := sc.Next()
+			if err != nil {
+				return
+			}
+			if rec.Msg == nil {
+				t.Fatal("record with nil message")
+			}
+			if _, err := bgp.Marshal(rec.Msg, nil); err != nil {
+				t.Fatalf("scanner yielded unmarshalable message: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package bgppipe
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"stellar/internal/bgp"
+	"stellar/internal/bgpsession"
+)
+
+// Speaker terminates one BGP session on the pipe: it runs a
+// bgpsession.Session over the supplied transport, injecting the peer's
+// UPDATEs (and lifecycle transitions) as RX messages and writing TX
+// messages addressed to the peer back onto the wire.
+//
+// A Speaker is the wire end of the pipe — combined with an RSFeed stage
+// it replaces the bgpsession.Handler callback wiring: the handshake,
+// keepalives and hold-timer logic stay in bgpsession, but routing
+// content flows through the pipe where replay stages and the route
+// server feed share one stream.
+type Speaker struct {
+	// Peer names the session on the pipe. Empty: derived from the peer's
+	// OPEN as "AS<asn>" once Established.
+	Peer string
+	// Session configures the underlying bgpsession endpoint.
+	Session bgpsession.Config
+
+	conn net.Conn
+	pipe *Pipe
+
+	mu      sync.Mutex
+	sess    *bgpsession.Session
+	name    string // resolved peer name
+	stopped bool
+}
+
+// NewSpeaker creates a speaker stage over an established transport
+// (a dialed TCP connection, an accepted one, or a net.Pipe end).
+func NewSpeaker(conn net.Conn, cfg bgpsession.Config) *Speaker {
+	return &Speaker{Session: cfg, conn: conn}
+}
+
+// Dial connects to addr over TCP and returns a speaker for the
+// resulting transport — the bgppipe "connect" stage.
+func Dial(addr string, cfg bgpsession.Config) (*Speaker, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewSpeaker(conn, cfg), nil
+}
+
+// Name implements Stage.
+func (s *Speaker) Name() string {
+	if s.Peer != "" {
+		return "speaker:" + s.Peer
+	}
+	return "speaker"
+}
+
+// Attach implements Stage: it registers the TX handler writing exports
+// owed to this peer back onto the wire.
+func (s *Speaker) Attach(p *Pipe) error {
+	if s.conn == nil {
+		return errors.New("no transport (use NewSpeaker or Dial)")
+	}
+	s.pipe = p
+	p.OnMsg(DirTX, func(m *Msg) bool {
+		u := m.Update()
+		if u == nil {
+			return true
+		}
+		s.mu.Lock()
+		sess, name := s.sess, s.name
+		s.mu.Unlock()
+		if sess == nil || (m.Peer != "" && m.Peer != name) {
+			return true // not up yet, or addressed elsewhere
+		}
+		// Errors here mean the session is down (or downing); the
+		// resulting PeerDown on RX carries the terminal error.
+		_ = sess.SendUpdate(u)
+		return true
+	})
+	return nil
+}
+
+// Run implements Stage: it drives the session to completion. Session
+// failures are not stage failures — they surface as the EventPeerDown
+// message's Err, mirroring how a route server treats a flapping peer.
+func (s *Speaker) Run() error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil
+	}
+	// The handler runs on the session's goroutines, serialized by
+	// bgpsession; it only forwards content events. PeerDown is emitted
+	// below after Run returns, so every Send precedes this Run's return
+	// no matter which goroutine wins the session-close race.
+	sess := bgpsession.New(s.conn, s.Session, func(e bgpsession.Event) {
+		switch {
+		case e.Update != nil:
+			s.mu.Lock()
+			name := s.name
+			s.mu.Unlock()
+			s.pipe.Send(DirRX, &Msg{Peer: name, PeerAS: s.peerAS(), BGP: e.Update})
+		case e.State == bgpsession.StateEstablished:
+			open := s.sessionOpen()
+			name := s.Peer
+			if name == "" && open != nil {
+				name = fmt.Sprintf("AS%d", open.AS)
+			}
+			s.mu.Lock()
+			s.name = name
+			s.mu.Unlock()
+			m := &Msg{Peer: name, Event: EventPeerUp}
+			if open != nil {
+				m.PeerAS = open.AS
+				m.PeerIP = open.BGPID
+				m.BGP = open
+			}
+			s.pipe.Send(DirRX, m)
+		}
+	})
+	s.sess = sess
+	s.mu.Unlock()
+
+	err := sess.Run()
+	s.mu.Lock()
+	name, up := s.name, s.name != ""
+	s.sess = nil
+	s.mu.Unlock()
+	if up {
+		s.pipe.Send(DirRX, &Msg{Peer: name, PeerAS: s.peerASOf(sess), Event: EventPeerDown, Err: err})
+	}
+	return nil
+}
+
+func (s *Speaker) sessionOpen() *bgp.Open {
+	s.mu.Lock()
+	sess := s.sess
+	s.mu.Unlock()
+	if sess == nil {
+		return nil
+	}
+	return sess.PeerOpen()
+}
+
+func (s *Speaker) peerAS() uint32 {
+	if open := s.sessionOpen(); open != nil {
+		return open.AS
+	}
+	return 0
+}
+
+func (s *Speaker) peerASOf(sess *bgpsession.Session) uint32 {
+	if open := sess.PeerOpen(); open != nil {
+		return open.AS
+	}
+	return 0
+}
+
+// Stop implements Stage: it closes the session (administrative
+// shutdown), unblocking Run.
+func (s *Speaker) Stop() error {
+	s.mu.Lock()
+	s.stopped = true
+	sess := s.sess
+	s.mu.Unlock()
+	if sess != nil {
+		return sess.Close()
+	}
+	if s.conn != nil {
+		_ = s.conn.Close()
+	}
+	return nil
+}

@@ -84,6 +84,11 @@ type Event struct {
 }
 
 // Handler receives session events. Calls are serialized.
+//
+// Deprecated: callback wiring is a façade kept for existing callers;
+// new integrations should attach sessions to a bgppipe.Pipe (Speaker /
+// Listen stages), where lifecycle and routing events travel one ordered
+// message stream shared with replay sources and the route-server feed.
 type Handler func(Event)
 
 // Session is one BGP session over a net.Conn.
@@ -305,6 +310,9 @@ func (s *Session) SendUpdates(us []*bgp.Update) error {
 	s.mu.Lock()
 	st, opts := s.state, s.opts
 	s.mu.Unlock()
+	if st == StateClosed {
+		return ErrClosed
+	}
 	if st != StateEstablished {
 		return ErrNotEstablished
 	}
@@ -312,6 +320,13 @@ func (s *Session) SendUpdates(us []*bgp.Update) error {
 	defer s.writeMu.Unlock()
 	for _, u := range us {
 		if err := bgp.WriteMessage(s.conn, u, &opts); err != nil {
+			// The session may have closed between the state check above
+			// and the write: close() marks the state before closing the
+			// transport, so a sender racing Close always maps the
+			// transport's error back to the deterministic ErrClosed.
+			if s.State() == StateClosed {
+				return ErrClosed
+			}
 			return err
 		}
 	}

@@ -266,6 +266,108 @@ func TestKeepalivesMaintainSession(t *testing.T) {
 	}
 }
 
+// TestHoldTimerExpiryNotifies pins RFC 4271 §6.5 behavior: when the
+// peer falls silent past the hold time, the session sends a
+// NOTIFICATION (Hold Timer Expired) before closing the transport.
+func TestHoldTimerExpiryNotifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	ca, cb := net.Pipe()
+	s := New(ca, Config{LocalAS: 64512, BGPID: idA, HoldTime: 200 * time.Millisecond}, nil)
+	runErr := make(chan error, 1)
+	go func() { runErr <- s.Run() }()
+
+	// Hand-rolled peer: complete the OPEN/KEEPALIVE handshake, then go
+	// silent — reading everything the session sends but never writing
+	// another keepalive.
+	if err := bgp.WriteMessage(cb, bgp.NewOpen(64513, 1, idB), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bgp.ReadMessage(cb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := bgp.WriteMessage(cb, &bgp.Keepalive{}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("no NOTIFICATION before deadline")
+		}
+		_ = cb.SetReadDeadline(time.Now().Add(time.Second))
+		msg, err := bgp.ReadMessage(cb, nil)
+		if err != nil {
+			t.Fatalf("transport closed before NOTIFICATION arrived: %v", err)
+		}
+		if n, ok := msg.(*bgp.Notification); ok {
+			if n.Code != bgp.NotifHoldTimerExpired {
+				t.Fatalf("NOTIFICATION code = %d, want hold timer expired", n.Code)
+			}
+			break
+		}
+	}
+	select {
+	case err := <-runErr:
+		if err != ErrHoldExpired {
+			t.Fatalf("Run returned %v, want ErrHoldExpired", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("session did not close after hold expiry")
+	}
+	cb.Close()
+}
+
+// TestSendUpdatesAfterClose pins the deterministic error contract: a
+// sender racing Close sees ErrClosed — never the transport's raw
+// "use of closed connection" — because close() marks the state before
+// closing the conn and SendUpdates maps write failures back through it.
+func TestSendUpdatesAfterClose(t *testing.T) {
+	sa, sb, err := Pair(
+		Config{LocalAS: 64512, BGPID: idA},
+		Config{LocalAS: 64513, BGPID: idB},
+		nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sb.Close()
+
+	u := &bgp.Update{
+		Attrs: bgp.PathAttrs{
+			Origin:  bgp.OriginIGP,
+			ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{64512}}},
+			NextHop: netip.MustParseAddr("192.0.2.1"),
+		},
+		NLRI: []bgp.PathPrefix{{Prefix: netip.MustParsePrefix("203.0.113.0/24")}},
+	}
+	sendErr := make(chan error, 1)
+	go func() {
+		for {
+			if err := sa.SendUpdate(u); err != nil {
+				sendErr <- err
+				return
+			}
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	sa.Close()
+	select {
+	case err := <-sendErr:
+		if err != ErrClosed {
+			t.Fatalf("racing sender got %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("sender never observed the close")
+	}
+	// And after Close returned, the error is ErrClosed every time.
+	for i := 0; i < 3; i++ {
+		if err := sa.SendUpdate(u); err != ErrClosed {
+			t.Fatalf("SendUpdate after Close = %v, want ErrClosed", err)
+		}
+	}
+}
+
 func TestStateString(t *testing.T) {
 	for _, c := range []struct {
 		s State

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"stellar/internal/bgp"
+	"stellar/internal/bgppipe"
+)
+
+// replayDump builds a four-record MRT capture with timestamps 0s, 1s,
+// 2s and 10s after the epoch record.
+func replayDump(t testing.TB) []byte {
+	t.Helper()
+	base := time.Unix(1700000000, 0)
+	peerIP := netip.MustParseAddr("80.81.192.10")
+	localIP := netip.MustParseAddr("80.81.192.1")
+	var dump []byte
+	var err error
+	for i, offset := range []time.Duration{0, time.Second, 2 * time.Second, 10 * time.Second} {
+		u := &bgp.Update{
+			Attrs: bgp.PathAttrs{
+				Origin:  bgp.OriginIGP,
+				ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{65001}}},
+				NextHop: peerIP,
+			},
+			NLRI: []bgp.PathPrefix{{Prefix: netip.MustParsePrefix(
+				[]string{"203.0.113.0/24", "198.51.100.0/24", "192.0.2.0/24", "100.64.0.0/24"}[i])}},
+		}
+		dump, err = bgppipe.AppendMRTMessage(dump, base.Add(offset), 65001, 6695, peerIP, localIP, u, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dump
+}
+
+// TestReplayDriverSchedule pins the capture-time-to-tick mapping: with
+// Speed 2 and 1s ticks, capture seconds 0,1,2,10 land on ticks
+// Start+0, Start+0, Start+1, Start+5 — the last clamped to MaxTick —
+// grouped into one event per distinct tick, applied in stream order.
+func TestReplayDriverSchedule(t *testing.T) {
+	var applied []string
+	d, err := NewMRTDriver(nil, bytes.NewReader(replayDump(t)), ReplayConfig{
+		StartTick:   5,
+		TickSeconds: 1,
+		Speed:       2,
+		MaxTick:     8,
+		Apply: func(rec bgppipe.Record) error {
+			applied = append(applied, rec.Msg.(*bgp.Update).NLRI[0].Prefix.String())
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Records() != 4 {
+		t.Fatalf("Records() = %d, want 4", d.Records())
+	}
+	if first, last := d.TickSpan(); first != 5 || last != 8 {
+		t.Fatalf("TickSpan() = (%d, %d), want (5, 8)", first, last)
+	}
+
+	evs := d.Events()
+	wantTicks := []int{5, 6, 8}
+	wantNames := []string{"replay[2]", "replay[1]", "replay[1]"}
+	if len(evs) != len(wantTicks) {
+		t.Fatalf("events: %d, want %d", len(evs), len(wantTicks))
+	}
+	for i, ev := range evs {
+		if ev.Tick != wantTicks[i] || ev.Name != wantNames[i] {
+			t.Fatalf("event %d = {Tick: %d, Name: %q}, want {%d, %q}",
+				i, ev.Tick, ev.Name, wantTicks[i], wantNames[i])
+		}
+		if err := ev.Do(); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+	}
+	want := []string{"203.0.113.0/24", "198.51.100.0/24", "192.0.2.0/24", "100.64.0.0/24"}
+	if len(applied) != len(want) {
+		t.Fatalf("applied %d records, want %d", len(applied), len(want))
+	}
+	for i := range want {
+		if applied[i] != want[i] {
+			t.Fatalf("apply order diverged at %d: %q, want %q", i, applied[i], want[i])
+		}
+	}
+
+	// A baseless replay driver has no data-plane workload of its own.
+	if v := d.Victims(); v != nil {
+		t.Fatalf("Victims() = %v, want nil", v)
+	}
+	if out := d.AppendOffers(0, nil, 0, 1); out != nil {
+		t.Fatalf("AppendOffers grew: %v", out)
+	}
+	if d.SerialGen() {
+		t.Fatal("SerialGen() = true with nil base")
+	}
+}
+
+// TestReplayDriverEmpty pins the degenerate cases: an empty capture
+// schedules nothing, and a missing Apply is a construction error.
+func TestReplayDriverEmpty(t *testing.T) {
+	d, err := NewMRTDriver(nil, bytes.NewReader(nil), ReplayConfig{
+		TickSeconds: 1,
+		Apply:       func(bgppipe.Record) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Records() != 0 || len(d.Events()) != 0 {
+		t.Fatalf("empty capture scheduled %d records, %d events", d.Records(), len(d.Events()))
+	}
+	if first, last := d.TickSpan(); first != -1 || last != -1 {
+		t.Fatalf("TickSpan() = (%d, %d), want (-1, -1)", first, last)
+	}
+
+	if _, err := NewMRTDriver(nil, bytes.NewReader(nil), ReplayConfig{TickSeconds: 1}); err == nil {
+		t.Fatal("nil Apply accepted")
+	}
+	if _, err := NewMRTDriver(nil, bytes.NewReader(nil), ReplayConfig{
+		Apply: func(bgppipe.Record) error { return nil },
+	}); err == nil {
+		t.Fatal("zero TickSeconds accepted")
+	}
+}
+
+// TestRISDriver runs the RIS-live path end to end: a JSON capture line
+// scheduled and applied.
+func TestRISDriver(t *testing.T) {
+	const line = `{"type":"ris_message","data":{"timestamp":1700000000,"peer":"80.81.192.10","peer_asn":"65001","type":"UPDATE","path":[65001],"origin":"igp","announcements":[{"next_hop":"80.81.192.10","prefixes":["203.0.113.0/24"]}]}}`
+	var applied int
+	d, err := NewRISDriver(nil, strings.NewReader(line), ReplayConfig{
+		TickSeconds: 1,
+		Apply:       func(bgppipe.Record) error { applied++; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Records() != 1 {
+		t.Fatalf("Records() = %d, want 1", d.Records())
+	}
+	for _, ev := range d.Events() {
+		if err := ev.Do(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if applied != 1 {
+		t.Fatalf("applied = %d, want 1", applied)
+	}
+}
