@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"stellar/internal/conformance"
+)
+
+// runConformanceCommand executes the embedded conformance matrix — every
+// profile, or a named subset — and prints the human-readable report. With
+// -json PATH it also writes the structured report for CI artifacts; the
+// process exits non-zero when any expectation fails so pipelines gate on it.
+func runConformanceCommand(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("conformance", flag.ContinueOnError)
+	jsonPath := fs.String("json", "", "also write the structured report as JSON to this path ('-' for stdout)")
+	list := fs.Bool("list", false, "list the embedded profiles and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: stellar-lab conformance [-json PATH] [-list] [profile ...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	profiles, err := conformance.Profiles()
+	if err != nil {
+		return err
+	}
+	if *list {
+		for _, p := range profiles {
+			fmt.Fprintf(w, "%-24s %s\n", p.Name, p.Description)
+		}
+		return nil
+	}
+	if names := fs.Args(); len(names) > 0 {
+		want := make(map[string]bool, len(names))
+		for _, n := range names {
+			want[n] = true
+		}
+		var sel []*conformance.Profile
+		for _, p := range profiles {
+			if want[p.Name] {
+				sel = append(sel, p)
+				delete(want, p.Name)
+			}
+		}
+		for n := range want {
+			return fmt.Errorf("conformance: unknown profile %q (use -list)", n)
+		}
+		profiles = sel
+	}
+
+	report, err := conformance.RunProfiles(profiles)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, report.Format())
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if *jsonPath == "-" {
+			if _, err := w.Write(data); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if !report.Pass {
+		return fmt.Errorf("conformance: %d of %d profiles failed", report.Failed, report.Total)
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stellar/internal/conformance"
+)
+
+func TestConformanceCommandList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runConformanceCommand([]string{"-list"}, &buf); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"baseline-rtbh", "sec52-lab", "mrt-replay"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConformanceCommandJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	var buf bytes.Buffer
+	if err := runConformanceCommand([]string{"-json", path, "trace-replay"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "trace-replay") {
+		t.Errorf("text report missing profile name:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	var rep conformance.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("decode report: %v", err)
+	}
+	if rep.Total != 1 || !rep.Pass {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	if rep.Profiles[0].Profile != "trace-replay" {
+		t.Fatalf("wrong profile in report: %q", rep.Profiles[0].Profile)
+	}
+}
+
+func TestConformanceCommandUnknownProfile(t *testing.T) {
+	var buf bytes.Buffer
+	err := runConformanceCommand([]string{"no-such-profile"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "unknown profile") {
+		t.Fatalf("want unknown-profile error, got %v", err)
+	}
+}

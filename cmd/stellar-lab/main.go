@@ -7,7 +7,8 @@
 //	stellar-lab <experiment> [-seed N] [-scale small|full]
 //
 // Experiments: table1, fig2c, fig3a, fig3b, fig3c, fig9, fig10a,
-// fig10b, fig10c, sec52, all.
+// fig10b, fig10c, sec52, all. The conformance subcommand runs the
+// declarative scenario matrix instead of a single experiment.
 package main
 
 import (
@@ -31,12 +32,16 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: stellar-lab <table1|fig2c|fig3a|fig3b|fig3c|fig9|fig10a|fig10b|fig10c|sec52|compare|combined-tss|bench|all> [flags]")
+		return fmt.Errorf("usage: stellar-lab <table1|fig2c|fig3a|fig3b|fig3c|fig9|fig10a|fig10b|fig10c|sec52|compare|combined-tss|bench|conformance|all> [flags]")
 	}
 	name := args[0]
 	if name == "bench" {
 		// Route-server throughput probe with JSON output (its own flags).
 		return runBenchCommand(args[1:], os.Stdout)
+	}
+	if name == "conformance" {
+		// Declarative scenario matrix with JSON report (its own flags).
+		return runConformanceCommand(args[1:], os.Stdout)
 	}
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	seed := fs.Uint64("seed", 0, "override the experiment's default seed (0 keeps it)")

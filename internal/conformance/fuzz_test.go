@@ -1,0 +1,34 @@
+package conformance
+
+import "testing"
+
+// FuzzProfileDecode hammers the profile decoder with mutated JSON. The
+// shipped profiles seed the corpus so mutations start from realistic
+// documents. The decoder must never panic, and anything it accepts must
+// re-validate cleanly (Decode validates, so acceptance implies validity —
+// the invariant checked here is that a decoded profile stays internally
+// consistent when validated again).
+func FuzzProfileDecode(f *testing.F) {
+	raw, err := RawProfiles()
+	if err != nil {
+		f.Fatalf("seed corpus: %v", err)
+	}
+	for _, data := range raw {
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x"}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if p.Name == "" {
+			t.Fatalf("decoder accepted a profile without a name")
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Decode accepted a profile Validate rejects: %v", err)
+		}
+	})
+}

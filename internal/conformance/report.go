@@ -1,0 +1,195 @@
+package conformance
+
+import (
+	"fmt"
+	"strings"
+
+	"stellar/internal/engine"
+)
+
+// Check is one evaluated expectation: the declared bounds and the
+// measured value, so a failure prints measured-vs-expected directly.
+type Check struct {
+	Name     string   `json:"name"`
+	Kind     string   `json:"kind"`
+	Victim   int      `json:"victim"`
+	Pass     bool     `json:"pass"`
+	Measured float64  `json:"measured"`
+	Min      *float64 `json:"min,omitempty"`
+	Max      *float64 `json:"max,omitempty"`
+	// Detail says what was measured (window, thresholds) in words.
+	Detail string `json:"detail"`
+}
+
+// String renders the check as "measured vs expected".
+func (c Check) String() string {
+	verdict := "PASS"
+	if !c.Pass {
+		verdict = "FAIL"
+	}
+	bounds := ""
+	switch {
+	case c.Min != nil && c.Max != nil:
+		bounds = fmt.Sprintf(" want [%g, %g]", *c.Min, *c.Max)
+	case c.Min != nil:
+		bounds = fmt.Sprintf(" want >= %g", *c.Min)
+	case c.Max != nil:
+		bounds = fmt.Sprintf(" want <= %g", *c.Max)
+	}
+	return fmt.Sprintf("%s %s: measured %g%s (%s)", verdict, c.Name, c.Measured, bounds, c.Detail)
+}
+
+// ProfileReport is one profile's evaluated outcome.
+type ProfileReport struct {
+	Profile     string   `json:"profile"`
+	Description string   `json:"description,omitempty"`
+	Channel     string   `json:"channel"`
+	Ticks       int      `json:"ticks"`
+	Victims     []string `json:"victims"`
+	Pass        bool     `json:"pass"`
+	Checks      []Check  `json:"checks"`
+}
+
+// Report aggregates a matrix run.
+type Report struct {
+	Profiles []ProfileReport `json:"profiles"`
+	Total    int             `json:"total"`
+	Passed   int             `json:"passed"`
+	Failed   int             `json:"failed"`
+	Pass     bool            `json:"pass"`
+}
+
+func (r *Report) add(pr ProfileReport) {
+	r.Profiles = append(r.Profiles, pr)
+	r.Total++
+	if pr.Pass {
+		r.Passed++
+	} else {
+		r.Failed++
+	}
+}
+
+// Format renders the matrix outcome as a text table with per-check
+// details for failing profiles.
+func (r Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "conformance matrix: %d profiles, %d passed, %d failed\n", r.Total, r.Passed, r.Failed)
+	for _, pr := range r.Profiles {
+		verdict := "PASS"
+		if !pr.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&b, "  %-4s %-28s [%s] %d checks\n", verdict, pr.Profile, pr.Channel, len(pr.Checks))
+		if pr.Pass {
+			continue
+		}
+		for _, c := range pr.Checks {
+			if !c.Pass {
+				fmt.Fprintf(&b, "       %s\n", c)
+			}
+		}
+	}
+	return b.String()
+}
+
+// evaluate scores every expectation against the run's series.
+func evaluate(p *Profile, series []engine.VictimSeries) ProfileReport {
+	rep := ProfileReport{
+		Profile:     p.Name,
+		Description: p.Description,
+		Channel:     channelName(p),
+		Ticks:       p.Run.Ticks,
+		Pass:        true,
+	}
+	for _, s := range series {
+		rep.Victims = append(rep.Victims, s.Port)
+	}
+	for i, e := range p.Expect {
+		c := evalExpectation(i, e, series[e.Victim].Samples)
+		if !c.Pass {
+			rep.Pass = false
+		}
+		rep.Checks = append(rep.Checks, c)
+	}
+	return rep
+}
+
+// evalExpectation measures one expectation over a victim's samples.
+func evalExpectation(i int, e Expectation, samples []engine.Sample) Check {
+	c := Check{Name: e.Name, Kind: e.Kind, Victim: e.Victim, Min: e.Min, Max: e.Max}
+	if c.Name == "" {
+		c.Name = fmt.Sprintf("expect[%d] %s", i, e.Kind)
+	}
+	switch e.Kind {
+	case "reaction", "recovery":
+		// Reaction: ticks until delivered falls to the threshold after
+		// the signal. Recovery: ticks until it climbs back (TTL expiry,
+		// withdrawal). Measured -1 means the threshold was never met.
+		c.Measured = -1
+		crossed := func(d float64) bool {
+			if e.Kind == "reaction" {
+				return d <= e.ThresholdBps
+			}
+			return d >= e.ThresholdBps
+		}
+		for _, s := range samples {
+			if s.Tick >= e.SignalTick && crossed(s.DeliveredBps) {
+				c.Measured = float64(s.Tick - e.SignalTick)
+				break
+			}
+		}
+		c.Pass = c.Measured >= 0 && c.Measured <= float64(e.MaxTicks)
+		dir := "<="
+		if e.Kind == "recovery" {
+			dir = ">="
+		}
+		c.Detail = fmt.Sprintf("ticks from %d until delivered %s %g bps, max %d",
+			e.SignalTick, dir, e.ThresholdBps, e.MaxTicks)
+		return c
+	}
+
+	var offered, delivered, nulled, peers float64
+	n := 0
+	for _, s := range samples {
+		if s.Tick < e.From || s.Tick >= e.To {
+			continue
+		}
+		offered += s.OfferedBps
+		delivered += s.DeliveredBps
+		nulled += s.NulledBps
+		peers += float64(s.ActivePeers)
+		n++
+	}
+	switch e.Kind {
+	case "drop_ratio":
+		if offered > 0 {
+			c.Measured = (offered - delivered) / offered
+		}
+	case "delivery_ratio":
+		c.Measured = 1
+		if offered > 0 {
+			c.Measured = delivered / offered
+		}
+	case "delivered_bps":
+		if n > 0 {
+			c.Measured = delivered / float64(n)
+		}
+	case "offered_bps":
+		if n > 0 {
+			c.Measured = offered / float64(n)
+		}
+	case "nulled_bps":
+		if n > 0 {
+			c.Measured = nulled / float64(n)
+		}
+	case "active_peers":
+		if n > 0 {
+			c.Measured = peers / float64(n)
+		}
+	}
+	c.Pass = n > 0 &&
+		(e.Min == nil || c.Measured >= *e.Min) &&
+		(e.Max == nil || c.Measured <= *e.Max)
+	c.Detail = fmt.Sprintf("mean over ticks [%d, %d), %d samples", e.From, e.To, n)
+	return c
+}

@@ -5,7 +5,9 @@ import (
 	"net/netip"
 	"strings"
 
+	"stellar/internal/engine"
 	"stellar/internal/fabric"
+	"stellar/internal/flowmon"
 	"stellar/internal/netpkt"
 	"stellar/internal/stats"
 	"stellar/internal/traffic"
@@ -23,10 +25,38 @@ type Sec52Result struct {
 	DNSShapeRateBps    float64
 }
 
+// portPlane adapts a bare single-port fabric to engine.DataPlane: no
+// IXP, no null routes — just the port's egress pass, exactly the data
+// plane the Section 5.2 lab bench had.
+type portPlane struct {
+	fab *fabric.Fabric
+}
+
+func (p portPlane) EgressTick(r fabric.Runner, offers fabric.TickOffers, dt float64, sink fabric.TickSink) (map[string]engine.PortReport, error) {
+	st, err := p.fab.TickStreamOn(r, offers, dt, sink)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]engine.PortReport, len(st.PerPort))
+	for name, res := range st.PerPort {
+		var offered float64
+		for _, o := range offers[name] {
+			offered += o.Bytes
+		}
+		out[name] = engine.PortReport{OfferedBytes: offered, Result: res}
+	}
+	return out, nil
+}
+
 // Sec52 reproduces the Section 5.2 lab experiment: flows redirected to
 // the dropping queue are not forwarded; flows redirected to a shaping
 // queue share the shaping rate; benign traffic passes the port
 // untouched even though the generator exceeds the port capacity 10x.
+//
+// The run goes through the scenario engine — the same pipeline every
+// other experiment and the conformance matrix use — with the victim's
+// flow monitor providing the per-class accounting (classes are keyed by
+// UDP source port, matching the lab's queue assignment).
 func Sec52(seed uint64) (Sec52Result, error) {
 	rng := stats.NewRand(seed)
 	target := netip.MustParseAddr("100.10.10.10")
@@ -47,6 +77,10 @@ func Sec52(seed uint64) (Sec52Result, error) {
 		Action: fabric.ActionShape, ShapeRateBps: dnsRate}); err != nil {
 		return Sec52Result{}, err
 	}
+	fab := fabric.New()
+	if err := fab.AddPort(port); err != nil {
+		return Sec52Result{}, err
+	}
 
 	peers := traffic.MakePeers(8)
 	ntp := traffic.NewAttack(traffic.VectorNTP, target, peers, 5e9, 0, 1000, rng)
@@ -55,23 +89,28 @@ func Sec52(seed uint64) (Sec52Result, error) {
 	dns.RampTicks = 0
 	web := traffic.NewWebService(target, peers[:3], 5e8, rng)
 
+	const ticks = 30
+	mon := flowmon.NewCollector()
+	driver := engine.NewSourcesDriver(
+		[]engine.VictimSpec{{Port: "victim", Monitor: mon}},
+		[][]engine.Source{{ntp, dns, web}})
+	if _, err := engine.New(engine.Config{
+		Driver:    driver,
+		DataPlane: portPlane{fab},
+		Ticks:     ticks,
+		Dt:        1,
+	}).Run(); err != nil {
+		return Sec52Result{}, err
+	}
+
 	var res Sec52Result
 	res.DNSShapeRateBps = dnsRate
-	const ticks = 30
-	for tick := 0; tick < ticks; tick++ {
-		offers := append(ntp.Offers(tick, 1), dns.Offers(tick, 1)...)
-		offers = append(offers, web.Offers(tick, 1)...)
-		out := port.Egress(offers, 1)
-		for flow, bytes := range out.DeliveredByFlow {
-			switch {
-			case flow.Proto == netpkt.ProtoUDP && flow.SrcPort == 123:
-				res.NTPDeliveredBps += bytes * 8 / ticks
-			case flow.Proto == netpkt.ProtoUDP && flow.SrcPort == 53:
-				res.DNSDeliveredBps += bytes * 8 / ticks
-			default:
-				res.BenignDeliveredBps += bytes * 8 / ticks
-			}
-		}
+	for _, bin := range mon.Bins() {
+		ntpBytes := mon.SrcPortBytes(bin, 123)
+		dnsBytes := mon.SrcPortBytes(bin, 53)
+		res.NTPDeliveredBps += ntpBytes * 8 / ticks
+		res.DNSDeliveredBps += dnsBytes * 8 / ticks
+		res.BenignDeliveredBps += (mon.TotalBytes(bin) - ntpBytes - dnsBytes) * 8 / ticks
 	}
 	res.BenignOfferedBps = 5e8
 	return res, nil

@@ -128,6 +128,13 @@ func (st *store) srcPortShares(bin int) map[uint16]float64 {
 	return out
 }
 
+func (st *store) srcPortBytes(bin int, port uint16) float64 {
+	if b := st.bins[bin]; b != nil {
+		return b.bySrcPort[port]
+	}
+	return 0
+}
+
 func (st *store) protoShares(bin int) map[netpkt.IPProto]float64 {
 	b := st.bins[bin]
 	out := make(map[netpkt.IPProto]float64)
@@ -368,6 +375,16 @@ func (c *Collector) SrcPortShares(bin int) map[uint16]float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.st.srcPortShares(bin)
+}
+
+// SrcPortBytes returns the bin's UDP bytes from one source port — the
+// per-class accounting of the Section 5.2 lab validation (drop vs shape
+// queue classes are keyed by UDP source port).
+func (c *Collector) SrcPortBytes(bin int, port uint16) float64 {
+	c.merge()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.srcPortBytes(bin, port)
 }
 
 // ProtoShares returns the protocol byte shares of the bin.

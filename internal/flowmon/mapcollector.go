@@ -50,6 +50,11 @@ func (c *MapCollector) DstPortShares(bin int) map[uint16]float64 { return c.st.d
 // SrcPortShares returns each UDP source port's share of the bin's bytes.
 func (c *MapCollector) SrcPortShares(bin int) map[uint16]float64 { return c.st.srcPortShares(bin) }
 
+// SrcPortBytes returns the bin's UDP bytes from one source port.
+func (c *MapCollector) SrcPortBytes(bin int, port uint16) float64 {
+	return c.st.srcPortBytes(bin, port)
+}
+
 // ProtoShares returns the protocol byte shares of the bin.
 func (c *MapCollector) ProtoShares(bin int) map[netpkt.IPProto]float64 { return c.st.protoShares(bin) }
 

@@ -307,6 +307,25 @@ func (x *IXP) Withdraw(memberName string, prefix netip.Prefix) error {
 	return nil
 }
 
+// HandleWireUpdate feeds one parsed wire-format BGP update from a
+// member into the route server and applies the resulting exports to the
+// member population, exactly like Announce/Withdraw do for built
+// updates. Policy rejections are not errors: a replayed capture keeps
+// playing past routes the hygiene policy filters, matching how a real
+// route server treats a misbehaving peer. This is the control-plane
+// entry point for capture replay (engine.ReplayConfig.Apply).
+func (x *IXP) HandleWireUpdate(memberName string, u *bgp.Update) error {
+	if _, err := x.Member(memberName); err != nil {
+		return err
+	}
+	exports, _, err := x.RS.HandleUpdateBatch(memberName, u)
+	if err != nil {
+		return err
+	}
+	x.applyExports(exports)
+	return nil
+}
+
 // applyExports models each member's reaction to route server exports:
 // members that honor RTBH install (or remove) null routes for
 // blackholed prefixes. Members that do not honor them ignore the signal
