@@ -18,8 +18,9 @@ func runConformanceCommand(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("conformance", flag.ContinueOnError)
 	jsonPath := fs.String("json", "", "also write the structured report as JSON to this path ('-' for stdout)")
 	list := fs.Bool("list", false, "list the embedded profiles and exit")
+	faultsOnly := fs.Bool("faults-only", false, "run only profiles with a fault-injection section (the chaos subset)")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: stellar-lab conformance [-json PATH] [-list] [profile ...]")
+		fmt.Fprintln(fs.Output(), "usage: stellar-lab conformance [-json PATH] [-list] [-faults-only] [profile ...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -29,6 +30,18 @@ func runConformanceCommand(args []string, w io.Writer) error {
 	profiles, err := conformance.Profiles()
 	if err != nil {
 		return err
+	}
+	if *faultsOnly {
+		var sel []*conformance.Profile
+		for _, p := range profiles {
+			if p.Faults != nil {
+				sel = append(sel, p)
+			}
+		}
+		if len(sel) == 0 {
+			return fmt.Errorf("conformance: no profiles carry a faults section")
+		}
+		profiles = sel
 	}
 	if *list {
 		for _, p := range profiles {

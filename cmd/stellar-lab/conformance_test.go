@@ -49,6 +49,22 @@ func TestConformanceCommandJSONReport(t *testing.T) {
 	}
 }
 
+func TestConformanceCommandFaultsOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runConformanceCommand([]string{"-faults-only", "-list"}, &buf); err != nil {
+		t.Fatalf("faults-only list: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"tcam-squeeze-degrade", "flap-mid-mitigation", "queue-stall-recovery", "replay-with-loss"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chaos subset missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "baseline-rtbh") {
+		t.Errorf("fault-free profile in chaos subset:\n%s", out)
+	}
+}
+
 func TestConformanceCommandUnknownProfile(t *testing.T) {
 	var buf bytes.Buffer
 	err := runConformanceCommand([]string{"no-such-profile"}, &buf)

@@ -162,6 +162,21 @@ func (l *Listen) serve(conn net.Conn) {
 	}
 }
 
+// Kick administratively closes the named peer's live session, if any —
+// the server-side session-flap primitive (fault injection, operator
+// tooling). The peer's PeerDown flows on RX as usual; a remote speaker
+// with Reconnect enabled re-establishes and re-announces itself.
+func (l *Listen) Kick(peer string) bool {
+	l.mu.Lock()
+	s := l.sessions[peer]
+	l.mu.Unlock()
+	if s == nil {
+		return false
+	}
+	_ = s.Close()
+	return true
+}
+
 // Stop implements Stage: closes the listener and every live session.
 func (l *Listen) Stop() error {
 	l.mu.Lock()

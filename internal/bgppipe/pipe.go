@@ -109,6 +109,10 @@ type Msg struct {
 	Event Event
 	// Err carries the terminal session error on EventPeerDown.
 	Err error
+	// Reinjected marks a message re-queued by Pipe.Reinject (a fault
+	// filter duplicating or delaying it); filters skip such messages so
+	// a duplicate is never re-duplicated.
+	Reinjected bool
 }
 
 // Update returns the message as an *bgp.Update, or nil.
@@ -161,12 +165,22 @@ type Options struct {
 	Buffer int
 }
 
+// ErrClosed is returned by Send on a stopped line: the pipe retired the
+// direction after every stage's Run returned. Producers treat it as
+// "stop producing", never as data loss — a well-behaved stage finishes
+// its sends before Run returns.
+var ErrClosed = errors.New("bgppipe: pipe closed")
+
 // line is one direction's bounded queue plus its ordered handlers.
 type line struct {
 	ch       chan *Msg
+	done     chan struct{} // closed: the line accepts no further Send
 	handlers []Handler
 	seq      uint64
 	mu       sync.Mutex // guards seq against concurrent Send
+	// inject holds messages re-queued by Reinject; touched only on the
+	// drain goroutine (handlers run there), so it needs no lock.
+	inject []*Msg
 }
 
 // Pipe carries the two directed message streams and the attached
@@ -191,7 +205,7 @@ func New(opts Options) *Pipe {
 	}
 	p := &Pipe{}
 	for d := range p.lines {
-		p.lines[d] = &line{ch: make(chan *Msg, opts.Buffer)}
+		p.lines[d] = &line{ch: make(chan *Msg, opts.Buffer), done: make(chan struct{})}
 	}
 	return p
 }
@@ -221,10 +235,16 @@ func (p *Pipe) Attach(s Stage) error {
 
 // Send injects a message into its direction's line, stamping direction
 // sequence (and the current time when the message carries none). It
-// blocks when the line is full. Producers must not Send after their
-// stage's Run returned.
-func (p *Pipe) Send(dir Dir, m *Msg) {
+// blocks when the line is full, and returns ErrClosed — instead of
+// blocking forever — when the line was already retired (every stage's
+// Run returned and the pipe moved to shutdown).
+func (p *Pipe) Send(dir Dir, m *Msg) error {
 	l := p.lines[dir]
+	select {
+	case <-l.done:
+		return ErrClosed
+	default:
+	}
 	m.Dir = dir
 	l.mu.Lock()
 	l.seq++
@@ -233,7 +253,32 @@ func (p *Pipe) Send(dir Dir, m *Msg) {
 	if m.Time.IsZero() {
 		m.Time = time.Now()
 	}
-	l.ch <- m
+	select {
+	case l.ch <- m:
+		return nil
+	case <-l.done:
+		return ErrClosed
+	}
+}
+
+// Reinject re-queues a message onto dir's line, to be processed by the
+// full handler chain after the message currently in flight (and any
+// previously reinjected ones). It must only be called from a handler on
+// that same line — fault filters use it to duplicate or delay messages
+// without deadlocking on the bounded channel they are drained from. The
+// message is marked Reinjected.
+func (p *Pipe) Reinject(dir Dir, m *Msg) {
+	l := p.lines[dir]
+	m.Dir = dir
+	m.Reinjected = true
+	l.mu.Lock()
+	l.seq++
+	m.Seq = l.seq
+	l.mu.Unlock()
+	if m.Time.IsZero() {
+		m.Time = time.Now()
+	}
+	l.inject = append(l.inject, m)
 }
 
 // Start launches the line goroutines and every stage's Run. The RX line
@@ -270,21 +315,52 @@ func (p *Pipe) Start() {
 	}
 
 	// Closer: when every producer finished, retire the lines in
-	// dependency order.
+	// dependency order. The channels are never closed — lines retire by
+	// closing done, so a straggler Send gets ErrClosed instead of a
+	// panic or a forever-block.
 	go func() {
 		p.runWG.Wait()
-		close(p.lines[DirRX].ch)
+		close(p.lines[DirRX].done)
 		<-rxDone
-		close(p.lines[DirTX].ch)
+		close(p.lines[DirTX].done)
 	}()
 }
 
 // drain runs the line's handler chain over every queued message until
-// the channel closes.
+// the line retires, then flushes what is still buffered. Every message
+// accepted by Send before retirement is processed: stage Runs finish
+// their sends before done closes (runWG.Wait happens-before).
 func (l *line) drain() {
-	for m := range l.ch {
+	for {
+		select {
+		case m := <-l.ch:
+			l.handle(m)
+		case <-l.done:
+			for {
+				select {
+				case m := <-l.ch:
+					l.handle(m)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// handle runs one message — and everything it reinjects — through the
+// handler chain.
+func (l *line) handle(m *Msg) {
+	for _, h := range l.handlers {
+		if !h(m) {
+			break
+		}
+	}
+	for len(l.inject) > 0 {
+		q := l.inject[0]
+		l.inject = l.inject[1:]
 		for _, h := range l.handlers {
-			if !h(m) {
+			if !h(q) {
 				break
 			}
 		}

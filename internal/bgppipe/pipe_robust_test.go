@@ -1,0 +1,284 @@
+package bgppipe
+
+import (
+	"net"
+	"net/netip"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"stellar/internal/bgp"
+	"stellar/internal/bgpsession"
+	"stellar/internal/routeserver"
+)
+
+// TestSendAfterStopReturnsErrClosed is the regression test for the
+// stopped-pipe send: a stage emitting onto a retired line must get
+// ErrClosed promptly, not block forever on the bounded channel.
+func TestSendAfterStopReturnsErrClosed(t *testing.T) {
+	p := New(Options{Buffer: 1})
+	p.Start()
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		// Two sends: even with Buffer 1 neither may block.
+		for i := 0; i < 2; i++ {
+			if err := p.Send(DirRX, &Msg{BGP: &bgp.Keepalive{}}); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Fatalf("Send on stopped pipe = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Send on stopped pipe blocked")
+	}
+	if err := p.Send(DirTX, &Msg{BGP: &bgp.Keepalive{}}); err != ErrClosed {
+		t.Fatalf("TX Send on stopped pipe = %v, want ErrClosed", err)
+	}
+}
+
+// TestSendDuringShutdownNeverPanics hammers Send concurrently with the
+// pipe's retirement; the old close(chan)-based shutdown panicked here.
+func TestSendDuringShutdownNeverPanics(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		p := New(Options{Buffer: 2})
+		p.OnMsg(DirRX, func(m *Msg) bool { return true })
+		p.Attach(&srcStage{n: 5})
+		p.Start()
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					if p.Send(DirRX, &Msg{BGP: &bgp.Keepalive{}}) == ErrClosed {
+						return
+					}
+				}
+			}()
+		}
+		p.Stop()
+		if err := p.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+	}
+}
+
+// TestReinjectOrdering pins Reinject semantics: a reinjected message is
+// processed by the full handler chain after the in-flight message, is
+// marked Reinjected, and filters skipping Reinjected messages never
+// re-duplicate a duplicate.
+func TestReinjectOrdering(t *testing.T) {
+	p := New(Options{Buffer: 8})
+	var mu sync.Mutex
+	var seen []string
+	// Handler 1: duplicate every original keepalive once.
+	p.OnMsg(DirRX, func(m *Msg) bool {
+		if !m.Reinjected {
+			p.Reinject(DirRX, &Msg{Peer: m.Peer, BGP: m.BGP})
+		}
+		return true
+	})
+	// Handler 2: record arrival order.
+	p.OnMsg(DirRX, func(m *Msg) bool {
+		mu.Lock()
+		tag := m.Peer
+		if m.Reinjected {
+			tag += "+dup"
+		}
+		seen = append(seen, tag)
+		mu.Unlock()
+		return true
+	})
+	p.Attach(&namedSrc{peers: []string{"a", "b"}})
+	p.Start()
+	p.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"a", "a+dup", "b", "b+dup"}
+	if len(seen) != len(want) {
+		t.Fatalf("seen %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("order %v, want %v", seen, want)
+		}
+	}
+}
+
+// namedSrc pushes one keepalive per listed peer.
+type namedSrc struct {
+	peers []string
+	pipe  *Pipe
+}
+
+func (s *namedSrc) Name() string         { return "named-src" }
+func (s *namedSrc) Attach(p *Pipe) error { s.pipe = p; return nil }
+func (s *namedSrc) Stop() error          { return nil }
+func (s *namedSrc) Run() error {
+	for _, peer := range s.peers {
+		if err := s.pipe.Send(DirRX, &Msg{Peer: peer, BGP: &bgp.Keepalive{}}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestSpeakerReconnectWithResync flaps a live session server-side
+// (Listen.Kick) and verifies the reconnect-enabled speaker comes back
+// and receives the full-table resync through RSFeed.
+func TestSpeakerReconnectWithResync(t *testing.T) {
+	rs := routeserver.New(routeserver.Config{
+		ASN:              6695,
+		BlackholeNextHop: netip.MustParseAddr("80.81.193.66"),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := New(Options{})
+	lst := NewListen(ln, bgpsession.Config{
+		LocalAS: 6695, BGPID: netip.MustParseAddr("80.81.192.1"),
+	})
+	server.Attach(lst)
+	server.Attach(&RSFeed{RS: rs, Resync: true})
+	server.Start()
+	defer func() {
+		server.Stop()
+		if err := server.Wait(); err != nil {
+			t.Errorf("server pipe: %v", err)
+		}
+	}()
+
+	addr := ln.Addr().String()
+	announcer := dialClient(t, addr, 64512, "10.0.0.12")
+	defer announcer.close(t)
+
+	prefix := netip.MustParsePrefix("203.0.113.0/24")
+	announcer.pipe.Send(DirTX, &Msg{BGP: &bgp.Update{
+		Attrs: bgp.PathAttrs{
+			Origin:  bgp.OriginIGP,
+			ASPath:  []bgp.ASPathSegment{{Type: bgp.ASSequence, ASNs: []uint32{64512}}},
+			NextHop: netip.MustParseAddr("80.81.192.12"),
+		},
+		NLRI: []bgp.PathPrefix{{Prefix: prefix}},
+	}})
+
+	// The observer joins AFTER the announcement: its very first table
+	// view arrives via resync, pinning ExportsTo end to end.
+	sp, err := Dial(addr, bgpsession.Config{
+		LocalAS: 64513, BGPID: netip.MustParseAddr("10.0.0.13"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Reconnect = Reconnect{Enabled: true, BaseDelay: 50 * time.Millisecond}
+	observer := &clientPipe{
+		pipe:    New(Options{}),
+		speaker: sp,
+		up:      make(chan *Msg, 4),
+		updates: make(chan *bgp.Update, 16),
+	}
+	observer.pipe.OnMsg(DirRX, func(m *Msg) bool {
+		switch {
+		case m.Event == EventPeerUp:
+			select {
+			case observer.up <- m:
+			default:
+			}
+		case m.Update() != nil:
+			observer.updates <- m.Update()
+		}
+		return true
+	})
+	observer.pipe.Attach(sp)
+	observer.pipe.Start()
+	defer observer.close(t)
+
+	waitExport := func(phase string) {
+		t.Helper()
+		deadline := time.After(5 * time.Second)
+		for {
+			select {
+			case u := <-observer.updates:
+				if len(u.NLRI) == 1 && u.NLRI[0].Prefix == prefix {
+					return
+				}
+			case <-deadline:
+				t.Fatalf("%s: no resync export within deadline", phase)
+			}
+		}
+	}
+	select {
+	case <-observer.up:
+	case <-time.After(3 * time.Second):
+		t.Fatal("no initial PeerUp")
+	}
+	waitExport("initial join")
+
+	// Flap: the server kicks the session; the speaker must redial,
+	// re-establish, and receive the table again.
+	for i := 0; i < 50; i++ {
+		if lst.Kick("AS64513") {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	select {
+	case <-observer.up:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no PeerUp after flap (reconnect failed)")
+	}
+	waitExport("after flap")
+}
+
+// TestShutdownGoroutineLeaks runs full pipe lifecycles (including a live
+// TCP listen/speaker pair) and checks the goroutine count returns to its
+// baseline — the shutdown paths leak nothing.
+func TestShutdownGoroutineLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		rs := routeserver.New(routeserver.Config{ASN: 6695})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		server := New(Options{})
+		server.Attach(NewListen(ln, bgpsession.Config{
+			LocalAS: 6695, BGPID: netip.MustParseAddr("80.81.192.1"),
+		}))
+		server.Attach(&RSFeed{RS: rs, Resync: true})
+		server.Start()
+		client := dialClient(t, ln.Addr().String(), 64512, "10.0.0.12")
+		client.close(t)
+		server.Stop()
+		if err := server.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Session goroutines wind down asynchronously after Wait; poll.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines %d > baseline %d after shutdown\n%s",
+				runtime.NumGoroutine(), before, buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

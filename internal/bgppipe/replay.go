@@ -82,15 +82,19 @@ func (r *Replay) Run() error {
 		if !seen[rec.Peer] {
 			seen[rec.Peer] = true
 			order = append(order, rec.Peer)
-			r.pipe.Send(DirRX, &Msg{
+			if err := r.pipe.Send(DirRX, &Msg{
 				Peer: rec.Peer, PeerAS: rec.PeerAS, PeerIP: rec.PeerIP,
 				Time: rec.Time, Event: EventPeerUp,
-			})
+			}); err != nil {
+				return err
+			}
 		}
-		r.pipe.Send(DirRX, &Msg{
+		if err := r.pipe.Send(DirRX, &Msg{
 			Peer: rec.Peer, PeerAS: rec.PeerAS, PeerIP: rec.PeerIP,
 			Time: rec.Time, BGP: rec.Msg,
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	return nil
 }

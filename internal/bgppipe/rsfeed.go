@@ -21,6 +21,13 @@ type RSFeed struct {
 	// RS is the route server to feed. Required.
 	RS *routeserver.RouteServer
 
+	// Resync replays the full-table export owed to a peer whenever it
+	// comes up (routeserver.ExportsTo), so a session reconnecting after
+	// a flap converges without waiting for incremental churn. The burst
+	// rides the TX line in sorted-prefix order, before any export the
+	// peer's own first UPDATE triggers.
+	Resync bool
+
 	// OnPeerUp is called after a peer auto-registers (fabric ports, MAC
 	// assignment, logging — whatever the embedder attaches to member
 	// arrival). Optional.
@@ -52,7 +59,7 @@ func (f *RSFeed) Attach(p *Pipe) error {
 	p.OnMsg(DirRX, func(m *Msg) bool {
 		switch m.Event {
 		case EventPeerUp:
-			f.peerUp(m)
+			f.peerUp(p, m)
 			return true
 		case EventPeerDown:
 			f.peerDown(p, m)
@@ -86,7 +93,7 @@ func (f *RSFeed) Attach(p *Pipe) error {
 	return nil
 }
 
-func (f *RSFeed) peerUp(m *Msg) {
+func (f *RSFeed) peerUp(p *Pipe, m *Msg) {
 	cfg := routeserver.PeerConfig{Name: m.Peer, ASN: m.PeerAS}
 	if open, ok := m.BGP.(*bgp.Open); ok {
 		cfg.BGPID = open.BGPID
@@ -103,6 +110,20 @@ func (f *RSFeed) peerUp(m *Msg) {
 	}
 	if f.OnPeerUp != nil {
 		f.OnPeerUp(cfg.Name, cfg.ASN, cfg.BGPID)
+	}
+	if f.Resync {
+		ups, err := f.RS.ExportsTo(m.Peer)
+		if err != nil {
+			if f.OnError != nil {
+				f.OnError(m.Peer, err)
+			}
+			return
+		}
+		for _, u := range ups {
+			if p.Send(DirTX, &Msg{Peer: m.Peer, BGP: u}) != nil {
+				return // pipe shutting down
+			}
+		}
 	}
 }
 
@@ -125,7 +146,9 @@ func (f *RSFeed) peerDown(p *Pipe, m *Msg) {
 func (f *RSFeed) emit(p *Pipe, exports []routeserver.PeerUpdates) {
 	for _, e := range exports {
 		for _, u := range e.Updates {
-			p.Send(DirTX, &Msg{Peer: e.Peer, BGP: u})
+			if p.Send(DirTX, &Msg{Peer: e.Peer, BGP: u}) != nil {
+				return // pipe shutting down; remaining exports are moot
+			}
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"stellar/internal/bgp"
 	"stellar/internal/bgpsession"
@@ -26,6 +27,13 @@ type Speaker struct {
 	Peer string
 	// Session configures the underlying bgpsession endpoint.
 	Session bgpsession.Config
+	// Reconnect re-establishes the transport after a session dies, with
+	// exponential backoff. It needs a redial function — Dial installs
+	// one automatically; NewSpeaker callers set Redial themselves.
+	Reconnect Reconnect
+	// Redial produces a fresh transport for a reconnect attempt. nil
+	// disables reconnection regardless of Reconnect.Enabled.
+	Redial func() (net.Conn, error)
 
 	conn net.Conn
 	pipe *Pipe
@@ -34,22 +42,60 @@ type Speaker struct {
 	sess    *bgpsession.Session
 	name    string // resolved peer name
 	stopped bool
+	stopCh  chan struct{}
+}
+
+// Reconnect is a Speaker's auto-reconnect policy.
+type Reconnect struct {
+	// Enabled turns reconnection on (Redial must also be set).
+	Enabled bool
+	// MaxAttempts bounds consecutive failed cycles before the stage
+	// gives up (a cycle that reaches Established resets the count).
+	// 0 means retry forever, until Stop.
+	MaxAttempts int
+	// BaseDelay is the wait before the first reconnect (default 100ms);
+	// attempt k waits min(MaxDelay, BaseDelay*2^(k-1)).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 5s).
+	MaxDelay time.Duration
+}
+
+func (r Reconnect) delay(attempt int) time.Duration {
+	base, max := r.BaseDelay, r.MaxDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
 }
 
 // NewSpeaker creates a speaker stage over an established transport
 // (a dialed TCP connection, an accepted one, or a net.Pipe end).
 func NewSpeaker(conn net.Conn, cfg bgpsession.Config) *Speaker {
-	return &Speaker{Session: cfg, conn: conn}
+	return &Speaker{Session: cfg, conn: conn, stopCh: make(chan struct{})}
 }
 
 // Dial connects to addr over TCP and returns a speaker for the
-// resulting transport — the bgppipe "connect" stage.
+// resulting transport — the bgppipe "connect" stage. The speaker keeps
+// a redial function for addr, so enabling Reconnect on the returned
+// speaker makes it re-establish dropped sessions automatically.
 func Dial(addr string, cfg bgpsession.Config) (*Speaker, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewSpeaker(conn, cfg), nil
+	s := NewSpeaker(conn, cfg)
+	s.Redial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	return s, nil
 }
 
 // Name implements Stage.
@@ -86,14 +132,57 @@ func (s *Speaker) Attach(p *Pipe) error {
 	return nil
 }
 
-// Run implements Stage: it drives the session to completion. Session
-// failures are not stage failures — they surface as the EventPeerDown
-// message's Err, mirroring how a route server treats a flapping peer.
+// Run implements Stage: it drives the session to completion — and, with
+// Reconnect enabled, redials and runs fresh sessions until Stop or the
+// attempt budget runs out. Session failures are not stage failures —
+// they surface as the EventPeerDown message's Err, mirroring how a
+// route server treats a flapping peer; each re-established session
+// emits a fresh EventPeerUp (pair with RSFeed.Resync for full-table
+// resynchronization after the flap).
 func (s *Speaker) Run() error {
+	attempt := 0
+	for {
+		established := s.runOnce()
+		if established {
+			attempt = 0
+		}
+		s.mu.Lock()
+		stopped := s.stopped
+		s.mu.Unlock()
+		if stopped || !s.Reconnect.Enabled || s.Redial == nil {
+			return nil
+		}
+		attempt++
+		if max := s.Reconnect.MaxAttempts; max > 0 && attempt > max {
+			return nil
+		}
+		select {
+		case <-s.stopCh:
+			return nil
+		case <-time.After(s.Reconnect.delay(attempt)):
+		}
+		conn, err := s.Redial()
+		if err != nil {
+			continue // next cycle backs off longer
+		}
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		s.conn = conn
+		s.mu.Unlock()
+	}
+}
+
+// runOnce drives one session over the current transport and reports
+// whether it reached Established.
+func (s *Speaker) runOnce() bool {
 	s.mu.Lock()
 	if s.stopped {
 		s.mu.Unlock()
-		return nil
+		return false
 	}
 	// The handler runs on the session's goroutines, serialized by
 	// bgpsession; it only forwards content events. PeerDown is emitted
@@ -131,11 +220,12 @@ func (s *Speaker) Run() error {
 	s.mu.Lock()
 	name, up := s.name, s.name != ""
 	s.sess = nil
+	s.name = "" // the next session (reconnect) announces itself afresh
 	s.mu.Unlock()
 	if up {
 		s.pipe.Send(DirRX, &Msg{Peer: name, PeerAS: s.peerASOf(sess), Event: EventPeerDown, Err: err})
 	}
-	return nil
+	return up
 }
 
 func (s *Speaker) sessionOpen() *bgp.Open {
@@ -163,12 +253,16 @@ func (s *Speaker) peerASOf(sess *bgpsession.Session) uint32 {
 }
 
 // Stop implements Stage: it closes the session (administrative
-// shutdown), unblocking Run.
+// shutdown), cancels any reconnect backoff, and unblocks Run.
 func (s *Speaker) Stop() error {
 	s.mu.Lock()
+	already := s.stopped
 	s.stopped = true
 	sess := s.sess
 	s.mu.Unlock()
+	if !already && s.stopCh != nil {
+		close(s.stopCh)
+	}
 	if sess != nil {
 		return sess.Close()
 	}

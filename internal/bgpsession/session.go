@@ -260,8 +260,13 @@ func (s *Session) Run() error {
 	}
 	err = s.receiveLoop(hold, &opts)
 	close(stopKeepalive)
+	// Close the transport before joining the keepalive goroutine: a
+	// keepalive write can be blocked mid-send on a peer that stopped
+	// reading (hold expiry means exactly that), and only the conn close
+	// unblocks it. Waiting first would deadlock Run.
+	s.close(err)
 	ka.Wait()
-	return s.close(err)
+	return err
 }
 
 func (s *Session) receiveLoop(hold time.Duration, opts *bgp.Options) error {

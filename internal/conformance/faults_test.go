@@ -1,0 +1,116 @@
+package conformance
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestFaultProfilesDeterministic pins the acceptance contract of the fault
+// engine: running a fault profile twice with the same seed must produce
+// byte-identical reports — including the ordered injection log — so a chaos
+// run is a reproducible artifact, not a flake source.
+func TestFaultProfilesDeterministic(t *testing.T) {
+	for _, name := range []string{"tcam-squeeze-degrade", "flap-mid-mitigation", "queue-stall-recovery", "replay-with-loss"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p, err := Load(name)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			run := func() []byte {
+				res, err := Run(p)
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				data, err := json.Marshal(res.Report)
+				if err != nil {
+					t.Fatalf("marshal: %v", err)
+				}
+				return data
+			}
+			a, b := run(), run()
+			if string(a) != string(b) {
+				t.Fatalf("same seed, different reports:\n%s\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestFaultProfileRecordsInjections ensures a fault profile's report says
+// what was done to the run: the injection log is present and ordered.
+func TestFaultProfileRecordsInjections(t *testing.T) {
+	p, err := Load("tcam-squeeze-degrade")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	res, err := Run(p)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res.Report.Injections) < 2 {
+		t.Fatalf("want at least squeeze reserve+release in the log, got %+v", res.Report.Injections)
+	}
+	for i, in := range res.Report.Injections {
+		if in.Seq != i {
+			t.Fatalf("injection log out of order at %d: %+v", i, in)
+		}
+	}
+}
+
+// TestValidateCatchesBadFaults covers the faults-section rejection paths.
+func TestValidateCatchesBadFaults(t *testing.T) {
+	base := func() *Profile {
+		p, err := Load("tcam-squeeze-degrade")
+		if err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		return p
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Profile)
+	}{
+		{"unknown kind", func(p *Profile) { p.Faults.Injections[0].Kind = "gremlins" }},
+		{"empty window", func(p *Profile) { p.Faults.Injections[0].To = p.Faults.Injections[0].From }},
+		{"prob out of range", func(p *Profile) { p.Faults.Injections[0].Prob = 1.5 }},
+		{"empty injections", func(p *Profile) { p.Faults.Injections = nil }},
+		{"squeeze reserving nothing", func(p *Profile) {
+			p.Faults.Injections[0] = FaultSpec{Kind: "tcam_squeeze", From: 1, To: 2}
+		}},
+		{"flap member out of range", func(p *Profile) {
+			p.Faults.Injections[0] = FaultSpec{Kind: "session_flap", From: 1, To: 2, Member: p.Topology.Members}
+		}},
+		{"wire fault without replay", func(p *Profile) {
+			p.Faults.Injections[0] = FaultSpec{Kind: "wire_drop", From: 0, To: 1}
+		}},
+		{"delay without depth", func(p *Profile) {
+			p.Replay = &ReplaySpec{Records: []ReplayRecord{{Member: 0}}}
+			p.Faults.Injections[0] = FaultSpec{Kind: "wire_delay", From: 0, To: 1}
+		}},
+		{"window past run", func(p *Profile) { p.Faults.Injections[0].From = p.Run.Ticks }},
+		{"control fault without stellar", func(p *Profile) {
+			off := false
+			p.Topology.Stellar = &off
+		}},
+		{"degraded without stellar", func(p *Profile) {
+			off := false
+			p.Topology.Stellar = &off
+			p.Faults = nil
+			p.Events = nil
+			p.Expect = []Expectation{{Kind: "degraded", SignalTick: 1, MaxTicks: 2}}
+		}},
+		{"retry zero attempts", func(p *Profile) { p.Topology.Retry = &RetrySpec{MaxAttempts: 0} }},
+		{"negative degrade margin", func(p *Profile) { p.Topology.Degrade.MarginL34 = -1 }},
+		{"negative install deadline", func(p *Profile) { p.Topology.InstallDeadlineSec = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base()
+			tc.mutate(p)
+			if err := p.Validate(); err == nil {
+				t.Fatalf("validator accepted %s", tc.name)
+			}
+		})
+	}
+}

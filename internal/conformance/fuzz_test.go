@@ -19,6 +19,12 @@ func FuzzProfileDecode(f *testing.F) {
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"name":"x"}`))
 	f.Add([]byte(`not json`))
+	// Faults-section edge shapes: mutations start from near-valid chaos
+	// documents, not only from the shipped (valid) fault profiles.
+	f.Add([]byte(`{"name":"f","faults":{"seed":1,"injections":[]}}`))
+	f.Add([]byte(`{"name":"f","faults":{"injections":[{"kind":"tcam_squeeze","from":0,"to":1,"leave_l34":0}]}}`))
+	f.Add([]byte(`{"name":"f","faults":{"injections":[{"kind":"wire_delay","from":0,"to":1,"delay_msgs":-1}]}}`))
+	f.Add([]byte(`{"name":"f","faults":{"injections":[{"kind":"session_flap","from":0,"to":1,"member":99,"prob":1.5}]}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, err := Decode(data)
 		if err != nil {

@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"stellar/internal/core"
+	"stellar/internal/faults"
 	"stellar/internal/traffic"
 )
 
@@ -69,6 +70,12 @@ type Profile struct {
 	// of their tick in list order.
 	Events []EventSpec `json:"events,omitempty"`
 
+	// Faults is the deterministic fault-injection schedule the run
+	// executes (internal/faults): install failures, TCAM squeezes,
+	// queue stalls, session flaps, replay wire loss. The injections are
+	// recorded in the profile's report.
+	Faults *FaultsSpec `json:"faults,omitempty"`
+
 	// Expect is the declarative outcome contract the run must satisfy.
 	Expect []Expectation `json:"expect"`
 }
@@ -94,6 +101,63 @@ type Topology struct {
 	// (defaults: 4.33/s, burst 20).
 	QueueRate  float64 `json:"queue_rate,omitempty"`
 	QueueBurst int     `json:"queue_burst,omitempty"`
+	// Retry enables change-queue retry with backoff (nil: failures are
+	// terminal on the first attempt).
+	Retry *RetrySpec `json:"retry,omitempty"`
+	// InstallDeadlineSec bounds the time from a change's first enqueue
+	// to a successful install (0: no deadline).
+	InstallDeadlineSec float64 `json:"install_deadline_sec,omitempty"`
+	// Degrade enables the controller's fine→coarse→fine degradation
+	// ladder.
+	Degrade *DegradeSpec `json:"degrade,omitempty"`
+}
+
+// RetrySpec is the controller's retry/backoff policy.
+type RetrySpec struct {
+	MaxAttempts  int     `json:"max_attempts"`
+	BaseDelaySec float64 `json:"base_delay_sec,omitempty"`
+	MaxDelaySec  float64 `json:"max_delay_sec,omitempty"`
+	Jitter       float64 `json:"jitter,omitempty"`
+}
+
+// DegradeSpec enables the degradation ladder with its headroom margins.
+type DegradeSpec struct {
+	MarginMAC          int     `json:"margin_mac,omitempty"`
+	MarginL34          int     `json:"margin_l34,omitempty"`
+	UpgradeCooldownSec float64 `json:"upgrade_cooldown_sec,omitempty"`
+}
+
+// FaultsSpec is the profile's fault-injection schedule.
+type FaultsSpec struct {
+	// Seed drives the injector's probabilistic decisions (0: derived
+	// from topology.seed).
+	Seed       uint64      `json:"seed,omitempty"`
+	Injections []FaultSpec `json:"injections"`
+}
+
+// FaultSpec is one scheduled fault (see internal/faults for the kind
+// semantics). From/To bound the window in ticks for control-plane
+// faults and in replay record indices for wire faults.
+type FaultSpec struct {
+	Kind string `json:"kind"`
+	From int    `json:"from"`
+	To   int    `json:"to"`
+
+	Prob        float64 `json:"prob,omitempty"`
+	Error       string  `json:"error,omitempty"`
+	MaxFailures int     `json:"max_failures,omitempty"`
+
+	ReserveMAC int `json:"reserve_mac,omitempty"`
+	ReserveL34 int `json:"reserve_l34,omitempty"`
+	// LeaveMAC / LeaveL34 express a squeeze relative to the hardware
+	// budget: reserve everything except this headroom. When set they
+	// override ReserveMAC/ReserveL34.
+	LeaveMAC *int `json:"leave_mac,omitempty"`
+	LeaveL34 *int `json:"leave_l34,omitempty"`
+
+	// Member indexes the population for session_flap.
+	Member    int `json:"member,omitempty"`
+	DelayMsgs int `json:"delay_msgs,omitempty"`
 }
 
 // RunSpec is the engine run shape.
@@ -240,6 +304,12 @@ type EventSpec struct {
 //	                at most MaxTicks — the mitigation reaction time
 //	recovery        ticks from SignalTick until delivered >= ThresholdBps,
 //	                at most MaxTicks — TTL expiry / withdrawal behavior
+//	degraded        ticks from SignalTick until the controller degrades the
+//	                victim's mitigation to its coarse fallback, at most
+//	                MaxTicks — the degradation-ladder reaction
+//	upgraded        ticks from SignalTick until the controller upgrades the
+//	                victim's mitigation back to fine-grained, at most
+//	                MaxTicks — recovery once headroom returns
 type Expectation struct {
 	Name   string `json:"name,omitempty"`
 	Kind   string `json:"kind"`
@@ -277,7 +347,12 @@ var (
 		"announce_prefix": true, "withdraw_prefix": true}
 	validKinds = map[string]bool{"drop_ratio": true, "delivery_ratio": true,
 		"delivered_bps": true, "offered_bps": true, "nulled_bps": true,
-		"active_peers": true, "reaction": true, "recovery": true}
+		"active_peers": true, "reaction": true, "recovery": true,
+		"degraded": true, "upgraded": true}
+	validFaultKinds = map[string]bool{faults.KindInstallFail: true,
+		faults.KindTCAMSqueeze: true, faults.KindQueueStall: true,
+		faults.KindSessionFlap: true, faults.KindWireDrop: true,
+		faults.KindWireDuplicate: true, faults.KindWireDelay: true}
 	validSourceKinds = map[string]bool{"attack": true, "web": true,
 		"pulse": true, "trace": true}
 )
@@ -328,6 +403,22 @@ func (p *Profile) Validate() error {
 	}
 	if p.Topology.HonoringFraction < 0 || p.Topology.HonoringFraction > 1 {
 		return fail("honoring_fraction %v outside [0,1]", p.Topology.HonoringFraction)
+	}
+	if r := p.Topology.Retry; r != nil {
+		if r.MaxAttempts < 1 {
+			return fail("retry.max_attempts must be at least 1")
+		}
+		if r.BaseDelaySec < 0 || r.MaxDelaySec < 0 || r.Jitter < 0 {
+			return fail("retry has negative delay/jitter")
+		}
+	}
+	if p.Topology.InstallDeadlineSec < 0 {
+		return fail("install_deadline_sec negative")
+	}
+	if d := p.Topology.Degrade; d != nil {
+		if d.MarginMAC < 0 || d.MarginL34 < 0 || d.UpgradeCooldownSec < 0 {
+			return fail("degrade has negative margins/cooldown")
+		}
 	}
 	if p.Run.Ticks <= 0 {
 		return fail("run.ticks must be positive")
@@ -436,6 +527,49 @@ func (p *Profile) Validate() error {
 			}
 		}
 	}
+	if p.Faults != nil {
+		if len(p.Faults.Injections) == 0 {
+			return fail("faults section has no injections")
+		}
+		for i, f := range p.Faults.Injections {
+			if !validFaultKinds[f.Kind] {
+				return fail("fault %d: unknown kind %q", i, f.Kind)
+			}
+			if f.From < 0 || f.To <= f.From {
+				return fail("fault %d: window [%d,%d) is empty", i, f.From, f.To)
+			}
+			if f.Prob < 0 || f.Prob > 1 {
+				return fail("fault %d: prob %v outside [0,1]", i, f.Prob)
+			}
+			switch f.Kind {
+			case faults.KindInstallFail, faults.KindTCAMSqueeze, faults.KindQueueStall:
+				if !p.stellarOn() {
+					return fail("fault %d: %s needs the Stellar control plane", i, f.Kind)
+				}
+				if f.From >= p.Run.Ticks {
+					return fail("fault %d: window starts past the run", i)
+				}
+				if f.Kind == faults.KindTCAMSqueeze &&
+					f.ReserveMAC == 0 && f.ReserveL34 == 0 && f.LeaveMAC == nil && f.LeaveL34 == nil {
+					return fail("fault %d: tcam_squeeze reserves nothing", i)
+				}
+			case faults.KindSessionFlap:
+				if f.Member < 0 || f.Member >= p.Topology.Members {
+					return fail("fault %d: member %d outside population", i, f.Member)
+				}
+				if f.From >= p.Run.Ticks {
+					return fail("fault %d: window starts past the run", i)
+				}
+			case faults.KindWireDrop, faults.KindWireDuplicate, faults.KindWireDelay:
+				if p.Replay == nil {
+					return fail("fault %d: wire faults need a replay section", i)
+				}
+				if f.Kind == faults.KindWireDelay && f.DelayMsgs <= 0 {
+					return fail("fault %d: wire_delay needs positive delay_msgs", i)
+				}
+			}
+		}
+	}
 	if len(p.Expect) == 0 {
 		return fail("no expectations")
 	}
@@ -446,8 +580,11 @@ func (p *Profile) Validate() error {
 		if e.Victim < 0 || e.Victim >= len(p.Victims) {
 			return fail("expect %d: victim %d outside victims", i, e.Victim)
 		}
+		if (e.Kind == "degraded" || e.Kind == "upgraded") && !p.stellarOn() {
+			return fail("expect %d: %s needs the Stellar control plane", i, e.Kind)
+		}
 		switch e.Kind {
-		case "reaction", "recovery":
+		case "reaction", "recovery", "degraded", "upgraded":
 			if e.SignalTick < 0 || e.SignalTick >= p.Run.Ticks {
 				return fail("expect %d: signal_tick %d outside run", i, e.SignalTick)
 			}

@@ -5,6 +5,8 @@ import (
 	"strings"
 
 	"stellar/internal/engine"
+	"stellar/internal/faults"
+	"stellar/internal/mitctl"
 )
 
 // Check is one evaluated expectation: the declared bounds and the
@@ -48,6 +50,10 @@ type ProfileReport struct {
 	Victims     []string `json:"victims"`
 	Pass        bool     `json:"pass"`
 	Checks      []Check  `json:"checks"`
+	// Injections is the run's ordered fault-injection log (profiles with
+	// a faults section), so the report says exactly what was done to the
+	// run — and two same-seed runs produce byte-identical reports.
+	Injections []faults.Injection `json:"injections,omitempty"`
 }
 
 // Report aggregates a matrix run.
@@ -92,8 +98,9 @@ func (r Report) Format() string {
 	return b.String()
 }
 
-// evaluate scores every expectation against the run's series.
-func evaluate(p *Profile, series []engine.VictimSeries) ProfileReport {
+// evaluate scores every expectation against the run's series and the
+// runner's observed controller transitions.
+func evaluate(p *Profile, series []engine.VictimSeries, r *runner) ProfileReport {
 	rep := ProfileReport{
 		Profile:     p.Name,
 		Description: p.Description,
@@ -104,14 +111,48 @@ func evaluate(p *Profile, series []engine.VictimSeries) ProfileReport {
 	for _, s := range series {
 		rep.Victims = append(rep.Victims, s.Port)
 	}
+	if r.inj != nil {
+		rep.Injections = r.inj.Injections()
+	}
 	for i, e := range p.Expect {
-		c := evalExpectation(i, e, series[e.Victim].Samples)
+		var c Check
+		if e.Kind == "degraded" || e.Kind == "upgraded" {
+			c = evalLadder(i, e, r)
+		} else {
+			c = evalExpectation(i, e, series[e.Victim].Samples)
+		}
 		if !c.Pass {
 			rep.Pass = false
 		}
 		rep.Checks = append(rep.Checks, c)
 	}
 	return rep
+}
+
+// evalLadder measures a degradation-ladder expectation: ticks from the
+// signal until the controller reports the victim's mitigation degraded
+// (coarse fallback installed) or upgraded (fine rules restored).
+func evalLadder(i int, e Expectation, r *runner) Check {
+	c := Check{Name: e.Name, Kind: e.Kind, Victim: e.Victim}
+	if c.Name == "" {
+		c.Name = fmt.Sprintf("expect[%d] %s", i, e.Kind)
+	}
+	want := mitctl.EventDegraded
+	if e.Kind == "upgraded" {
+		want = mitctl.EventUpgraded
+	}
+	c.Measured = -1
+	target := r.hosts[e.Victim]
+	for _, ev := range r.mitEvents {
+		if ev.typ == want && ev.target == target && ev.tick >= e.SignalTick {
+			c.Measured = float64(ev.tick - e.SignalTick)
+			break
+		}
+	}
+	c.Pass = c.Measured >= 0 && c.Measured <= float64(e.MaxTicks)
+	c.Detail = fmt.Sprintf("ticks from %d until the controller reports %s, max %d",
+		e.SignalTick, e.Kind, e.MaxTicks)
+	return c
 }
 
 // evalExpectation measures one expectation over a victim's samples.

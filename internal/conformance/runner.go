@@ -11,6 +11,7 @@ import (
 	"stellar/internal/core"
 	"stellar/internal/engine"
 	"stellar/internal/fabric"
+	"stellar/internal/faults"
 	"stellar/internal/ixp"
 	"stellar/internal/member"
 	"stellar/internal/mitctl"
@@ -37,6 +38,24 @@ type Result struct {
 	IXP    *ixp.IXP
 }
 
+// announcement is one BGP announcement the run made, remembered so a
+// session flap's recovery (faults.KindSessionFlap) can replay the
+// peer's announcements in their original order.
+type announcement struct {
+	member string
+	prefix netip.Prefix
+	comms  []bgp.Community
+	specs  []core.RuleSpec
+}
+
+// mitEvent is one degradation-ladder transition observed on the
+// controller's event stream, mapped back onto the engine tick clock.
+type mitEvent struct {
+	tick   int
+	typ    mitctl.EventType
+	target netip.Prefix
+}
+
 // runner holds one profile's compiled wiring.
 type runner struct {
 	p       *Profile
@@ -50,6 +69,16 @@ type runner struct {
 	// portalIDs[eventIndex] is the pre-defined portal rule for a
 	// portal-channel mitigate event.
 	portalIDs map[int]uint32
+
+	// inj executes the profile's fault plan (nil: no faults section).
+	inj *faults.Injector
+	// announced is the replayable announcement state for flap recovery.
+	// Only BGP-channel state is tracked; MRT-replayed records are
+	// deliberately not restored (a real capture does not re-send).
+	announced []announcement
+	// mitEvents collects degraded/upgraded transitions. Appended on the
+	// control spine only (controller callbacks), read after the run.
+	mitEvents []mitEvent
 }
 
 // Run compiles the profile into an engine run over a fully wired IXP,
@@ -68,6 +97,11 @@ func Run(p *Profile) (*Result, error) {
 		PortCapacityBps:  capacity,
 		Seed:             p.Topology.Seed,
 	})
+	r := &runner{
+		p: p, members: members,
+		rng:       stats.NewRand(p.Topology.Seed + 1),
+		portalIDs: make(map[int]uint32),
+	}
 	x, err := ixp.Build(ixp.Config{
 		ASN:              runnerASN,
 		BlackholeNextHop: blackholeNextHop,
@@ -76,14 +110,31 @@ func Run(p *Profile) (*Result, error) {
 		QueueRate:        p.Topology.QueueRate,
 		QueueBurst:       p.Topology.QueueBurst,
 		MitigationTTL:    p.Topology.MitigationTTLSec,
+		TuneController:   r.tuneController,
 	})
 	if err != nil {
 		return nil, err
 	}
-	r := &runner{
-		p: p, x: x, members: members,
-		rng:       stats.NewRand(p.Topology.Seed + 1),
-		portalIDs: make(map[int]uint32),
+	r.x = x
+	dt := p.Run.DtSec
+	if dt == 0 {
+		dt = 1
+	}
+	if x.Mitigations != nil {
+		x.Mitigations.Subscribe(func(ev mitctl.Event) {
+			if ev.Type != mitctl.EventDegraded && ev.Type != mitctl.EventUpgraded {
+				return
+			}
+			// The controller processes tick T at clock (T+1)*dt, so the
+			// transition's tick is one before the clock reading.
+			tick := int(ev.Time/dt+0.5) - 1
+			r.mitEvents = append(r.mitEvents, mitEvent{tick: tick, typ: ev.Type, target: ev.Mitigation.Target})
+		})
+	}
+	if p.Faults != nil {
+		if err := r.buildInjector(); err != nil {
+			return nil, fmt.Errorf("conformance: %s: %w", p.Name, err)
+		}
 	}
 	for _, v := range p.Victims {
 		m := members[v.Member]
@@ -92,7 +143,7 @@ func Run(p *Profile) (*Result, error) {
 		r.hosts = append(r.hosts, netip.PrefixFrom(target, 32))
 		// The victim announces its covering prefix up front — the IRR
 		// registration every later mitigation validates against.
-		if err := x.Announce(m.Name, m.Prefixes[0], nil, nil); err != nil {
+		if err := r.announce(m.Name, m.Prefixes[0], nil, nil); err != nil {
 			return nil, fmt.Errorf("conformance: %s: announce %s: %w", p.Name, m.Prefixes[0], err)
 		}
 	}
@@ -106,11 +157,7 @@ func Run(p *Profile) (*Result, error) {
 		return nil, err
 	}
 
-	dt := p.Run.DtSec
-	if dt == 0 {
-		dt = 1
-	}
-	series, err := engine.New(engine.Config{
+	ecfg := engine.Config{
 		Driver:       driver,
 		Control:      x,
 		DataPlane:    x,
@@ -119,11 +166,142 @@ func Run(p *Profile) (*Result, error) {
 		Dt:           dt,
 		PeerMinBps:   p.Run.PeerMinBps,
 		MemberFilter: x.MemberFilter(),
-	}).Run()
+	}
+	if r.inj != nil {
+		ecfg.StageWrap = r.inj.WrapControl()
+	}
+	series, err := engine.New(ecfg).Run()
 	if err != nil {
 		return nil, fmt.Errorf("conformance: %s: %w", p.Name, err)
 	}
-	return &Result{Report: evaluate(p, series), Series: series, IXP: x}, nil
+	return &Result{Report: evaluate(p, series, r), Series: series, IXP: x}, nil
+}
+
+// tuneController compiles the profile's robustness knobs into the
+// mitigation controller configuration (ixp.Config.TuneController).
+func (r *runner) tuneController(mc *mitctl.Config) {
+	t := r.p.Topology
+	if rt := t.Retry; rt != nil {
+		mc.Retry = mitctl.RetryPolicy{
+			MaxAttempts: rt.MaxAttempts,
+			BaseDelay:   rt.BaseDelaySec,
+			MaxDelay:    rt.MaxDelaySec,
+			Jitter:      rt.Jitter,
+		}
+	}
+	mc.InstallDeadline = t.InstallDeadlineSec
+	if d := t.Degrade; d != nil {
+		mc.Degrade = mitctl.DegradePolicy{
+			Enabled:         true,
+			MarginMAC:       d.MarginMAC,
+			MarginL34:       d.MarginL34,
+			UpgradeCooldown: d.UpgradeCooldownSec,
+		}
+	}
+	mc.Seed = t.Seed + 3
+	if r.p.Faults != nil {
+		// Late-bound: the injector is built after ixp.Build (its squeeze
+		// compilation reads the router's hardware limits), so the hook
+		// resolves r.inj at call time. Installs before that are unfaulted.
+		mc.InstallHook = func(ch core.ConfigChange, attempt int, now float64) error {
+			if r.inj == nil {
+				return nil
+			}
+			return r.inj.InstallHook(ch, attempt, now)
+		}
+	}
+}
+
+// buildInjector compiles the profile's faults section into a
+// faults.Injector wired to the IXP's levers.
+func (r *runner) buildInjector() error {
+	p := r.p
+	seed := p.Faults.Seed
+	if seed == 0 {
+		seed = p.Topology.Seed + 2
+	}
+	plan := faults.Plan{Seed: seed}
+	lim := r.x.Router.Snapshot().Limits
+	for _, fs := range p.Faults.Injections {
+		f := faults.Fault{
+			Kind: fs.Kind, From: fs.From, To: fs.To, Prob: fs.Prob,
+			Error: fs.Error, MaxFailures: fs.MaxFailures,
+			ReserveMAC: fs.ReserveMAC, ReserveL34: fs.ReserveL34,
+			DelayMsgs: fs.DelayMsgs,
+		}
+		if fs.Kind == faults.KindSessionFlap {
+			f.Peer = r.members[fs.Member].Name
+		}
+		// Leave* expresses the squeeze relative to the budget: reserve
+		// everything but that headroom.
+		if fs.LeaveMAC != nil {
+			f.ReserveMAC = max(0, lim.MACFiltersTotal-*fs.LeaveMAC)
+		}
+		if fs.LeaveL34 != nil {
+			f.ReserveL34 = max(0, lim.L34CriteriaTotal-*fs.LeaveL34)
+		}
+		plan.Faults = append(plan.Faults, f)
+	}
+	hooks := faults.Hooks{
+		SetReserved: r.x.Router.SetReserved,
+		PeerDown:    r.x.PeerDown,
+		PeerUp:      r.restorePeer,
+	}
+	if r.x.Mitigations != nil {
+		hooks.SetStalled = r.x.Mitigations.SetQueueStalled
+	}
+	inj, err := faults.NewInjector(plan, hooks)
+	if err != nil {
+		return err
+	}
+	r.inj = inj
+	return nil
+}
+
+// announce makes (or refreshes) a BGP announcement and remembers it, so
+// a session flap's recovery can replay the peer's state.
+func (r *runner) announce(member string, prefix netip.Prefix, comms []bgp.Community, specs []core.RuleSpec) error {
+	if err := r.x.Announce(member, prefix, comms, specs); err != nil {
+		return err
+	}
+	for i := range r.announced {
+		a := &r.announced[i]
+		if a.member == member && a.prefix == prefix {
+			a.comms, a.specs = comms, specs
+			return nil
+		}
+	}
+	r.announced = append(r.announced, announcement{member: member, prefix: prefix, comms: comms, specs: specs})
+	return nil
+}
+
+// withdraw retracts a BGP announcement and forgets it.
+func (r *runner) withdraw(member string, prefix netip.Prefix) error {
+	if err := r.x.Withdraw(member, prefix); err != nil {
+		return err
+	}
+	for i := range r.announced {
+		if r.announced[i].member == member && r.announced[i].prefix == prefix {
+			r.announced = append(r.announced[:i], r.announced[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// restorePeer is the injector's PeerUp hook: the flapped session comes
+// back and the peer re-announces everything it had, in original order —
+// BGP session recovery as the route server sees it.
+func (r *runner) restorePeer(peer string) error {
+	for _, a := range r.announced {
+		if a.member != peer {
+			continue
+		}
+		if err := r.x.Announce(a.member, a.prefix, a.comms, a.specs); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // buildDriver compiles the victims' source compositions into an engine
@@ -187,7 +365,13 @@ func (r *runner) buildDriver() (engine.Driver, error) {
 	if dt == 0 {
 		dt = 1
 	}
-	return engine.NewMRTDriver(base, bytes.NewReader(dump), engine.ReplayConfig{
+	var src bgppipe.RecordSource = bgppipe.NewMRTScanner(bytes.NewReader(dump))
+	if r.inj != nil {
+		// Replay with deterministic loss: the injector's wire faults
+		// drop/duplicate/delay records by index before scheduling.
+		src = r.inj.FilterSource(src)
+	}
+	return engine.NewReplayDriver(base, src, engine.ReplayConfig{
 		StartTick:   p.Replay.StartTick,
 		TickSeconds: dt,
 		Speed:       p.Replay.Speed,
@@ -269,20 +453,20 @@ func (r *runner) compileEvents() ([]engine.Event, error) {
 		case "rtbh":
 			m, host := r.victimOf(ev), r.hosts[ev.Victim]
 			do = func() error {
-				return r.x.Announce(m.Name, host, []bgp.Community{bgp.CommunityBlackhole}, nil)
+				return r.announce(m.Name, host, []bgp.Community{bgp.CommunityBlackhole}, nil)
 			}
 			name = fmt.Sprintf("rtbh victim %d", ev.Victim)
 		case "rtbh_withdraw":
 			m, host := r.victimOf(ev), r.hosts[ev.Victim]
-			do = func() error { return r.x.Withdraw(m.Name, host) }
+			do = func() error { return r.withdraw(m.Name, host) }
 			name = fmt.Sprintf("rtbh withdraw victim %d", ev.Victim)
 		case "announce_prefix":
 			m := r.members[ev.Member]
-			do = func() error { return r.x.Announce(m.Name, m.Prefixes[0], nil, nil) }
+			do = func() error { return r.announce(m.Name, m.Prefixes[0], nil, nil) }
 			name = fmt.Sprintf("announce %s", m.Name)
 		case "withdraw_prefix":
 			m := r.members[ev.Member]
-			do = func() error { return r.x.Withdraw(m.Name, m.Prefixes[0]) }
+			do = func() error { return r.withdraw(m.Name, m.Prefixes[0]) }
 			name = fmt.Sprintf("withdraw %s", m.Name)
 		default:
 			return nil, fmt.Errorf("conformance: unknown action %q", ev.Action)
@@ -427,7 +611,7 @@ func (r *runner) mitigateFunc(idx int, ev EventSpec) (func() error, error) {
 	case "community":
 		rs := ruleSpecFor(ev)
 		return func() error {
-			return r.x.Announce(m.Name, host, nil, []core.RuleSpec{rs})
+			return r.announce(m.Name, host, nil, []core.RuleSpec{rs})
 		}, nil
 	case "flowspec":
 		fs, attrs := r.flowSpecFor(ev)
@@ -473,7 +657,7 @@ func (r *runner) withdrawFunc(idx int, ev EventSpec) (func() error, error) {
 	case "community":
 		// Withdrawing the signaling announcement is the community
 		// channel's retraction: the RIB diff withdraws its specs.
-		return func() error { return r.x.Withdraw(m.Name, host) }, nil
+		return func() error { return r.withdraw(m.Name, host) }, nil
 	case "flowspec":
 		fs, attrs := r.flowSpecFor(ev)
 		specs, err := mitctl.SpecsFromFlowSpec(m.Name, fs, attrs, ev.TTLSec)

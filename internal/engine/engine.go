@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"stellar/internal/fabric"
 	"stellar/internal/flowmon"
@@ -64,6 +65,16 @@ type Config struct {
 	// Depth is the number of in-flight ticks (0: 2 — double-buffered;
 	// 1: fully serial, the determinism-debugging fallback).
 	Depth int
+	// StageWrap, when non-nil, decorates every stage before wiring —
+	// the fault-injection / instrumentation seam (e.g.
+	// faults.Injector.WrapControl). The decoration runs inside the
+	// engine's watchdog, so a wrapper's panics are isolated too.
+	StageWrap func(Stage) Stage
+	// StageTimeout arms the stage watchdog: a single stage Run
+	// exceeding it (wall clock) aborts the run with a stall error
+	// instead of hanging the pipeline. 0 disables stall detection
+	// (panic isolation is always on).
+	StageTimeout time.Duration
 }
 
 // Engine executes a configured run. Engines are single-use: build with
@@ -169,8 +180,8 @@ func (e *Engine) Run() ([]VictimSeries, error) {
 			Monitor: monitors[i],
 		}
 	}
-	spineStages := []Stage{control, traffic, egress}
-	foldStages := []Stage{monitor, report}
+	spineStages := guard([]Stage{control, traffic, egress}, cfg.StageWrap, cfg.StageTimeout)
+	foldStages := guard([]Stage{monitor, report}, cfg.StageWrap, cfg.StageTimeout)
 
 	pool := fabric.NewPool(cfg.Workers)
 	defer pool.Close()

@@ -80,10 +80,12 @@ type PortAlloc struct {
 type EdgeRouter struct {
 	limits Limits
 
-	mu       sync.Mutex
-	ports    []PortAlloc
-	totalMAC int
-	totalL34 int
+	mu          sync.Mutex
+	ports       []PortAlloc
+	totalMAC    int
+	totalL34    int
+	reservedMAC int
+	reservedL34 int
 }
 
 // NewEdgeRouter returns a router with no allocations.
@@ -107,10 +109,10 @@ func (r *EdgeRouter) Allocate(port, macFilters, l34 int) error {
 	if port < 0 || port >= len(r.ports) {
 		return ErrUnknownPort
 	}
-	if r.totalL34+l34 > r.limits.L34CriteriaTotal {
+	if r.totalL34+l34 > r.limits.L34CriteriaTotal-r.reservedL34 {
 		return ErrL34Exhausted
 	}
-	if r.totalMAC+macFilters > r.limits.MACFiltersTotal {
+	if r.totalMAC+macFilters > r.limits.MACFiltersTotal-r.reservedMAC {
 		return ErrMACExhausted
 	}
 	if r.ports[port].QoSPolicies+1 > r.limits.QoSPoliciesPerPort {
@@ -160,11 +162,72 @@ func (r *EdgeRouter) Totals() (mac, l34 int) {
 	return r.totalMAC, r.totalL34
 }
 
-// Headroom returns the remaining system-wide budgets.
+// Headroom returns the remaining system-wide budgets, net of any
+// reservation set with SetReserved.
 func (r *EdgeRouter) Headroom() (mac, l34 int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.limits.MACFiltersTotal - r.totalMAC, r.limits.L34CriteriaTotal - r.totalL34
+	mac = r.limits.MACFiltersTotal - r.reservedMAC - r.totalMAC
+	l34 = r.limits.L34CriteriaTotal - r.reservedL34 - r.totalL34
+	return mac, l34
+}
+
+// SetReserved withholds mac MAC-filter and l34 L3-L4 criteria from the
+// system-wide budgets, shrinking what Allocate and Headroom see. It models
+// TCAM pressure from outside the blackholing subsystem (other QoS features,
+// a fault injector squeezing the budget); existing allocations are never
+// revoked, so totals may transiently exceed the shrunken budget until
+// rules are released. Negative values clamp to zero.
+func (r *EdgeRouter) SetReserved(mac, l34 int) {
+	if mac < 0 {
+		mac = 0
+	}
+	if l34 < 0 {
+		l34 = 0
+	}
+	r.mu.Lock()
+	r.reservedMAC, r.reservedL34 = mac, l34
+	r.mu.Unlock()
+}
+
+// Reserved returns the budget reservation set with SetReserved.
+func (r *EdgeRouter) Reserved() (mac, l34 int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reservedMAC, r.reservedL34
+}
+
+// Snapshot is a consistent point-in-time view of the router's allocation
+// state: per-port allocations plus system-wide totals and headroom, all
+// read under one lock acquisition so the degradation ladder and the
+// looking glass never see torn state.
+type Snapshot struct {
+	Ports       []PortAlloc
+	TotalMAC    int
+	TotalL34    int
+	HeadroomMAC int
+	HeadroomL34 int
+	ReservedMAC int
+	ReservedL34 int
+	Limits      Limits
+}
+
+// Snapshot returns the full allocation state in one call.
+func (r *EdgeRouter) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ports := make([]PortAlloc, len(r.ports))
+	copy(ports, r.ports)
+	return Snapshot{
+		Ports:       ports,
+		TotalMAC:    r.totalMAC,
+		TotalL34:    r.totalL34,
+		HeadroomMAC: r.limits.MACFiltersTotal - r.reservedMAC - r.totalMAC,
+		HeadroomL34: r.limits.L34CriteriaTotal - r.reservedL34 - r.totalL34,
+		ReservedMAC: r.reservedMAC,
+		ReservedL34: r.reservedL34,
+		Limits:      r.limits,
+	}
 }
 
 // CPUModel is the control-plane CPU cost model of Figure 10(a): linear

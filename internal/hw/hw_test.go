@@ -2,6 +2,7 @@ package hw
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -270,5 +271,105 @@ func BenchmarkAllocateRelease(b *testing.B) {
 		if err := r.Release(port, 1, 2); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestSnapshotInvariant(t *testing.T) {
+	// Invariant: an arbitrary sequence of successful Allocate calls followed
+	// by their matching Releases restores the Snapshot exactly.
+	r := NewEdgeRouter(Limits{Ports: 4, L34CriteriaTotal: 100, MACFiltersTotal: 100, QoSPoliciesPerPort: 8})
+	before := r.Snapshot()
+
+	rng := stats.NewRand(42)
+	type alloc struct{ port, mac, l34 int }
+	var held []alloc
+	for i := 0; i < 200; i++ {
+		a := alloc{port: rng.Intn(4), mac: rng.Intn(3), l34: rng.Intn(4)}
+		if err := r.Allocate(a.port, a.mac, a.l34); err == nil {
+			held = append(held, a)
+		}
+		// Interleave some releases so the walk isn't monotone.
+		if len(held) > 0 && rng.Intn(3) == 0 {
+			j := rng.Intn(len(held))
+			h := held[j]
+			if err := r.Release(h.port, h.mac, h.l34); err != nil {
+				t.Fatalf("release %+v: %v", h, err)
+			}
+			held = append(held[:j], held[j+1:]...)
+		}
+	}
+	mid := r.Snapshot()
+	wantMAC, wantL34 := 0, 0
+	perPort := make([]PortAlloc, 4)
+	for _, h := range held {
+		perPort[h.port].MACFilters += h.mac
+		perPort[h.port].L34Criteria += h.l34
+		perPort[h.port].QoSPolicies++
+		wantMAC += h.mac
+		wantL34 += h.l34
+	}
+	if mid.TotalMAC != wantMAC || mid.TotalL34 != wantL34 {
+		t.Fatalf("mid totals %d/%d, want %d/%d", mid.TotalMAC, mid.TotalL34, wantMAC, wantL34)
+	}
+	for p := range perPort {
+		if mid.Ports[p] != perPort[p] {
+			t.Fatalf("mid port %d = %+v, want %+v", p, mid.Ports[p], perPort[p])
+		}
+	}
+	if mid.HeadroomMAC != 100-wantMAC || mid.HeadroomL34 != 100-wantL34 {
+		t.Fatalf("mid headroom %d/%d", mid.HeadroomMAC, mid.HeadroomL34)
+	}
+
+	for _, h := range held {
+		if err := r.Release(h.port, h.mac, h.l34); err != nil {
+			t.Fatalf("release %+v: %v", h, err)
+		}
+	}
+	after := r.Snapshot()
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("snapshot not restored:\nbefore %+v\nafter  %+v", before, after)
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	r := NewEdgeRouter(Limits{Ports: 2, L34CriteriaTotal: 10, MACFiltersTotal: 10, QoSPoliciesPerPort: 4})
+	s := r.Snapshot()
+	s.Ports[0].MACFilters = 99
+	if p, _ := r.Port(0); p.MACFilters != 0 {
+		t.Fatal("Snapshot shares port slice with router")
+	}
+}
+
+func TestSetReservedSqueeze(t *testing.T) {
+	r := NewEdgeRouter(Limits{Ports: 1, L34CriteriaTotal: 10, MACFiltersTotal: 10, QoSPoliciesPerPort: 8})
+	if err := r.Allocate(0, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Squeeze: only 1 L3-L4 criterion left effective.
+	r.SetReserved(0, 6)
+	if mac, l34 := r.Headroom(); mac != 8 || l34 != 1 {
+		t.Fatalf("headroom under squeeze: %d/%d", mac, l34)
+	}
+	if err := r.Allocate(0, 0, 2); err != ErrL34Exhausted {
+		t.Fatalf("want F1 under squeeze, got %v", err)
+	}
+	if err := r.Allocate(0, 0, 1); err != nil {
+		t.Fatalf("within squeezed budget: %v", err)
+	}
+	// Existing allocations survive the squeeze and release normally.
+	r.SetReserved(0, 10)
+	if mac, l34 := r.Headroom(); mac != 8 || l34 != -4 {
+		t.Fatalf("oversubscribed headroom: %d/%d", mac, l34)
+	}
+	if err := r.Release(0, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	r.SetReserved(-5, -5) // clamps to zero
+	if mac, l34 := r.Reserved(); mac != 0 || l34 != 0 {
+		t.Fatalf("reserved after clamp: %d/%d", mac, l34)
+	}
+	s := r.Snapshot()
+	if s.ReservedL34 != 0 || s.HeadroomL34 != 9 {
+		t.Fatalf("snapshot after release: %+v", s)
 	}
 }

@@ -52,6 +52,13 @@ type Config struct {
 	HWUnitN int
 	// PlatformCapacityBps optionally constrains the switching core.
 	PlatformCapacityBps float64
+	// TuneController adjusts the mitigation controller's configuration
+	// — retry/backoff policy, install deadlines, the degradation
+	// ladder, fault-injection hooks — after the standard wiring and
+	// before the controller is built. When the hook enables the
+	// degradation ladder without a headroom source, Build wires the
+	// edge router's.
+	TuneController func(*mitctl.Config)
 }
 
 // IXP is a fully wired exchange point.
@@ -128,7 +135,7 @@ func Build(cfg Config) (*IXP, error) {
 
 	if cfg.EnableStellar {
 		mgr := core.NewQoSManager(x.Fabric, x.Router, portIndex)
-		x.Mitigations = mitctl.New(mitctl.Config{
+		mcfg := mitctl.Config{
 			Manager:    mgr,
 			QueueRate:  cfg.QueueRate,
 			QueueBurst: cfg.QueueBurst,
@@ -151,14 +158,56 @@ func Build(cfg Config) (*IXP, error) {
 			},
 			MaxActivePerMember: cfg.MaxMitigationsPerMember,
 			DefaultTTL:         cfg.MitigationTTL,
-		})
+		}
+		if cfg.TuneController != nil {
+			cfg.TuneController(&mcfg)
+		}
+		if mcfg.Degrade.Enabled && mcfg.Degrade.Headroom == nil {
+			mcfg.Degrade.Headroom = x.Router.Headroom
+		}
+		x.Mitigations = mitctl.New(mcfg)
 		x.Community = mitctl.NewCommunityChannel(x.Mitigations)
 		x.RS.Subscribe(func(ev routeserver.ControllerEvent) {
 			x.Community.HandleEvent(ev, x.Clock())
 		})
 		x.RS.SetMitigationSource(x.mitigationRows)
+		x.RS.SetErrorSource(x.errorSummary)
 	}
 	return x, nil
+}
+
+// errorSummary feeds the route server's looking glass with the
+// controller's install-failure telemetry.
+func (x *IXP) errorSummary() routeserver.ErrorSummary {
+	if x.Mitigations == nil {
+		return routeserver.ErrorSummary{}
+	}
+	ec := x.Mitigations.ErrorClasses()
+	s := routeserver.ErrorSummary{
+		F1: ec.F1, F2: ec.F2, QoS: ec.QoS,
+		QueueDeadline: ec.QueueDeadline, Other: ec.Other,
+	}
+	if ae, ok := x.Mitigations.LastError(); ok {
+		s.LastError = fmt.Sprintf("%s: %v", ae.Change, ae.Err)
+	}
+	return s
+}
+
+// PeerDown models a member's BGP session loss: the route server flushes
+// everything the member announced and the withdrawals propagate to the
+// population (RTBH null routes lift). The member stays registered — a
+// later re-announcement (session recovery) restores its routes. This is
+// the control-plane leg of a session flap (faults.KindSessionFlap).
+func (x *IXP) PeerDown(memberName string) error {
+	if _, err := x.Member(memberName); err != nil {
+		return err
+	}
+	exports, err := x.RS.HandleWithdrawAll(memberName)
+	if err != nil {
+		return err
+	}
+	x.applyExports(exports)
+	return nil
 }
 
 // mitigationRows feeds the route server's looking glass with the

@@ -10,6 +10,7 @@ import (
 	"stellar/internal/core"
 	"stellar/internal/fabric"
 	"stellar/internal/netpkt"
+	"stellar/internal/stats"
 )
 
 // State is a mitigation's lifecycle position.
@@ -68,6 +69,10 @@ type Mitigation struct {
 	RuleIDs []string
 	// LastError records the most recent validation or install failure.
 	LastError string
+	// Degraded reports that the mitigation is currently running on its
+	// coarse RTBH-equivalent fallback rule (see DegradePolicy) instead
+	// of (some of) its fine-grained spec.
+	Degraded bool
 	// Version is the store version of the mitigation's last transition.
 	Version uint64
 }
@@ -96,6 +101,13 @@ const (
 	EventExpired
 	EventWithdrawn
 	EventRejected
+	// EventDegraded: a fine-grained install failed terminally on a
+	// hardware resource class and the coarse RTBH-equivalent fallback
+	// rule is installed in its place.
+	EventDegraded
+	// EventUpgraded: headroom returned, the fine-grained rules are
+	// reinstalled and the coarse fallback's removal is queued.
+	EventUpgraded
 )
 
 func (t EventType) String() string {
@@ -114,6 +126,10 @@ func (t EventType) String() string {
 		return "withdrawn"
 	case EventRejected:
 		return "rejected"
+	case EventDegraded:
+		return "degraded"
+	case EventUpgraded:
+		return "upgraded"
 	default:
 		return fmt.Sprintf("EventType(%d)", uint8(t))
 	}
@@ -193,6 +209,26 @@ type Config struct {
 	MaxActivePerMember int
 	// DefaultTTL is applied to specs with TTL 0 (0: never expire).
 	DefaultTTL float64
+
+	// Retry re-queues failed changes with exponential backoff + jitter.
+	// Zero value: one attempt, the historical behavior.
+	Retry RetryPolicy
+	// InstallDeadline bounds the time (seconds) from a change's first
+	// enqueue until an attempt must succeed; past it the change is
+	// abandoned (counted as QueueDeadline) even if retries remain.
+	// 0 means no deadline.
+	InstallDeadline float64
+	// Degrade enables the fine→coarse→fine degradation ladder.
+	Degrade DegradePolicy
+	// InstallHook, when non-nil, runs before every manager Apply with
+	// the change, its attempt number (1-based) and the clock; a non-nil
+	// return is treated as the apply failing with that error, and the
+	// manager is not called. This is the fault-injection seam
+	// (internal/faults) — production deployments leave it nil.
+	InstallHook func(change core.ConfigChange, attempt int, now float64) error
+	// Seed seeds the controller's deterministic RNG (retry jitter).
+	// 0 uses a fixed default so runs are reproducible by construction.
+	Seed uint64
 }
 
 // rule install status, tracked per fabric rule tag across generations.
@@ -204,6 +240,20 @@ const (
 	ruleFailed
 )
 
+// ruleEntry pairs a rule's status with the generation (mitigation
+// record) the status belongs to. Rule IDs are stable across
+// re-requests of the same spec, so after a withdraw-and-re-request the
+// queue can hold ops from two generations for the same ID; the owner
+// keeps them apart — a remove queued by one generation must not tear
+// down (or mark failed) the rule a newer generation has since
+// installed under the same ID. ruleInstalled mirrors the physical
+// port: it is set only after a successful manager apply and cleared
+// only by a successful removal.
+type ruleEntry struct {
+	status ruleStatus
+	owner  *mit
+}
+
 // mit is the controller's internal record: the public view plus install
 // bookkeeping.
 type mit struct {
@@ -213,6 +263,15 @@ type mit struct {
 	okInstalls      int
 	// accrued holds the final counters of rules already removed.
 	accrued Usage
+
+	// Degradation-ladder bookkeeping: the fine-grained install changes
+	// (kept for upgrade re-enqueue), their total TCAM cost, and the
+	// upgrade attempt state.
+	fineOps          []core.ConfigChange
+	fineMAC, fineL34 int
+	upgrading        bool
+	upgradePending   int
+	nextUpgradeAt    float64
 }
 
 // queuedOp is one paced configuration change bound to its mitigation
@@ -222,6 +281,15 @@ type queuedOp struct {
 	change     core.ConfigChange
 	m          *mit
 	enqueuedAt float64
+	// firstAt is the first enqueue time, surviving retries — the
+	// InstallDeadline clock. attempts counts apply attempts so far;
+	// notBefore delays a retried op until its backoff elapses.
+	firstAt   float64
+	attempts  int
+	notBefore float64
+	// coarse / upgrade tag the op's role in the degradation ladder.
+	coarse  bool
+	upgrade bool
 }
 
 // Controller owns the mitigation lifecycle: it validates requests,
@@ -241,7 +309,7 @@ type Controller struct {
 
 	mu      sync.Mutex
 	mits    map[string]*mit
-	rules   map[string]ruleStatus
+	rules   map[string]ruleEntry
 	queue   []queuedOp
 	tokens  float64
 	lastRef float64
@@ -253,6 +321,11 @@ type Controller struct {
 	applied   int
 	applyErrs []core.ApplyError
 	errTotal  int
+
+	errClasses ErrorClassCounts
+	lastErr    core.ApplyError
+	stalled    bool
+	rng        *stats.Rand
 }
 
 // Retention bounds for long-running deployments: telemetry slices keep
@@ -273,6 +346,8 @@ func (c *Controller) noteLatencyLocked(l float64) {
 
 func (c *Controller) noteApplyErrLocked(e core.ApplyError) {
 	c.errTotal++
+	c.lastErr = e
+	c.errClasses.classify(e.Err)
 	c.applyErrs = append(c.applyErrs, e)
 	if len(c.applyErrs) > maxRetainedErrors {
 		c.applyErrs = append(c.applyErrs[:0:0], c.applyErrs[len(c.applyErrs)-maxRetainedErrors/2:]...)
@@ -290,11 +365,27 @@ func New(cfg Config) *Controller {
 	if cfg.Portal == nil {
 		cfg.Portal = core.NewPortal()
 	}
+	if cfg.Retry.MaxAttempts > 1 {
+		if cfg.Retry.BaseDelay <= 0 {
+			cfg.Retry.BaseDelay = 1
+		}
+		if cfg.Retry.MaxDelay <= 0 {
+			cfg.Retry.MaxDelay = 30
+		}
+	}
+	if cfg.Degrade.Enabled && cfg.Degrade.UpgradeCooldown <= 0 {
+		cfg.Degrade.UpgradeCooldown = 5
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
 	return &Controller{
 		cfg:    cfg,
 		mits:   make(map[string]*mit),
-		rules:  make(map[string]ruleStatus),
+		rules:  make(map[string]ruleEntry),
 		tokens: float64(cfg.QueueBurst),
+		rng:    stats.NewRand(seed),
 	}
 }
 
@@ -434,16 +525,21 @@ func (c *Controller) Request(spec Spec, now float64) (Mitigation, error) {
 			mac := macs[i]
 			match.SrcMAC = &mac
 		}
-		if c.rules[rid] != ruleInstalled {
+		if c.rules[rid].status != ruleInstalled {
 			// ruleInstalled means a prior generation's rule is still
 			// physically installed with its removal queued ahead of this
-			// install; leave the status so that removal still applies.
-			c.rules[rid] = ruleQueued
+			// install; leave the entry so that removal still applies.
+			c.rules[rid] = ruleEntry{status: ruleQueued, owner: m}
 		}
-		c.enqueueLocked(queuedOp{change: core.ConfigChange{
+		change := core.ConfigChange{
 			Op: core.OpInstall, Member: spec.Requester, RuleID: rid,
 			Match: match, Action: spec.Action, ShapeRateBps: spec.ShapeRateBps,
-		}, m: m, enqueuedAt: now})
+		}
+		m.fineOps = append(m.fineOps, change)
+		cm, cl := match.CriteriaCount()
+		m.fineMAC += cm
+		m.fineL34 += cl
+		c.enqueueLocked(queuedOp{change: change, m: m, enqueuedAt: now, firstAt: now})
 	}
 	c.version++
 	m.Version = c.version
@@ -494,7 +590,7 @@ func (c *Controller) finalizeLocked(m *mit, s State, now float64) {
 	for _, rid := range m.RuleIDs {
 		c.enqueueLocked(queuedOp{change: core.ConfigChange{
 			Op: core.OpRemove, Member: m.Requester, RuleID: rid,
-		}, m: m, enqueuedAt: now})
+		}, m: m, enqueuedAt: now, firstAt: now})
 	}
 }
 
@@ -541,9 +637,16 @@ func (c *Controller) Process(now float64) int {
 		c.finalizeLocked(m, StateExpired, now)
 		pending = append(pending, Event{Type: EventExpired, Time: now, Mitigation: m.Mitigation})
 	}
+	// Degradation-ladder upgrades: degraded mitigations whose fine spec
+	// now fits the returned headroom re-enqueue their failed fine rules
+	// (ID order; the cost of upgrades started this tick is deducted from
+	// the local headroom view so concurrent upgrades never oversubscribe).
+	c.scanUpgradesLocked(now)
 	// Token-bucket release, FIFO (same discipline as Figure 10a's
 	// change-rate cap: refill rate*dt, clamp to burst, one token per
-	// change).
+	// change). A retried op whose backoff has not elapsed keeps its
+	// queue position but lets later ops pass; a stalled queue releases
+	// nothing at all.
 	if now > c.lastRef {
 		c.tokens += (now - c.lastRef) * c.cfg.QueueRate
 		if c.tokens > float64(c.cfg.QueueBurst) {
@@ -552,10 +655,17 @@ func (c *Controller) Process(now float64) int {
 		c.lastRef = now
 	}
 	var released []queuedOp
-	for len(c.queue) > 0 && c.tokens >= 1 {
-		released = append(released, c.queue[0])
-		c.queue = c.queue[1:]
-		c.tokens--
+	if !c.stalled {
+		rest := c.queue[:0]
+		for _, op := range c.queue {
+			if c.tokens >= 1 && op.notBefore <= now {
+				released = append(released, op)
+				c.tokens--
+			} else {
+				rest = append(rest, op)
+			}
+		}
+		c.queue = rest
 	}
 	subs := c.subsLocked()
 	c.mu.Unlock()
@@ -571,18 +681,55 @@ func (c *Controller) Process(now float64) int {
 	return applied
 }
 
+// ErrInstallDeadline is the terminal error recorded when a change's
+// InstallDeadline elapses before any attempt succeeds.
+var ErrInstallDeadline = errors.New("mitctl: install deadline exceeded")
+
+// applyChange runs one attempt: the fault-injection hook first (a
+// non-nil return IS the attempt's failure), then the manager.
+func (c *Controller) applyChange(op queuedOp, now float64) error {
+	if h := c.cfg.InstallHook; h != nil {
+		if err := h(op.change, op.attempts, now); err != nil {
+			return err
+		}
+	}
+	return c.cfg.Manager.Apply(op.change)
+}
+
+// retryLocked decides whether a failed op gets another attempt. When it
+// does, the op re-enters the queue with its backoff stamped into
+// notBefore and retryLocked returns true; terminal failures (retry
+// disabled, attempts exhausted, deadline would pass) return false.
+func (c *Controller) retryLocked(op queuedOp, now float64) bool {
+	p := c.cfg.Retry
+	if p.MaxAttempts <= 1 || op.attempts >= p.MaxAttempts {
+		return false
+	}
+	delay := p.delay(op.attempts, c.rng.Float64())
+	if dl := c.cfg.InstallDeadline; dl > 0 && now+delay > op.firstAt+dl {
+		c.errClasses.QueueDeadline++
+		return false
+	}
+	op.notBefore = now + delay
+	c.enqueueLocked(op)
+	return true
+}
+
 // applyOne performs one released change and folds the outcome into the
 // store. It returns lifecycle events to deliver and whether the change
 // counted as applied.
 func (c *Controller) applyOne(op queuedOp, now float64) ([]Event, bool) {
+	op.attempts++
 	if op.change.Op == core.OpRemove {
 		c.mu.Lock()
-		if c.rules[op.change.RuleID] != ruleInstalled {
-			// The install this remove pairs with failed (or a newer
-			// generation raced ahead): nothing to undo. A leftover
-			// ruleFailed entry is done with — drop it; a ruleQueued entry
-			// belongs to a newer generation's pending install and stays.
-			if c.rules[op.change.RuleID] == ruleFailed {
+		if e := c.rules[op.change.RuleID]; e.status != ruleInstalled || e.owner != op.m {
+			// Nothing of this generation's to undo: the paired install
+			// failed, is still queued behind its backoff, or a newer
+			// generation has since installed under the same ID (its own
+			// removal is queued and must not be preempted). Drop a
+			// leftover ruleFailed entry of this generation; anything
+			// another generation owns stays untouched.
+			if e.status == ruleFailed && e.owner == op.m {
 				delete(c.rules, op.change.RuleID)
 			}
 			c.mu.Unlock()
@@ -599,11 +746,13 @@ func (c *Controller) applyOne(op queuedOp, now float64) ([]Event, bool) {
 				haveFinal = true
 			}
 		}
-		err := c.cfg.Manager.Apply(op.change)
+		err := c.applyChange(op, now)
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		if err != nil {
 			c.noteApplyErrLocked(core.ApplyError{Change: op.change, Err: err})
+			// A leaked rule outlives its mitigation; removes retry too.
+			c.retryLocked(op, now)
 			return nil, false
 		}
 		// The rule is off the port; its status entry has no further
@@ -617,36 +766,193 @@ func (c *Controller) applyOne(op queuedOp, now float64) ([]Event, bool) {
 		return nil, true
 	}
 
-	err := c.cfg.Manager.Apply(op.change)
+	var err error
+	if dl := c.cfg.InstallDeadline; dl > 0 && now > op.firstAt+dl {
+		// The change sat in the queue (stall, backlog, retries) past its
+		// deadline: abandon without touching the hardware.
+		err = ErrInstallDeadline
+	} else {
+		err = c.applyChange(op, now)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	m := op.m
-	m.pendingInstalls--
 	if err != nil {
 		c.noteApplyErrLocked(core.ApplyError{Change: op.change, Err: err})
-		c.rules[op.change.RuleID] = ruleFailed
-		m.LastError = err.Error()
-		if m.State == StatePending && m.pendingInstalls == 0 && m.okInstalls == 0 {
-			// Every rule was refused (hardware admission control).
-			m.State = StateRejected
-			c.version++
-			m.Version = c.version
-			return []Event{{Type: EventRejected, Time: now, Mitigation: m.Mitigation}}, false
+		if err == ErrInstallDeadline {
+			c.errClasses.QueueDeadline++
+		} else if c.retryLocked(op, now) {
+			// Another attempt is queued; the install is not settled yet.
+			return nil, false
 		}
-		return nil, false
+		return c.installFailedLocked(op, err, now), false
 	}
-	c.rules[op.change.RuleID] = ruleInstalled
+	c.rules[op.change.RuleID] = ruleEntry{status: ruleInstalled, owner: m}
 	m.okInstalls++
+	m.pendingInstalls--
 	c.noteLatencyLocked(now - op.enqueuedAt)
 	c.applied++
+	if m.State.Final() {
+		// The mitigation finalized while this install was backing off;
+		// its removal pass already ran (and skipped this then-queued
+		// rule), so pair the late install with a fresh removal.
+		c.enqueueLocked(queuedOp{change: core.ConfigChange{
+			Op: core.OpRemove, Member: m.Requester, RuleID: op.change.RuleID,
+		}, m: m, enqueuedAt: now, firstAt: now})
+		return nil, true
+	}
+	var evs []Event
 	if m.State == StatePending {
 		m.State = StateActive
 		m.InstalledAt = now
 		c.version++
 		m.Version = c.version
-		return []Event{{Type: EventInstalled, Time: now, Mitigation: m.Mitigation}}, true
+		evs = append(evs, Event{Type: EventInstalled, Time: now, Mitigation: m.Mitigation})
 	}
-	return nil, true
+	if op.coarse && !m.Degraded {
+		m.Degraded = true
+		c.version++
+		m.Version = c.version
+		evs = append(evs, Event{Type: EventDegraded, Time: now, Mitigation: m.Mitigation})
+	}
+	if op.upgrade {
+		m.upgradePending--
+		if m.upgradePending == 0 {
+			m.upgrading = false
+			m.Degraded = false
+			coarseID := m.ID + CoarseRuleSuffix
+			for i, rid := range m.RuleIDs {
+				if rid == coarseID {
+					m.RuleIDs = append(m.RuleIDs[:i:i], m.RuleIDs[i+1:]...)
+					break
+				}
+			}
+			c.enqueueLocked(queuedOp{change: core.ConfigChange{
+				Op: core.OpRemove, Member: m.Requester, RuleID: coarseID,
+			}, m: m, enqueuedAt: now, firstAt: now})
+			c.version++
+			m.Version = c.version
+			evs = append(evs, Event{Type: EventUpgraded, Time: now, Mitigation: m.Mitigation})
+		}
+	}
+	return evs, true
+}
+
+// installFailedLocked settles a terminally failed install: marks the
+// rule, records the error on the mitigation, and walks the degradation
+// ladder — a resource-class failure of a fine-grained rule queues the
+// coarse RTBH-equivalent fallback instead of rejecting outright.
+func (c *Controller) installFailedLocked(op queuedOp, err error, now float64) []Event {
+	m := op.m
+	m.pendingInstalls--
+	// Only this generation's own bookkeeping may be marked failed, and a
+	// failed install never clobbers ruleInstalled: that status mirrors
+	// the physical port (an earlier generation's rule is still installed
+	// — core.ErrRuleExists is how this attempt finds out), and the
+	// removal paired with it checks for ruleInstalled before touching
+	// the hardware. Overwriting would make that removal skip and orphan
+	// the physical rule.
+	if e, ok := c.rules[op.change.RuleID]; !ok || (e.owner == m && e.status != ruleInstalled) {
+		c.rules[op.change.RuleID] = ruleEntry{status: ruleFailed, owner: m}
+	}
+	m.LastError = err.Error()
+	if op.upgrade {
+		// The upgrade attempt failed: stay coarse, cool down before the
+		// next headroom probe.
+		m.upgradePending--
+		if m.upgradePending == 0 {
+			m.upgrading = false
+		}
+		m.nextUpgradeAt = now + c.cfg.Degrade.UpgradeCooldown
+		return nil
+	}
+	if !op.coarse && c.degradeLocked(m, err, now) {
+		return nil
+	}
+	if m.State == StatePending && m.pendingInstalls == 0 && m.okInstalls == 0 {
+		// Every rule was refused (hardware admission control).
+		m.State = StateRejected
+		c.version++
+		m.Version = c.version
+		return []Event{{Type: EventRejected, Time: now, Mitigation: m.Mitigation}}
+	}
+	return nil
+}
+
+// degradeLocked queues the coarse fallback for a fine rule that failed
+// on a hardware resource class. It reports whether a fallback is (now)
+// in flight, which holds off rejection until the coarse attempt settles.
+func (c *Controller) degradeLocked(m *mit, err error, now float64) bool {
+	if !c.cfg.Degrade.Enabled || !resourceErr(err) || m.State.Final() {
+		return false
+	}
+	coarseID := m.ID + CoarseRuleSuffix
+	if st := c.rules[coarseID].status; st == ruleQueued || st == ruleInstalled {
+		return true // fallback already queued or live (per-peer sibling got here first)
+	}
+	if len(m.fineOps) == 1 && m.fineMAC == 0 && m.fineL34 <= 1 &&
+		m.Action == fabric.ActionDrop {
+		// The spec already IS the coarse form; there is no lower rung.
+		return false
+	}
+	m.pendingInstalls++
+	m.RuleIDs = append(m.RuleIDs, coarseID)
+	c.rules[coarseID] = ruleEntry{status: ruleQueued, owner: m}
+	c.enqueueLocked(queuedOp{
+		change: coarseChange(m.Spec), m: m,
+		enqueuedAt: now, firstAt: now, coarse: true,
+	})
+	return true
+}
+
+// scanUpgradesLocked re-enqueues the failed fine rules of degraded
+// mitigations whose cost now fits under the reported headroom (plus
+// margin), in ID order; each started upgrade's cost is deducted from
+// the local headroom view so one tick never oversubscribes.
+func (c *Controller) scanUpgradesLocked(now float64) {
+	deg := c.cfg.Degrade
+	if !deg.Enabled || deg.Headroom == nil {
+		return
+	}
+	var cands []*mit
+	for _, m := range c.mits {
+		if !m.State.Final() && m.Degraded && !m.upgrading && now >= m.nextUpgradeAt {
+			cands = append(cands, m)
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].ID < cands[j].ID })
+	mac, l34 := deg.Headroom()
+	for _, m := range cands {
+		var ops []core.ConfigChange
+		needMAC, needL34 := 0, 0
+		for _, ch := range m.fineOps {
+			if c.rules[ch.RuleID].status == ruleInstalled {
+				continue
+			}
+			ops = append(ops, ch)
+			cm, cl := ch.Match.CriteriaCount()
+			needMAC += cm
+			needL34 += cl
+		}
+		if len(ops) == 0 {
+			continue
+		}
+		if mac < needMAC+deg.MarginMAC || l34 < needL34+deg.MarginL34 {
+			continue
+		}
+		mac -= needMAC
+		l34 -= needL34
+		m.upgrading = true
+		m.upgradePending = len(ops)
+		m.pendingInstalls += len(ops)
+		for _, ch := range ops {
+			c.rules[ch.RuleID] = ruleEntry{status: ruleQueued, owner: m}
+			c.enqueueLocked(queuedOp{change: ch, m: m, enqueuedAt: now, firstAt: now, upgrade: true})
+		}
+	}
 }
 
 // Get returns a copy of the mitigation with the given ID.
@@ -716,7 +1022,7 @@ func (c *Controller) Usage(id string) (Usage, error) {
 	u := m.accrued
 	var live []string
 	for _, rid := range m.RuleIDs {
-		if c.rules[rid] == ruleInstalled {
+		if c.rules[rid].status == ruleInstalled {
 			live = append(live, rid)
 		}
 	}

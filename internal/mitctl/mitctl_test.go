@@ -16,11 +16,12 @@ import (
 // harness is a minimal data plane: n member ports behind a QoS manager
 // with a generous hardware budget, each member owning 100.<i>.0.0/24.
 type harness struct {
-	fab  *fabric.Fabric
-	mgr  *core.QoSManager
-	reg  *irr.Registry
-	macs map[string]netpkt.MAC
-	asns map[string]uint32
+	fab    *fabric.Fabric
+	mgr    *core.QoSManager
+	router *hw.EdgeRouter
+	reg    *irr.Registry
+	macs   map[string]netpkt.MAC
+	asns   map[string]uint32
 }
 
 func memberName(i int) string { return fmt.Sprintf("AS%d", 64512+i) }
@@ -49,7 +50,8 @@ func newHarness(t *testing.T, n int, limits *hw.Limits) *harness {
 	if limits != nil {
 		lim = *limits
 	}
-	h.mgr = core.NewQoSManager(h.fab, hw.NewEdgeRouter(lim), portIndex)
+	h.router = hw.NewEdgeRouter(lim)
+	h.mgr = core.NewQoSManager(h.fab, h.router, portIndex)
 	return h
 }
 

@@ -1,0 +1,80 @@
+package routeserver
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGlassErrors is the table-driven coverage of the looking-glass
+// install-error summary: the no-source fast path, per-class counter
+// rendering, and the last-error line appearing only when present.
+func TestGlassErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		source  ErrorSource
+		want    []string
+		notWant []string
+	}{
+		{
+			name:    "unset source fast path",
+			source:  nil,
+			want:    []string{"errors: no controller attached"},
+			notWant: []string{"install errors"},
+		},
+		{
+			name:    "zero counters, no last error",
+			source:  func() ErrorSummary { return ErrorSummary{} },
+			want:    []string{"install errors: f1 0 f2 0 qos 0 queue-deadline 0 other 0"},
+			notWant: []string{"last:"},
+		},
+		{
+			name: "every class rendered",
+			source: func() ErrorSummary {
+				return ErrorSummary{F1: 3, F2: 1, QoS: 2, QueueDeadline: 4, Other: 5}
+			},
+			want:    []string{"install errors: f1 3 f2 1 qos 2 queue-deadline 4 other 5"},
+			notWant: []string{"last:"},
+		},
+		{
+			name: "last error line when present",
+			source: func() ErrorSummary {
+				return ErrorSummary{F1: 1, LastError: "install mit:A:1: hw: L3/4 criteria exhausted"}
+			},
+			want: []string{
+				"install errors: f1 1 f2 0",
+				"last: install mit:A:1: hw: L3/4 criteria exhausted",
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rs := newRS(t, peerCfg(0))
+			if tc.source != nil {
+				rs.SetErrorSource(tc.source)
+			}
+			got := rs.GlassErrors()
+			for _, w := range tc.want {
+				if !strings.Contains(got, w) {
+					t.Fatalf("missing %q in:\n%s", w, got)
+				}
+			}
+			for _, nw := range tc.notWant {
+				if strings.Contains(got, nw) {
+					t.Fatalf("unexpected %q in:\n%s", nw, got)
+				}
+			}
+		})
+	}
+
+	// The source is re-read on every query — counters move between calls.
+	rs := newRS(t, peerCfg(0))
+	n := 0
+	rs.SetErrorSource(func() ErrorSummary { n++; return ErrorSummary{F1: n} })
+	if got := rs.GlassErrors(); !strings.Contains(got, "f1 1 ") {
+		t.Fatalf("first query:\n%s", got)
+	}
+	if got := rs.GlassErrors(); !strings.Contains(got, "f1 2 ") {
+		t.Fatalf("second query not re-read:\n%s", got)
+	}
+}

@@ -116,6 +116,49 @@ func (rs *RouteServer) GlassMitigationsFor(owner string) string {
 	return b.String()
 }
 
+// ErrorSummary is the mitigation controller's failure telemetry as the
+// looking glass shows it: per-class install failure counters (the
+// paper's F1/F2 hardware exhaustion classes, QoS policy exhaustion,
+// change-queue deadline expiries) and the most recent apply error.
+type ErrorSummary struct {
+	F1            int
+	F2            int
+	QoS           int
+	QueueDeadline int
+	Other         int
+	// LastError describes the most recent failed change ("" if none).
+	LastError string
+}
+
+// ErrorSource supplies the current error summary.
+type ErrorSource func() ErrorSummary
+
+// SetErrorSource installs the controller error telemetry the looking
+// glass renders alongside the mitigation listing. Safe to call
+// concurrently with queries.
+func (rs *RouteServer) SetErrorSource(src ErrorSource) {
+	rs.errSrc.Store(&src)
+}
+
+// GlassErrors renders the controller's install-failure summary — the
+// first stop when a member asks why its blackholing request is not
+// taking effect.
+func (rs *RouteServer) GlassErrors() string {
+	var b strings.Builder
+	srcp := rs.errSrc.Load()
+	if srcp == nil {
+		b.WriteString("errors: no controller attached\n")
+		return b.String()
+	}
+	s := (*srcp)()
+	fmt.Fprintf(&b, "install errors: f1 %d f2 %d qos %d queue-deadline %d other %d\n",
+		s.F1, s.F2, s.QoS, s.QueueDeadline, s.Other)
+	if s.LastError != "" {
+		fmt.Fprintf(&b, "  last: %s\n", s.LastError)
+	}
+	return b.String()
+}
+
 // GlassDump renders the looking-glass view of a prefix (or, for an
 // invalid prefix, the whole table summary).
 func (rs *RouteServer) GlassDump(prefix netip.Prefix) string {

@@ -127,6 +127,8 @@ type RouteServer struct {
 	// mitSrc feeds the looking glass's mitigation listing (set by the
 	// deployment wiring, e.g. ixp.Build).
 	mitSrc atomic.Pointer[MitigationSource]
+	// errSrc feeds the looking glass's controller error summary.
+	errSrc atomic.Pointer[ErrorSource]
 
 	rejMu    sync.Mutex
 	rejected []Rejection
@@ -494,6 +496,35 @@ func (eb *exportBuilder) finish() []PeerUpdates {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
 	return out
+}
+
+// ExportsTo renders the full-table announcement owed to one peer: for
+// every prefix whose best path exports to that peer under the IXP policy
+// communities, one UPDATE identical to what the incremental pipeline
+// would have sent. It is the resynchronization primitive a reconnecting
+// session replays after PeerUp (bgppipe's RSFeed.Resync): the peer's RIB
+// converges to the route server's view without replaying history.
+// Prefixes are emitted in sorted order, so the resync stream is
+// deterministic for a given table state.
+func (rs *RouteServer) ExportsTo(peer string) ([]*bgp.Update, error) {
+	reg := rs.reg.Load()
+	if _, ok := reg.peers[peer]; !ok {
+		return nil, ErrUnknownPeer
+	}
+	var out []*bgp.Update
+	for _, prefix := range rs.table.Prefixes() {
+		best := rs.table.Best(prefix)
+		if best == nil {
+			continue
+		}
+		for _, name := range rs.exportTargets(reg, best) {
+			if name == peer {
+				out = append(out, rs.buildExportUpdate(prefix, best))
+				break
+			}
+		}
+	}
+	return out, nil
 }
 
 // buildExportUpdate renders the UPDATE announcing best for prefix.
