@@ -73,19 +73,20 @@ type benchResult struct {
 }
 
 type benchReport struct {
-	Benchmark  string         `json:"benchmark"`
-	GOOS       string         `json:"goos"`
-	GOARCH     string         `json:"goarch"`
-	CPUs       int            `json:"cpus"`
-	GOMAXPROCS int            `json:"gomaxprocs"`
-	Config     benchConfig    `json:"config"`
-	Results    []benchResult  `json:"results"`
-	SpeedupX   float64        `json:"sharded_speedup_x"`
-	Fabric     *fabricBench   `json:"fabric,omitempty"`
-	Scenario   *scenarioBench `json:"scenario,omitempty"`
-	Mitctl     *mitctlBench   `json:"mitctl,omitempty"`
-	Engine     *engineBench   `json:"engine,omitempty"`
-	BGP        *bgpBench      `json:"bgp,omitempty"`
+	Benchmark  string           `json:"benchmark"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	CPUs       int              `json:"cpus"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Config     benchConfig      `json:"config"`
+	Results    []benchResult    `json:"results"`
+	SpeedupX   float64          `json:"sharded_speedup_x"`
+	Fabric     *fabricBench     `json:"fabric,omitempty"`
+	Scenario   *scenarioBench   `json:"scenario,omitempty"`
+	Mitctl     *mitctlBench     `json:"mitctl,omitempty"`
+	Engine     *engineBench     `json:"engine,omitempty"`
+	BGP        *bgpBench        `json:"bgp,omitempty"`
+	Federation *federationBench `json:"federation,omitempty"`
 }
 
 // engineBench is the stage-graph-runtime section of the report: the
@@ -171,6 +172,11 @@ func runBenchCommand(args []string, w io.Writer) error {
 	mitctlRequests := fs.Int("mitctl-requests", 4096, "mitigation requests in the mitctl lifecycle bench (0 = skip)")
 	mitctlMembers := fs.Int("mitctl-members", 64, "member ports in the mitctl lifecycle bench")
 	bgpMessages := fs.Int("bgp-messages", 50000, "BGP messages in the wire-format codec/replay bench (0 = skip)")
+	fedExchanges := fs.Int("federation-exchanges", 10, "exchanges in the multi-IXP federation bench (0 = skip)")
+	fedVictims := fs.Int("federation-victims", 4, "shared victims in the federation bench")
+	fedLocalPeers := fs.Int("federation-local-peers", 196, "local peers per exchange in the federation bench")
+	fedTicks := fs.Int("federation-ticks", 100, "simulated ticks per federation bench run")
+	fedDelay := fs.Int("federation-delay", 2, "gossip propagation delay in ticks for the federation bench")
 	diff := fs.Bool("diff", false, "compare two archived reports instead of running: bench -diff old.json new.json")
 	check := fs.Bool("check", false, "exit non-zero when any section falls below its stated regression bar")
 	sections := fs.String("sections", "", "also write one <prefix><section>.json file per measured section (e.g. -sections BENCH_)")
@@ -264,6 +270,13 @@ func runBenchCommand(args []string, w io.Writer) error {
 			return err
 		}
 		report.BGP = gb
+	}
+	if *fedExchanges > 0 {
+		fb, err := benchFederation(*fedExchanges, *fedVictims, *fedLocalPeers, *fedTicks, *fedDelay)
+		if err != nil {
+			return err
+		}
+		report.Federation = fb
 	}
 
 	if *memprofile != "" {
@@ -365,6 +378,11 @@ func writeSections(prefix string, r *benchReport) error {
 			return err
 		}
 	}
+	if r.Federation != nil {
+		if err := write("federation", benchReport{Federation: r.Federation}); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -392,6 +410,14 @@ const (
 	// trips them on shared CI runners.
 	barBGPRoundtripMsgsPerSec = 150_000
 	barBGPReplayUpdatesPerSec = 2_000
+	// barFederationFlowsPerSec: the 10-exchange federation bench
+	// generates and classifies ~1M member flows per run; the aggregate
+	// rate across all exchange pipelines on the shared pool typically
+	// sits in the millions/s, so the bar only trips on a structural
+	// slowdown (barrier convoying, pool starvation). The propagation
+	// check next to it is exact: every gossiped signal must install at
+	// every exchange within the configured delay.
+	barFederationFlowsPerSec = 200_000
 )
 
 // checkBars fails the run when a measured section sits below its bar.
@@ -425,6 +451,22 @@ func checkBars(r *benchReport) error {
 	if r.BGP != nil && r.BGP.ReplayUpdatesPerSec < barBGPReplayUpdatesPerSec {
 		failures = append(failures, fmt.Sprintf(
 			"bgp: replay_updates_per_sec %.0f < %d", r.BGP.ReplayUpdatesPerSec, barBGPReplayUpdatesPerSec))
+	}
+	if r.Federation != nil {
+		if r.Federation.FlowsPerSec < barFederationFlowsPerSec {
+			failures = append(failures, fmt.Sprintf(
+				"federation: flows_per_sec %.0f < %d", r.Federation.FlowsPerSec, barFederationFlowsPerSec))
+		}
+		if r.Federation.SignalsComplete < r.Federation.Signals {
+			failures = append(failures, fmt.Sprintf(
+				"federation: %d of %d signals incomplete",
+				r.Federation.Signals-r.Federation.SignalsComplete, r.Federation.Signals))
+		}
+		if r.Federation.Signals > 0 && r.Federation.MaxPropagationTicks > r.Federation.GossipDelayTicks {
+			failures = append(failures, fmt.Sprintf(
+				"federation: max_propagation_ticks %d > configured delay %d",
+				r.Federation.MaxPropagationTicks, r.Federation.GossipDelayTicks))
+		}
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("bench: regression bars violated: %v", failures)

@@ -8,7 +8,9 @@
 //
 // Experiments: table1, fig2c, fig3a, fig3b, fig3c, fig9, fig10a,
 // fig10b, fig10c, sec52, all. The conformance subcommand runs the
-// declarative scenario matrix instead of a single experiment.
+// declarative scenario matrix instead of a single experiment; the
+// federation subcommand runs a synthetic multi-IXP deployment with
+// cross-IXP mitigation gossip.
 package main
 
 import (
@@ -32,7 +34,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: stellar-lab <table1|fig2c|fig3a|fig3b|fig3c|fig9|fig10a|fig10b|fig10c|sec52|compare|combined-tss|bench|conformance|all> [flags]")
+		return fmt.Errorf("usage: stellar-lab <table1|fig2c|fig3a|fig3b|fig3c|fig9|fig10a|fig10b|fig10c|sec52|compare|combined-tss|bench|conformance|federation|all> [flags]")
 	}
 	name := args[0]
 	if name == "bench" {
@@ -42,6 +44,10 @@ func run(args []string) error {
 	if name == "conformance" {
 		// Declarative scenario matrix with JSON report (its own flags).
 		return runConformanceCommand(args[1:], os.Stdout)
+	}
+	if name == "federation" {
+		// Synthetic multi-IXP run with gossip signaling (its own flags).
+		return runFederationCommand(args[1:], os.Stdout)
 	}
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	seed := fs.Uint64("seed", 0, "override the experiment's default seed (0 keeps it)")

@@ -1,0 +1,48 @@
+package conformance
+
+import "testing"
+
+// TestFlashCrowdIsNotAnAttack pins the discrimination property of the
+// flash-crowd profile pair: the benign surge run must NOT satisfy the
+// attack twin's mitigation expectations. If it ever does, the pair has
+// degenerated into measuring "a lot of traffic arrived" instead of "the
+// mitigation bit on attack traffic specifically".
+func TestFlashCrowdIsNotAnAttack(t *testing.T) {
+	benign, err := Load("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack, err := Load("flash-crowd-attack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(benign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Pass {
+		t.Fatalf("benign flash-crowd run failed its own profile:\n%+v", res.Report.Checks)
+	}
+
+	// The twin profiles must stay comparable: same clock, same
+	// mitigation event, so the attack expectations are meaningful over
+	// the benign series.
+	if attack.Run.Ticks != benign.Run.Ticks {
+		t.Fatalf("profile pair diverged: %d vs %d ticks", benign.Run.Ticks, attack.Run.Ticks)
+	}
+	if len(attack.Events) != len(benign.Events) || attack.Events[0].Tick != benign.Events[0].Tick {
+		t.Fatalf("profile pair diverged: events %+v vs %+v", benign.Events, attack.Events)
+	}
+
+	failed := 0
+	for i, e := range attack.Expect {
+		c := evalExpectation(i, e, res.Series[e.Victim].Samples)
+		if !c.Pass {
+			failed++
+			t.Logf("attack expectation correctly rejected the crowd: %s (measured %g)", c.Name, c.Measured)
+		}
+	}
+	if failed == 0 {
+		t.Fatal("the benign flash crowd satisfied every attack expectation — the pair no longer discriminates")
+	}
+}

@@ -62,6 +62,14 @@ type Config struct {
 	MemberFilter func(netpkt.MAC) bool
 	// Workers sizes the shared worker pool (0: GOMAXPROCS).
 	Workers int
+	// Pool, when non-nil, is an externally owned worker pool the run
+	// draws from instead of creating its own; Workers is then ignored
+	// and the caller keeps ownership (the engine never closes it). This
+	// is how a federation of engines shares one worker budget: N
+	// exchange pipelines submit to the same fabric.Pool, so aggregate
+	// parallelism stays bounded by one worker count instead of N of
+	// them.
+	Pool *fabric.Pool
 	// Depth is the number of in-flight ticks (0: 2 — double-buffered;
 	// 1: fully serial, the determinism-debugging fallback).
 	Depth int
@@ -183,8 +191,11 @@ func (e *Engine) Run() ([]VictimSeries, error) {
 	spineStages := guard([]Stage{control, traffic, egress}, cfg.StageWrap, cfg.StageTimeout)
 	foldStages := guard([]Stage{monitor, report}, cfg.StageWrap, cfg.StageTimeout)
 
-	pool := fabric.NewPool(cfg.Workers)
-	defer pool.Close()
+	pool := cfg.Pool
+	if pool == nil {
+		pool = fabric.NewPool(cfg.Workers)
+		defer pool.Close()
+	}
 
 	depth := cfg.Depth
 	if depth <= 0 {

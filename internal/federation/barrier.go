@@ -1,0 +1,66 @@
+package federation
+
+import "sync"
+
+// tickBarrier synchronizes the member exchanges' spine pipelines on one
+// logical clock: every exchange must arrive at round T before any
+// exchange's control plane advances past T. The last arriver of a round
+// runs the federation's round callback (gossip delivery) while every
+// other spine is parked, which gives the inter-IXP signaling plane a
+// deterministic, race-free point "between ticks" to inject relayed
+// requests.
+type tickBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	arrived int
+	round   int
+	onRound func(tick int)
+}
+
+func newTickBarrier(parties int, onRound func(tick int)) *tickBarrier {
+	b := &tickBarrier{parties: parties, onRound: onRound}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until every live party has arrived at round tick, then
+// releases them together. The engines drive strictly increasing ticks,
+// so a party can only ever be waiting for the current round to open
+// (tick > round) or for the current round to complete.
+func (b *tickBarrier) await(tick int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for tick > b.round {
+		b.cond.Wait()
+	}
+	b.arrived++
+	if b.arrived == b.parties {
+		b.completeRoundLocked()
+		return
+	}
+	for tick == b.round {
+		b.cond.Wait()
+	}
+}
+
+// leave permanently removes a party — an exchange whose engine exited,
+// normally or on error. If it was the last straggler of the current
+// round, the round completes so the surviving exchanges don't deadlock.
+func (b *tickBarrier) leave() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.parties--
+	if b.parties > 0 && b.arrived == b.parties {
+		b.completeRoundLocked()
+	}
+}
+
+func (b *tickBarrier) completeRoundLocked() {
+	if b.onRound != nil {
+		b.onRound(b.round)
+	}
+	b.arrived = 0
+	b.round++
+	b.cond.Broadcast()
+}

@@ -15,6 +15,7 @@ func MitigationRows(c *Controller, now float64) []routeserver.MitigationRow {
 			ID:           m.ID,
 			Owner:        m.Requester,
 			State:        m.State.String(),
+			Origin:       m.Origin,
 			TTLRemaining: m.TTLRemaining(now),
 		}
 		if u, err := c.Usage(m.ID); err == nil {

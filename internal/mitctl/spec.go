@@ -116,7 +116,18 @@ type Spec struct {
 	TTL float64
 	// Channel records the signaling path (provenance only).
 	Channel Channel
+	// Origin records where the request originated: "" for a request
+	// signaled at this exchange, or the name of the exchange a
+	// federation gossip link relayed it from. Like Channel it is
+	// provenance metadata only — it never influences the mitigation's
+	// identity, so a gossiped re-request of a locally live spec
+	// refreshes the local mitigation instead of forking a remote twin.
+	Origin string
 }
+
+// Local reports whether the spec was signaled at this exchange (no
+// gossip provenance).
+func (s Spec) Local() bool { return s.Origin == "" }
 
 // normalized stamps the target prefix into the match and validates the
 // spec's shape.
@@ -153,8 +164,9 @@ func (s Spec) normalized() (Spec, error) {
 // key is the canonical content string the mitigation identity derives
 // from. It covers everything that shapes installed state — requester,
 // target, match, action, rate, scope — and deliberately excludes TTL
-// (a refresh parameter) and Channel (provenance), so the same request
-// re-signaled on any channel lands on the same mitigation.
+// (a refresh parameter) and the provenance fields Channel and Origin,
+// so the same request re-signaled on any channel, or relayed from any
+// exchange, lands on the same mitigation.
 func (s Spec) key() string {
 	k := fmt.Sprintf("%s|%s|%s|%v|%g|%v", s.Requester, s.Target, s.Match, s.Action, s.ShapeRateBps, s.Scope)
 	if s.Scope == ScopePerPeer {

@@ -12,7 +12,7 @@ func TestGlassMitigationRows(t *testing.T) {
 	rows := []MitigationRow{
 		{ID: "mit:A:1", Owner: "A", State: "active", TTLRemaining: 42.4, DroppedBytes: 1e9},
 		{ID: "mit:A:2", Owner: "A", State: "installing", TTLRemaining: 0.4, ShapedBytes: 2e6},
-		{ID: "mit:B:1", Owner: "B", State: "active", TTLRemaining: -1, DroppedBytes: 5e6},
+		{ID: "mit:B:1", Owner: "B", State: "active", Origin: "ixp7", TTLRemaining: -1, DroppedBytes: 5e6},
 	}
 
 	cases := []struct {
@@ -48,9 +48,9 @@ func TestGlassMitigationRows(t *testing.T) {
 			useAllView: true,
 			want: []string{
 				"mitigations: 3 active",
-				"mit:A:1 owner A state active ttl 42s dropped 1000000000 B shaped 0 B",
-				"mit:A:2 owner A state installing ttl 0s dropped 0 B shaped 2000000 B",
-				"mit:B:1 owner B state active ttl - dropped 5000000 B shaped 0 B",
+				"mit:A:1 owner A state active origin local ttl 42s dropped 1000000000 B shaped 0 B",
+				"mit:A:2 owner A state installing origin local ttl 0s dropped 0 B shaped 2000000 B",
+				"mit:B:1 owner B state active origin via ixp7 ttl - dropped 5000000 B shaped 0 B",
 			},
 		},
 		{

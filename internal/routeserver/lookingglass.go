@@ -64,6 +64,10 @@ type MitigationRow struct {
 	ID    string
 	Owner string
 	State string
+	// Origin is the exchange the request was relayed from ("" for a
+	// locally signaled mitigation) — federation provenance, so a member
+	// can tell its own requests from federated installs.
+	Origin string
 	// TTLRemaining is seconds until expiry; negative means no TTL.
 	TTLRemaining float64
 	// DroppedBytes / ShapedBytes are the mitigation's cumulative
@@ -110,8 +114,12 @@ func (rs *RouteServer) GlassMitigationsFor(owner string) string {
 		if r.TTLRemaining >= 0 {
 			ttl = fmt.Sprintf("%.0fs", r.TTLRemaining)
 		}
-		fmt.Fprintf(&b, "  %s owner %s state %s ttl %s dropped %.0f B shaped %.0f B\n",
-			r.ID, r.Owner, r.State, ttl, r.DroppedBytes, r.ShapedBytes)
+		origin := "local"
+		if r.Origin != "" {
+			origin = "via " + r.Origin
+		}
+		fmt.Fprintf(&b, "  %s owner %s state %s origin %s ttl %s dropped %.0f B shaped %.0f B\n",
+			r.ID, r.Owner, r.State, origin, ttl, r.DroppedBytes, r.ShapedBytes)
 	}
 	return b.String()
 }
