@@ -3,7 +3,10 @@ package main
 // `stellar-lab bench -diff old.json new.json` compares two archived
 // bench reports metric by metric: every numeric leaf common to both is
 // printed with its delta, so a PR's perf movement is one command away
-// from the BENCH_*.json trail CI keeps.
+// from the BENCH_*.json trail CI keeps. `bench -trend dir/` extends
+// the pairwise diff to the whole archive: every BENCH_*.json run in
+// the directory becomes one column of a per-metric trajectory table,
+// in filename order.
 
 import (
 	"encoding/json"
@@ -11,7 +14,9 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // benchDiff loads two bench reports and prints per-metric deltas.
@@ -59,6 +64,83 @@ func benchDiff(w io.Writer, oldPath, newPath string) error {
 			}
 			fmt.Fprintln(w, line)
 		}
+	}
+	return nil
+}
+
+// benchTrend prints a per-metric trajectory table over a directory of
+// archived bench reports. Files are ordered by name — CI archives runs
+// under sortable names — and every numeric leaf appearing in any run
+// becomes a row, with a last-vs-first delta when both endpoints carry
+// the metric. A single archived run is a valid (one-column) trend, so
+// the first CI run seeds the trajectory rather than failing it.
+func benchTrend(w io.Writer, dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("bench -trend: no *.json reports in %s", dir)
+	}
+	sort.Strings(paths)
+
+	runs := make([]map[string]float64, len(paths))
+	names := make([]string, len(paths))
+	for i, p := range paths {
+		vals, err := loadBenchMetrics(p)
+		if err != nil {
+			return err
+		}
+		runs[i] = vals
+		names[i] = strings.TrimSuffix(filepath.Base(p), ".json")
+	}
+
+	metricSet := make(map[string]bool)
+	for _, vals := range runs {
+		for m := range vals {
+			metricSet[m] = true
+		}
+	}
+	metrics := make([]string, 0, len(metricSet))
+	for m := range metricSet {
+		metrics = append(metrics, m)
+	}
+	sort.Strings(metrics)
+
+	metricWidth := len("metric")
+	for _, m := range metrics {
+		if len(m) > metricWidth {
+			metricWidth = len(m)
+		}
+	}
+	colWidth := 14
+	for _, n := range names {
+		if len(n) > colWidth {
+			colWidth = len(n)
+		}
+	}
+
+	fmt.Fprintf(w, "bench trend over %d runs (%s):\n", len(paths), dir)
+	fmt.Fprintf(w, "%-*s", metricWidth, "metric")
+	for _, n := range names {
+		fmt.Fprintf(w, "  %*s", colWidth, n)
+	}
+	fmt.Fprintln(w)
+	for _, m := range metrics {
+		fmt.Fprintf(w, "%-*s", metricWidth, m)
+		for _, vals := range runs {
+			if v, ok := vals[m]; ok {
+				fmt.Fprintf(w, "  %*s", colWidth, fmtMetric(v))
+			} else {
+				fmt.Fprintf(w, "  %*s", colWidth, "-")
+			}
+		}
+		first, hasFirst := runs[0][m]
+		last, hasLast := runs[len(runs)-1][m]
+		if len(runs) > 1 && hasFirst && hasLast && first != 0 && first != last {
+			fmt.Fprintf(w, "  (%+.1f%%)", 100*(last-first)/first)
+		}
+		fmt.Fprintln(w)
 	}
 	return nil
 }

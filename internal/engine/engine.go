@@ -71,8 +71,16 @@ type Config struct {
 	// them.
 	Pool *fabric.Pool
 	// Depth is the number of in-flight ticks (0: 2 — double-buffered;
-	// 1: fully serial, the determinism-debugging fallback).
+	// 1: fully serial, the determinism-debugging fallback). Depth > 1
+	// also bounds the fold side's in-flight batches: per-victim monitor
+	// folds fan across the worker pool and overlap across ticks, so
+	// Depth is a throughput knob, not just spine/fold overlap.
 	Depth int
+	// Profile, when set, accumulates a StageProfile over the run —
+	// per-stage cumulative ns plus spine-wait/fold-wait counters — and
+	// attaches it to every VictimSeries. Off (the default) costs
+	// nothing on the tick path.
+	Profile bool
 	// StageWrap, when non-nil, decorates every stage before wiring —
 	// the fault-injection / instrumentation seam (e.g.
 	// faults.Injector.WrapControl). The decoration runs inside the
@@ -90,9 +98,28 @@ type Config struct {
 type Engine struct {
 	cfg Config
 
-	mu      sync.Mutex
-	foldErr error
+	mu   sync.Mutex
+	fail *runFail
 }
+
+// runFail records the run's first failure and the tick it struck: the
+// fold side never runs or folds a tick at or past it, at any Depth,
+// while backlog ticks below it still fold (the partial-samples
+// contract). "First" means earliest tick — concurrent per-victim folds
+// can race errors out of order.
+type runFail struct {
+	tick int
+	err  error
+}
+
+// Profile slot indices, in pipeline order (see StageProfile.Stages).
+const (
+	profSlotControl = iota
+	profSlotTraffic
+	profSlotFabric
+	profSlotMonitor
+	profSlotReport
+)
 
 // New returns an engine for the configuration.
 func New(cfg Config) *Engine { return &Engine{cfg: cfg} }
@@ -127,6 +154,7 @@ func (e *Engine) Run() ([]VictimSeries, error) {
 		return nil, fmt.Errorf("engine: driver has no victims")
 	}
 	seen := make(map[string]bool, len(specs))
+	seenMon := make(map[*flowmon.Collector]bool, len(specs))
 	monitors := make([]*flowmon.Collector, len(specs))
 	for i := range specs {
 		if seen[specs[i].Port] {
@@ -135,7 +163,13 @@ func (e *Engine) Run() ([]VictimSeries, error) {
 		seen[specs[i].Port] = true
 		if specs[i].Monitor == nil {
 			specs[i].Monitor = flowmon.NewCollector()
+		} else if seenMon[specs[i].Monitor] {
+			// One collector under two victims would see two merge-horizon
+			// writers once per-victim folds overlap — horizons must stay
+			// monotonic per collector, so sharing is rejected outright.
+			return nil, fmt.Errorf("engine: victim port %s shares its monitor with another victim", specs[i].Port)
 		}
+		seenMon[specs[i].Monitor] = true
 		if specs[i].PeerMinBps == 0 {
 			specs[i].PeerMinBps = cfg.PeerMinBps
 		}
@@ -191,6 +225,20 @@ func (e *Engine) Run() ([]VictimSeries, error) {
 	spineStages := guard([]Stage{control, traffic, egress}, cfg.StageWrap, cfg.StageTimeout)
 	foldStages := guard([]Stage{monitor, report}, cfg.StageWrap, cfg.StageTimeout)
 
+	var prof *StageProfile
+	if cfg.Profile {
+		prof = &StageProfile{Stages: make([]StageTiming, 0, len(spineStages)+len(foldStages))}
+		for _, st := range spineStages {
+			prof.Stages = append(prof.Stages, StageTiming{Name: st.Name()})
+		}
+		for _, st := range foldStages {
+			prof.Stages = append(prof.Stages, StageTiming{Name: st.Name()})
+		}
+	}
+	for i := range report.series {
+		report.series[i].Profile = prof
+	}
+
 	pool := cfg.Pool
 	if pool == nil {
 		pool = fabric.NewPool(cfg.Workers)
@@ -212,29 +260,61 @@ func (e *Engine) Run() ([]VictimSeries, error) {
 	}
 	work := make(chan *Batch, depth)
 
-	// Fold side: monitor + report stages, one tick at a time, in tick
-	// order (the spine enqueues in order and this is the only reader).
+	// Fold side. When the (possibly StageWrap-decorated) monitor stage
+	// still decomposes per victim, Depth > 1 runs the parallel fold: a
+	// dispatcher fans per-victim units across the pool's lanes and a
+	// completer retires ticks in spine order (see foldpar.go). Otherwise
+	// — Depth 1, a single pool worker, a single victim, a decoration
+	// hiding ParallelFold, or an armed stage watchdog (stall detection
+	// needs one fold thread to time) — the serial fold goroutine runs
+	// monitor + report one tick at a time. Both paths produce
+	// byte-identical series.
 	var foldWG sync.WaitGroup
-	foldWG.Add(1)
-	go func() {
-		defer foldWG.Done()
-		for b := range work {
-			if e.takeFoldErr() == nil {
-				for _, st := range foldStages {
-					if err := st.Run(&b.ctx, b, b); err != nil {
-						e.setFoldErr(fmt.Errorf("engine: %s stage at tick %d: %w", st.Name(), b.ctx.Tick, err))
-						break
+	gm := foldStages[0].(*guardStage)
+	pf, pfOK := gm.parallelFold()
+	if depth > 1 && len(specs) > 1 && pool.Workers() > 1 && cfg.StageTimeout == 0 && pfOK {
+		sched := newFoldScheduler(e, pool, gm, pf, foldStages[1], foldStages, prof, len(specs), depth)
+		foldWG.Add(2)
+		go func() {
+			defer foldWG.Done()
+			sched.dispatch(work)
+		}()
+		go func() {
+			defer foldWG.Done()
+			sched.complete(free)
+		}()
+	} else {
+		foldWG.Add(1)
+		go func() {
+			defer foldWG.Done()
+			for {
+				t0 := prof.now()
+				b, ok := <-work
+				if !ok {
+					return
+				}
+				prof.addFoldWait(prof.since(t0))
+				tick := b.ctx.Tick
+				if !e.errBefore(tick) {
+					for si, st := range foldStages {
+						rt := prof.now()
+						err := st.Run(&b.ctx, b, b)
+						prof.addNs(profSlotMonitor+si, prof.since(rt))
+						if err != nil {
+							e.setErr(tick, fmt.Errorf("engine: %s stage at tick %d: %w", st.Name(), tick, err))
+							break
+						}
 					}
 				}
-			}
-			if e.takeFoldErr() == nil {
-				for _, st := range foldStages {
-					st.Fold(b.ctx.Tick)
+				if !e.errBefore(tick) {
+					for _, st := range foldStages {
+						st.Fold(tick)
+					}
 				}
+				free <- b
 			}
-			free <- b
-		}
-	}()
+		}()
+	}
 
 	// drain stops the fold side and truncates every series to the ticks
 	// that fully folded, preserving the serial loop's partial-samples
@@ -258,16 +338,22 @@ func (e *Engine) Run() ([]VictimSeries, error) {
 
 	ei := 0
 	for tick := 0; tick < cfg.Ticks; tick++ {
+		t0 := prof.now()
 		b := <-free // backpressure: at most depth ticks in flight
-		if err := e.takeFoldErr(); err != nil {
+		prof.addSpineWait(prof.since(t0))
+		if err := e.firstErr(); err != nil {
 			return drain(), err
+		}
+		if prof != nil {
+			prof.Ticks++
 		}
 		// Events fire on the spine, after the previous tick's egress and
 		// before this tick's clock advance — the serial loop's order.
 		for ei < len(events) && events[ei].Tick == tick {
 			if err := events[ei].Do(); err != nil {
-				series := drain()
-				return series, fmt.Errorf("engine: event %q at tick %d: %w", events[ei].Name, tick, err)
+				err = fmt.Errorf("engine: event %q at tick %d: %w", events[ei].Name, tick, err)
+				e.setErr(tick, err)
+				return drain(), err
 			}
 			ei++
 		}
@@ -275,10 +361,14 @@ func (e *Engine) Run() ([]VictimSeries, error) {
 		for _, st := range spineStages {
 			st.Prepare(tick)
 		}
-		for _, st := range spineStages {
-			if err := st.Run(&b.ctx, b, b); err != nil {
-				series := drain()
-				return series, fmt.Errorf("engine: %s stage at tick %d: %w", st.Name(), tick, err)
+		for si, st := range spineStages {
+			rt := prof.now()
+			err := st.Run(&b.ctx, b, b)
+			prof.addNs(profSlotControl+si, prof.since(rt))
+			if err != nil {
+				err = fmt.Errorf("engine: %s stage at tick %d: %w", st.Name(), tick, err)
+				e.setErr(tick, err)
+				return drain(), err
 			}
 		}
 		for _, st := range spineStages {
@@ -287,19 +377,35 @@ func (e *Engine) Run() ([]VictimSeries, error) {
 		work <- b
 	}
 	series := drain()
-	return series, e.takeFoldErr()
+	return series, e.firstErr()
 }
 
-func (e *Engine) setFoldErr(err error) {
+// setErr records a failure at tick; the earliest tick wins, so the
+// reported error and the fold cutoff agree no matter how concurrent
+// folds race their failures in.
+func (e *Engine) setErr(tick int, err error) {
 	e.mu.Lock()
-	if e.foldErr == nil {
-		e.foldErr = err
+	if e.fail == nil || tick < e.fail.tick {
+		e.fail = &runFail{tick: tick, err: err}
 	}
 	e.mu.Unlock()
 }
 
-func (e *Engine) takeFoldErr() error {
+// firstErr returns the recorded failure, if any.
+func (e *Engine) firstErr() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.foldErr
+	if e.fail == nil {
+		return nil
+	}
+	return e.fail.err
+}
+
+// errBefore reports whether a failure struck at or before tick — the
+// fold side's gate: such a tick is neither run nor folded, while ticks
+// below the failure still fold (partial samples).
+func (e *Engine) errBefore(tick int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fail != nil && e.fail.tick <= tick
 }

@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"stellar/internal/fabric"
+)
+
+// This file is the engine's parallel fold side: the scheduler that fans
+// the monitor stage's per-victim units (ParallelFold.RunVictim) across
+// the shared fabric.Pool while keeping everything the determinism
+// contract needs ordered.
+//
+// Shape: each victim owns a FIFO lane. The dispatcher takes batches off
+// the spine's work queue in tick order and appends each batch to every
+// lane; an idle lane is kicked onto the pool with Pool.Submit, and the
+// submitted unit drains the lane's backlog before retiring. Lanes give
+// exactly the ordering the collectors require — victim v's tick T folds
+// before its tick T+1 (monotonic merge horizons) — while distinct
+// victims fold concurrently, across ticks as well as within one. The
+// completer consumes ticks in spine order, waits for each tick's lanes,
+// then appends the report and retires the batch: report append and
+// Fold stay tick-ordered on one goroutine, so the fold side's output is
+// byte-identical to the serial path at any Depth.
+//
+// No goroutine-per-lane: lanes run as pool submissions, so a federation
+// of engines sharing one pool still fans all fold work inside the one
+// worker budget.
+
+// foldTick tracks one batch crossing the parallel fold side: pending
+// counts the victims not yet folded; done closes when the last lane
+// finishes the tick.
+type foldTick struct {
+	b       *Batch
+	pending atomic.Int32
+	done    chan struct{}
+}
+
+// foldLane is one victim's FIFO backlog. head/q form a queue whose
+// storage is reclaimed whenever the lane drains (backlog is bounded by
+// Depth, so q never grows past it).
+type foldLane struct {
+	q    []*foldTick
+	head int
+	busy bool
+}
+
+// foldScheduler wires the dispatcher, the lanes, and the completer for
+// one run.
+type foldScheduler struct {
+	eng     *Engine
+	pool    *fabric.Pool
+	monitor *guardStage  // guarded monitor stage
+	pf      ParallelFold // its per-victim decomposition
+	report  Stage        // guarded report stage
+	folds   []Stage      // fold stages in order, for Fold(tick)
+	prof    *StageProfile
+
+	mu      sync.Mutex
+	lanes   []foldLane
+	laneFns []func(worker int) // prebuilt Submit closures, one per lane
+
+	// inflight carries ticks from dispatcher to completer in spine
+	// order. Capacity = Depth: at most Depth batches circulate, so the
+	// send never blocks.
+	inflight chan *foldTick
+}
+
+func newFoldScheduler(e *Engine, pool *fabric.Pool, monitor *guardStage, pf ParallelFold, report Stage, folds []Stage, prof *StageProfile, nVictims, depth int) *foldScheduler {
+	s := &foldScheduler{
+		eng:      e,
+		pool:     pool,
+		monitor:  monitor,
+		pf:       pf,
+		report:   report,
+		folds:    folds,
+		prof:     prof,
+		lanes:    make([]foldLane, nVictims),
+		laneFns:  make([]func(int), nVictims),
+		inflight: make(chan *foldTick, depth),
+	}
+	for v := range s.laneFns {
+		v := v
+		s.laneFns[v] = func(int) { s.runLane(v) }
+	}
+	return s
+}
+
+// dispatch fans each spine batch across the victim lanes. It runs on
+// its own goroutine and closes inflight when the spine closes work.
+func (s *foldScheduler) dispatch(work <-chan *Batch) {
+	defer close(s.inflight)
+	kick := make([]int, 0, len(s.lanes))
+	for b := range work {
+		ft := &foldTick{b: b, done: make(chan struct{})}
+		ft.pending.Store(int32(len(s.lanes)))
+		s.inflight <- ft
+		kick = kick[:0]
+		s.mu.Lock()
+		for v := range s.lanes {
+			ln := &s.lanes[v]
+			ln.q = append(ln.q, ft)
+			if !ln.busy {
+				ln.busy = true
+				kick = append(kick, v)
+			}
+		}
+		s.mu.Unlock()
+		// Submits happen outside the lane lock: a full pool briefly
+		// blocks the send, and lane workers need the lock to retire.
+		for _, v := range kick {
+			s.pool.Submit(s.laneFns[v])
+		}
+	}
+}
+
+// runLane executes on a pool worker: it drains victim v's backlog and
+// retires. A tick at or past the run's first error is skipped but still
+// counted down, so the completer never waits on a dead tick.
+func (s *foldScheduler) runLane(v int) {
+	for {
+		s.mu.Lock()
+		ln := &s.lanes[v]
+		if ln.head == len(ln.q) {
+			ln.q = ln.q[:0]
+			ln.head = 0
+			ln.busy = false
+			s.mu.Unlock()
+			return
+		}
+		ft := ln.q[ln.head]
+		ln.head++
+		s.mu.Unlock()
+		tick := ft.b.ctx.Tick
+		if !s.eng.errBefore(tick) {
+			t0 := s.prof.now()
+			err := s.monitor.runVictim(s.pf, &ft.b.ctx, ft.b, v)
+			s.prof.addNs(profSlotMonitor, s.prof.since(t0))
+			if err != nil {
+				s.eng.setErr(tick, fmt.Errorf("engine: %s stage at tick %d: %w", s.monitor.Name(), tick, err))
+			}
+		}
+		if ft.pending.Add(-1) == 0 {
+			close(ft.done)
+		}
+	}
+}
+
+// complete consumes ticks in spine order: wait for the tick's lanes,
+// append the report, run the Folds, recycle the batch. It runs on its
+// own goroutine and is the only writer of report state — tick order on
+// the way out is what keeps the series byte-identical to a serial run.
+func (s *foldScheduler) complete(free chan<- *Batch) {
+	for ft := range s.inflight {
+		t0 := s.prof.now()
+		<-ft.done
+		s.prof.addFoldWait(s.prof.since(t0))
+		b := ft.b
+		tick := b.ctx.Tick
+		if !s.eng.errBefore(tick) {
+			rt := s.prof.now()
+			err := s.report.Run(&b.ctx, b, b)
+			s.prof.addNs(profSlotReport, s.prof.since(rt))
+			if err != nil {
+				s.eng.setErr(tick, fmt.Errorf("engine: %s stage at tick %d: %w", s.report.Name(), tick, err))
+			}
+		}
+		if !s.eng.errBefore(tick) {
+			for _, st := range s.folds {
+				st.Fold(tick)
+			}
+		}
+		free <- b
+	}
+}

@@ -5,12 +5,37 @@ import (
 	"net/netip"
 	"strings"
 
+	"stellar/internal/engine"
 	"stellar/internal/fabric"
+	"stellar/internal/flowmon"
 	"stellar/internal/mitigation"
 	"stellar/internal/netpkt"
 	"stellar/internal/stats"
 	"stellar/internal/traffic"
 )
+
+// replaySource feeds precomputed per-tick offers into the engine — the
+// bridge for experiments whose workload (and its RNG draw order) was
+// fixed up front, before the run.
+type replaySource struct {
+	ticks [][]fabric.Offer
+}
+
+// Offers implements engine.Source.
+func (r *replaySource) Offers(tick int, _ float64) []fabric.Offer {
+	if tick < 0 || tick >= len(r.ticks) {
+		return nil
+	}
+	return r.ticks[tick]
+}
+
+// AppendOffers implements engine.OfferAppender.
+func (r *replaySource) AppendOffers(dst []fabric.Offer, tick int, _ float64) []fabric.Offer {
+	if tick < 0 || tick >= len(r.ticks) {
+		return dst
+	}
+	return append(dst, r.ticks[tick]...)
+}
 
 // CompareConfig parameterizes the quantitative five-way comparison that
 // backs Table 1's qualitative claims: the same amplification attack and
@@ -90,17 +115,18 @@ func CompareMitigations(cfg CompareConfig) CompareResult {
 		honors[p.MAC] = honoringRng.Float64() < cfg.HonoringFraction
 	}
 
-	// runPort pushes per-tick offers through a fresh victim port and
-	// accumulates benign/attack delivery.
+	// runPort pushes the per-tick offers through a fresh victim port on
+	// the scenario engine and accumulates benign/attack delivery. The
+	// pre-filter models peer-edge behaviour (RTBH null routes, Flowspec
+	// rules), so it applies before the fabric: the post-filter loads are
+	// precomputed and replayed into the engine, and the victim's flow
+	// monitor provides the per-class delivery accounting the hand-rolled
+	// loop used to pull out of DeliveredByFlow.
 	runPort := func(rules []*fabric.Rule, preFilter func(fabric.Offer) bool, dropBenignAtSource bool) (benign, attackRes float64, congested bool) {
-		port := fabric.NewPort("victim", netpkt.MustParseMAC("02:00:00:00:00:01"), cfg.PortBps)
-		for _, r := range rules {
-			if err := port.InstallRule(r); err != nil {
-				panic(err)
-			}
-		}
-		var benignDel, benignOff, attackDel, attackOff float64
-		for _, l := range makeLoads() {
+		loads := makeLoads()
+		perTick := &replaySource{ticks: make([][]fabric.Offer, len(loads))}
+		var benignOff, attackOff float64
+		for t, l := range loads {
 			var offers []fabric.Offer
 			for _, o := range l.attack {
 				attackOff += o.Bytes
@@ -116,17 +142,41 @@ func CompareMitigations(cfg CompareConfig) CompareResult {
 				}
 				offers = append(offers, o)
 			}
-			out := port.Egress(offers, 1)
-			if out.CongestionDroppedBytes > 0 {
+			perTick.ticks[t] = offers
+		}
+
+		port := fabric.NewPort("victim", netpkt.MustParseMAC("02:00:00:00:00:01"), cfg.PortBps)
+		for _, r := range rules {
+			if err := port.InstallRule(r); err != nil {
+				panic(err)
+			}
+		}
+		fab := fabric.New()
+		if err := fab.AddPort(port); err != nil {
+			panic(err)
+		}
+		mon := flowmon.NewCollector()
+		series, err := engine.New(engine.Config{
+			Driver: engine.NewSourcesDriver(
+				[]engine.VictimSpec{{Port: "victim", Monitor: mon}},
+				[][]engine.Source{{perTick}}),
+			DataPlane: portPlane{fab},
+			Ticks:     len(loads),
+			Dt:        1,
+		}).Run()
+		if err != nil {
+			panic(err)
+		}
+		for _, s := range series[0].Samples {
+			if s.CongestionDroppedBps > 0 {
 				congested = true
 			}
-			for flow, bytes := range out.DeliveredByFlow {
-				if flow.Proto == netpkt.ProtoUDP && flow.SrcPort == 123 {
-					attackDel += bytes
-				} else {
-					benignDel += bytes
-				}
-			}
+		}
+		var benignDel, attackDel float64
+		for _, bin := range mon.Bins() {
+			atk := mon.SrcPortBytes(bin, 123)
+			attackDel += atk
+			benignDel += mon.TotalBytes(bin) - atk
 		}
 		return benignDel / benignOff, attackDel / attackOff, congested
 	}
@@ -274,37 +324,59 @@ func CombinedTSS(cfg CompareConfig) CombinedTSSResult {
 		panic(err)
 	}
 
-	var aloneBenign, aloneBenignOff, combBenign, combBenignOff, sampleBytes float64
+	// The original loop drew from the stateful attack source twice per
+	// tick — once to size the full-detour scrub, once for the port load.
+	// Precompute both draws in that exact order so the engine run
+	// replays the identical workload.
+	atkSized := make([]float64, cfg.Ticks)
+	webSized := make([]float64, cfg.Ticks)
+	portLoads := &replaySource{ticks: make([][]fabric.Offer, cfg.Ticks)}
 	for t := 0; t < cfg.Ticks; t++ {
-		var atk, webBytes float64
 		for _, o := range attack.Offers(t, 1) {
-			atk += o.Bytes
+			atkSized[t] += o.Bytes
 		}
 		webOffers := web.Offers(t, 1)
 		for _, o := range webOffers {
-			webBytes += o.Bytes
+			webSized[t] += o.Bytes
 		}
+		portLoads.ticks[t] = append(attack.Offers(t, 1), webOffers...)
+	}
 
-		// (a) TSS alone: the whole load detours to the scrubber.
-		r := scrubAll.Scrub(atk, webBytes, 1)
+	// (a) TSS alone: the whole load detours to the scrubber.
+	var aloneBenign, aloneBenignOff float64
+	for t := 0; t < cfg.Ticks; t++ {
+		r := scrubAll.Scrub(atkSized[t], webSized[t], 1)
 		aloneBenign += r.CleanBenignBytes
-		aloneBenignOff += webBytes
+		aloneBenignOff += webSized[t]
+	}
 
-		// (b) Combined: Stellar's shaping leaves only the sample of the
-		// attack; benign traffic flows directly, only the sample is
-		// scrubbed (for telemetry/signatures).
-		out := port.Egress(append(attack.Offers(t, 1), webOffers...), 1)
-		var sampled float64
-		for flow, bytes := range out.DeliveredByFlow {
-			if flow.Proto == netpkt.ProtoUDP && flow.SrcPort == 123 {
-				sampled += bytes
-			} else {
-				combBenign += bytes
-			}
-		}
+	// (b) Combined: Stellar's shaping leaves only the sample of the
+	// attack; benign traffic flows directly, only the sample is
+	// scrubbed (for telemetry/signatures). The port run goes through
+	// the scenario engine; the victim monitor's per-bin accounting
+	// replaces the hand-rolled DeliveredByFlow walk.
+	fab := fabric.New()
+	if err := fab.AddPort(port); err != nil {
+		panic(err)
+	}
+	mon := flowmon.NewCollector()
+	if _, err := engine.New(engine.Config{
+		Driver: engine.NewSourcesDriver(
+			[]engine.VictimSpec{{Port: "victim", Monitor: mon}},
+			[][]engine.Source{{portLoads}}),
+		DataPlane: portPlane{fab},
+		Ticks:     cfg.Ticks,
+		Dt:        1,
+	}).Run(); err != nil {
+		panic(err)
+	}
+	var combBenign, combBenignOff, sampleBytes float64
+	for t := 0; t < cfg.Ticks; t++ {
+		sampled := mon.SrcPortBytes(t, 123)
+		combBenign += mon.TotalBytes(t) - sampled
 		sampleBytes += sampled
 		scrubSample.Scrub(sampled, 0, 1)
-		combBenignOff += webBytes
+		combBenignOff += webSized[t]
 	}
 	hours := float64(cfg.Ticks) / 3600
 	res := CombinedTSSResult{

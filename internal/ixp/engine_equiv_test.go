@@ -174,42 +174,52 @@ func TestEngineMatchesSerialLoop(t *testing.T) {
 		return x, victims
 	}
 
-	xe, victimsE := build()
-	engineSeries, err := (&Scenario{IXP: xe, Ticks: ticks, Dt: 1, Victims: victimsE}).RunAll()
-	if err != nil {
-		t.Fatal(err)
-	}
 	xs, victimsS := build()
 	serialSeries, err := serialRunAll(xs, ticks, 1, victimsS, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	if len(engineSeries) != len(serialSeries) {
-		t.Fatalf("series: %d vs %d", len(engineSeries), len(serialSeries))
-	}
-	for v := range serialSeries {
-		got, want := engineSeries[v].Samples, serialSeries[v].Samples
-		if len(got) != len(want) {
-			t.Fatalf("victim %d: %d vs %d samples", v, len(got), len(want))
-		}
-		for i := range want {
-			if got[i] != want[i] {
-				t.Fatalf("victim %d tick %d:\nengine %+v\nserial %+v", v, i, got[i], want[i])
+	// Depth 1 is the fully serial pipeline; 2 the default double buffer;
+	// 4 and 8 run the parallel fold with multiple in-flight fold ticks.
+	// Workers is pinned above 1 so the per-victim fold fan-out engages
+	// even on a single-CPU host.
+	for _, depth := range []int{1, 2, 4, 8} {
+		depth := depth
+		t.Run(fmt.Sprintf("depth=%d", depth), func(t *testing.T) {
+			xe, victimsE := build()
+			engineSeries, err := (&Scenario{IXP: xe, Ticks: ticks, Dt: 1, Victims: victimsE, Depth: depth, Workers: 4}).RunAll()
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
-		gb, gv := engineSeries[v].Monitor.Series()
-		wb, wv := serialSeries[v].Monitor.Series()
-		if fmt.Sprint(gb) != fmt.Sprint(wb) || fmt.Sprint(gv) != fmt.Sprint(wv) {
-			t.Fatalf("victim %d: monitor series diverged\nengine %v %v\nserial %v %v", v, gb, gv, wb, wv)
-		}
-		if fmt.Sprint(engineSeries[v].Monitor.TopSrcPorts(4)) != fmt.Sprint(serialSeries[v].Monitor.TopSrcPorts(4)) {
-			t.Fatalf("victim %d: top ports diverged", v)
-		}
-	}
 
-	// The mitigation controllers converged to the same state too.
-	if ge, gs := xe.Mitigations.AppliedChanges(), xs.Mitigations.AppliedChanges(); ge != gs {
-		t.Fatalf("applied changes: engine %d, serial %d", ge, gs)
+			if len(engineSeries) != len(serialSeries) {
+				t.Fatalf("series: %d vs %d", len(engineSeries), len(serialSeries))
+			}
+			for v := range serialSeries {
+				got, want := engineSeries[v].Samples, serialSeries[v].Samples
+				if len(got) != len(want) {
+					t.Fatalf("victim %d: %d vs %d samples", v, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("victim %d tick %d:\nengine %+v\nserial %+v", v, i, got[i], want[i])
+					}
+				}
+				gb, gv := engineSeries[v].Monitor.Series()
+				wb, wv := serialSeries[v].Monitor.Series()
+				if fmt.Sprint(gb) != fmt.Sprint(wb) || fmt.Sprint(gv) != fmt.Sprint(wv) {
+					t.Fatalf("victim %d: monitor series diverged\nengine %v %v\nserial %v %v", v, gb, gv, wb, wv)
+				}
+				if fmt.Sprint(engineSeries[v].Monitor.TopSrcPorts(4)) != fmt.Sprint(serialSeries[v].Monitor.TopSrcPorts(4)) {
+					t.Fatalf("victim %d: top ports diverged", v)
+				}
+			}
+
+			// The mitigation controllers converged to the same state too.
+			if ge, gs := xe.Mitigations.AppliedChanges(), xs.Mitigations.AppliedChanges(); ge != gs {
+				t.Fatalf("applied changes: engine %d, serial %d", ge, gs)
+			}
+		})
 	}
 }

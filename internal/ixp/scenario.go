@@ -78,6 +78,12 @@ type Scenario struct {
 	// PeerMinBps is the delivered-rate threshold for counting a peer as
 	// active (defaults to 1 kbps).
 	PeerMinBps float64
+	// Depth is the engine's in-flight tick bound (0: engine default).
+	// Runs are byte-identical at every depth; deeper runs overlap more
+	// fold work across ticks.
+	Depth int
+	// Workers sizes the engine's worker pool (0: GOMAXPROCS).
+	Workers int
 
 	// Victims are the monitored victim ports. Scenario-level Events
 	// apply to the whole IXP and order before per-victim events within
@@ -174,6 +180,8 @@ func (s *Scenario) RunAll() ([]VictimSeries, error) {
 		Dt:           s.Dt,
 		PeerMinBps:   s.PeerMinBps,
 		MemberFilter: s.IXP.MemberFilter(),
+		Depth:        s.Depth,
+		Workers:      s.Workers,
 	})
 	return eng.Run()
 }
